@@ -1,0 +1,80 @@
+package flood
+
+import (
+	"fmt"
+
+	"flood/internal/baseline/clustered"
+	"flood/internal/baseline/fullscan"
+	"flood/internal/baseline/gridfile"
+	"flood/internal/baseline/kdtree"
+	"flood/internal/baseline/octree"
+	"flood/internal/baseline/rstar"
+	"flood/internal/baseline/ubtree"
+	"flood/internal/baseline/zorder"
+)
+
+// BaselineKind names the baseline indexes of §7.2.
+type BaselineKind string
+
+// The available baselines.
+const (
+	FullScan    BaselineKind = "fullscan"
+	Clustered   BaselineKind = "clustered"
+	GridFile    BaselineKind = "gridfile"
+	ZOrder      BaselineKind = "zorder"
+	UBTree      BaselineKind = "ubtree"
+	Hyperoctree BaselineKind = "octree"
+	KDTree      BaselineKind = "kdtree"
+	RStarTree   BaselineKind = "rstar"
+)
+
+// Baselines lists every baseline kind in the paper's order.
+func Baselines() []BaselineKind {
+	return []BaselineKind{FullScan, Clustered, GridFile, ZOrder, UBTree, Hyperoctree, KDTree, RStarTree}
+}
+
+// BaselineOptions tunes baseline construction. Dims orders the indexed
+// dimensions from most to least selective — pass the output of a workload
+// analysis for a tuned index. PageSize applies to page-based baselines.
+type BaselineOptions struct {
+	// Dims lists indexed dimensions, most selective first. Defaults to
+	// all dimensions in table order.
+	Dims []int
+	// PageSize bounds pages/buckets/leaves (default per baseline).
+	PageSize int
+	// RMILeaves overrides the clustered baseline's leaf count.
+	RMILeaves int
+}
+
+// BuildBaseline constructs one of the paper's baseline indexes over tbl on
+// the shared column-store substrate, with the same scan optimizations Flood
+// enjoys (§7.1).
+func BuildBaseline(kind BaselineKind, tbl *Table, opts BaselineOptions) (Index, error) {
+	dims := opts.Dims
+	if len(dims) == 0 {
+		dims = make([]int, tbl.NumCols())
+		for i := range dims {
+			dims[i] = i
+		}
+	}
+	switch kind {
+	case FullScan:
+		return fullscan.New(tbl), nil
+	case Clustered:
+		return clustered.Build(tbl, dims[0], clustered.Options{Leaves: opts.RMILeaves})
+	case GridFile:
+		return gridfile.Build(tbl, dims, opts.PageSize)
+	case ZOrder:
+		return zorder.Build(tbl, dims, opts.PageSize)
+	case UBTree:
+		return ubtree.Build(tbl, dims, opts.PageSize)
+	case Hyperoctree:
+		return octree.Build(tbl, dims, opts.PageSize)
+	case KDTree:
+		return kdtree.Build(tbl, dims, opts.PageSize)
+	case RStarTree:
+		return rstar.Build(tbl, dims, opts.PageSize)
+	default:
+		return nil, fmt.Errorf("flood: unknown baseline %q", kind)
+	}
+}

@@ -1,0 +1,198 @@
+// Command floodcli builds a learned index over a CSV file and runs SQL
+// aggregations against it.
+//
+//	floodcli -csv orders.csv -train "day BETWEEN 0 AND 14; store = 3" \
+//	         -query "SELECT COUNT(*) FROM t WHERE day BETWEEN 100 AND 113 AND store = 7"
+//
+// Columns are typed automatically: integer columns load directly, decimal
+// columns are scaled to integers (§7.1), and string columns are
+// dictionary-encoded with order-preserving codes. The -train flag lists
+// sample predicates (semicolon-separated WHERE clauses) describing the
+// expected workload; Flood learns its layout from them.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	flood "flood"
+	"flood/floodsql"
+	"flood/internal/encode"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "input CSV file with a header row")
+		train   = flag.String("train", "", "semicolon-separated sample WHERE clauses describing the workload")
+		query   = flag.String("query", "", "SQL statement to run (SELECT COUNT/SUM/MIN ... WHERE ...)")
+		seed    = flag.Int64("seed", 1, "random seed for layout learning")
+	)
+	flag.Parse()
+	if *csvPath == "" || *query == "" {
+		fmt.Fprintln(os.Stderr, "usage: floodcli -csv FILE -query SQL [-train \"pred; pred\"]")
+		os.Exit(2)
+	}
+	tbl, report, err := loadCSV(*csvPath)
+	if err != nil {
+		log.Fatalf("loading %s: %v", *csvPath, err)
+	}
+	fmt.Printf("loaded %d rows x %d columns (%s)\n", tbl.NumRows(), tbl.NumCols(), report)
+
+	var idx flood.Index
+	if *train == "" {
+		fmt.Println("no -train workload: using a full-scan execution plan")
+		idx, err = flood.BuildBaseline(flood.FullScan, tbl, flood.BaselineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		queries, err := parseTrain(*train, tbl)
+		if err != nil {
+			log.Fatalf("parsing -train: %v", err)
+		}
+		t0 := time.Now()
+		learned, err := flood.Build(tbl, queries, &flood.Options{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("learned layout %s in %v\n", learned.Layout(), time.Since(t0).Round(time.Millisecond))
+		idx = learned
+	}
+
+	st, err := floodsql.Parse(*query, tbl)
+	if err != nil {
+		log.Fatalf("parsing -query: %v", err)
+	}
+	v, stats, err := st.Run(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n  = %d\n  (%v, scanned %d of %d rows)\n",
+		*query, v, stats.Total.Round(time.Microsecond), stats.Scanned, tbl.NumRows())
+}
+
+// parseTrain turns "pred; pred; ..." into sample queries by parsing each
+// predicate as a WHERE clause of a COUNT statement.
+func parseTrain(train string, tbl *flood.Table) ([]flood.Query, error) {
+	var out []flood.Query
+	for _, pred := range strings.Split(train, ";") {
+		pred = strings.TrimSpace(pred)
+		if pred == "" {
+			continue
+		}
+		st, err := floodsql.Parse("SELECT COUNT(*) FROM t WHERE "+pred, tbl)
+		if err != nil {
+			return nil, fmt.Errorf("predicate %q: %w", pred, err)
+		}
+		out = append(out, st.Disjuncts...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no usable predicates in %q", train)
+	}
+	return out, nil
+}
+
+// loadCSV reads a headered CSV and encodes every column to int64 per §7.1.
+func loadCSV(path string) (*flood.Table, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.ReuseRecord = true
+	header, err := r.Read()
+	if err != nil {
+		return nil, "", fmt.Errorf("reading header: %w", err)
+	}
+	names := append([]string(nil), header...)
+	raw := make([][]string, len(names))
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		if len(rec) != len(names) {
+			return nil, "", fmt.Errorf("row has %d fields, header has %d", len(rec), len(names))
+		}
+		for c, v := range rec {
+			raw[c] = append(raw[c], strings.TrimSpace(v))
+		}
+	}
+	if len(raw[0]) == 0 {
+		return nil, "", fmt.Errorf("no data rows")
+	}
+	cols := make([][]int64, len(names))
+	kinds := make([]string, len(names))
+	for c := range raw {
+		col, kind, err := encodeColumn(raw[c])
+		if err != nil {
+			return nil, "", fmt.Errorf("column %q: %w", names[c], err)
+		}
+		cols[c] = col
+		kinds[c] = fmt.Sprintf("%s:%s", names[c], kind)
+	}
+	tbl, err := flood.NewTable(names, cols)
+	if err != nil {
+		return nil, "", err
+	}
+	return tbl, strings.Join(kinds, " "), nil
+}
+
+// encodeColumn picks the §7.1 encoding: int64 directly, decimal-scaled
+// float, or order-preserving dictionary codes.
+func encodeColumn(vals []string) ([]int64, string, error) {
+	// Try integers.
+	ints := make([]int64, len(vals))
+	ok := true
+	for i, s := range vals {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			ok = false
+			break
+		}
+		ints[i] = v
+	}
+	if ok {
+		return ints, "int", nil
+	}
+	// Try decimals.
+	floats := make([]float64, len(vals))
+	ok = true
+	for i, s := range vals {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			ok = false
+			break
+		}
+		floats[i] = v
+	}
+	if ok {
+		scaler, err := encode.InferDecimalScaler(floats, 6)
+		if err != nil {
+			return nil, "", err
+		}
+		col, err := scaler.Encode(floats)
+		if err != nil {
+			return nil, "", err
+		}
+		return col, fmt.Sprintf("decimal(%d)", scaler.Digits()), nil
+	}
+	// Fall back to a dictionary.
+	dict := encode.BuildDictionary(vals)
+	col, err := dict.Encode(vals)
+	if err != nil {
+		return nil, "", err
+	}
+	return col, fmt.Sprintf("dict(%d)", dict.Len()), nil
+}

@@ -1,0 +1,77 @@
+// Package datagen exposes the repository's dataset and workload generators
+// for use by examples, benchmarks, and downstream experimentation. The
+// datasets mirror the paper's evaluation suite (§7.3): a sales-database
+// stand-in, TPC-H lineitem, an OpenStreetMap stand-in, a performance
+// monitoring log stand-in, and uniform synthetic data.
+package datagen
+
+import (
+	flood "flood"
+	"flood/internal/dataset"
+	"flood/internal/workload"
+)
+
+// Dataset is a generated table plus its raw columns for ground-truth checks.
+type Dataset = dataset.Dataset
+
+// Sales generates the 6-attribute sales dataset stand-in.
+func Sales(n int, seed int64) *Dataset { return dataset.Sales(n, seed) }
+
+// TPCH generates the 7-column lineitem fact table at the given row count.
+func TPCH(n int, seed int64) *Dataset { return dataset.TPCH(n, seed) }
+
+// OSM generates the 6-attribute OpenStreetMap stand-in.
+func OSM(n int, seed int64) *Dataset { return dataset.OSM(n, seed) }
+
+// Perfmon generates the 6-attribute performance-monitoring stand-in.
+func Perfmon(n int, seed int64) *Dataset { return dataset.Perfmon(n, seed) }
+
+// Uniform generates n rows of d-dimensional uniform data (§7.5).
+func Uniform(n, d int, seed int64) *Dataset { return dataset.Uniform(n, d, seed) }
+
+// DatasetNames lists the four evaluation datasets in the paper's order.
+func DatasetNames() []string { return dataset.Names() }
+
+// ByName builds a named evaluation dataset; nil for unknown names.
+func ByName(name string, n int, seed int64) *Dataset { return dataset.ByName(name, n, seed) }
+
+// StandardWorkload draws the dataset's analyst-style OLAP mix (§7.3),
+// calibrated to ~0.1% average selectivity.
+func StandardWorkload(ds *Dataset, n int, seed int64) []flood.Query {
+	return workload.Standard(ds, n, seed)
+}
+
+// WorkloadWithSelectivity is StandardWorkload at an explicit selectivity.
+func WorkloadWithSelectivity(ds *Dataset, n int, target float64, seed int64) []flood.Query {
+	return workload.StandardWithSelectivity(ds, n, target, seed)
+}
+
+// ArchetypeKind names the Fig. 9 workload archetypes (FD, MD, OO, O, Ou,
+// O1, O2, ST).
+type ArchetypeKind = workload.ArchetypeKind
+
+// Archetypes lists the Fig. 9 workload kinds.
+func Archetypes() []ArchetypeKind { return workload.Archetypes() }
+
+// ArchetypeWorkload draws a Fig. 9 workload of the given kind.
+func ArchetypeWorkload(ds *Dataset, kind ArchetypeKind, n int, seed int64) []flood.Query {
+	return workload.Archetype(ds, kind, n, seed)
+}
+
+// RandomWorkload draws one of the Fig. 10 random workloads.
+func RandomWorkload(ds *Dataset, n int, seed int64) []flood.Query {
+	return workload.Random(ds, n, seed)
+}
+
+// SelectivityOrder returns the dataset's dimensions ordered from most to
+// least selective under the given workload — the ordering used to tune the
+// baseline indexes.
+func SelectivityOrder(ds *Dataset, queries []flood.Query, seed int64) []int {
+	g := workload.NewGenerator(ds, seed)
+	return workload.OrderBySelectivity(g, queries)
+}
+
+// SplitTrainTest partitions a workload into train and test sets.
+func SplitTrainTest(queries []flood.Query, trainFrac float64, seed int64) (train, test []flood.Query) {
+	return workload.SplitTrainTest(queries, trainFrac, seed)
+}

@@ -1,0 +1,141 @@
+package flood
+
+import (
+	"fmt"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/core"
+	"flood/internal/query"
+)
+
+// DeltaIndex adds insert support to a read-optimized Flood index using the
+// differential-file scheme sketched in §8 ("Insertions"): updates are
+// buffered in a small delta store that every query additionally scans, and
+// are periodically merged into a rebuilt base index. The base layout is
+// reused on merge — relearning remains an explicit, separate decision (see
+// Monitor).
+//
+// A DeltaIndex is not safe for concurrent use.
+type DeltaIndex struct {
+	base       *core.Flood
+	layout     Layout
+	opts       Options
+	buffer     [][]int64 // column-major pending rows
+	pending    int
+	deltaTable *Table // lazily built view of the buffer
+	// MergeThreshold triggers an automatic Merge once this many rows are
+	// buffered (0 disables auto-merging).
+	MergeThreshold int
+}
+
+// NewDeltaIndex wraps a built Flood index with an insertion buffer.
+func NewDeltaIndex(base *Flood, mergeThreshold int) *DeltaIndex {
+	d := &DeltaIndex{
+		base:           base.idx,
+		layout:         base.Layout(),
+		buffer:         make([][]int64, base.Table().NumCols()),
+		MergeThreshold: mergeThreshold,
+	}
+	return d
+}
+
+// Name implements Index.
+func (d *DeltaIndex) Name() string { return "Flood+Delta" }
+
+// SizeBytes implements Index: base metadata plus the buffered rows.
+func (d *DeltaIndex) SizeBytes() int64 {
+	return d.base.SizeBytes() + int64(d.pending)*int64(len(d.buffer))*8
+}
+
+// Pending returns the number of buffered (unmerged) rows.
+func (d *DeltaIndex) Pending() int { return d.pending }
+
+// NumRows returns the total row count (base + buffered).
+func (d *DeltaIndex) NumRows() int { return d.base.Table().NumRows() + d.pending }
+
+// Insert buffers one row (one value per dimension). The row becomes visible
+// to queries immediately.
+func (d *DeltaIndex) Insert(row []int64) error {
+	if len(row) != len(d.buffer) {
+		return fmt.Errorf("flood: row has %d values, table has %d dimensions", len(row), len(d.buffer))
+	}
+	for c, v := range row {
+		d.buffer[c] = append(d.buffer[c], v)
+	}
+	d.pending++
+	d.deltaTable = nil
+	if d.MergeThreshold > 0 && d.pending >= d.MergeThreshold {
+		return d.Merge()
+	}
+	return nil
+}
+
+// Execute runs q against the base index and the delta buffer, combining
+// results. Buffered rows are filtered with a plain scan (the delta is small
+// by construction).
+func (d *DeltaIndex) Execute(q Query, agg Aggregator) Stats {
+	st := d.base.Execute(q, agg)
+	if d.pending == 0 {
+		return st
+	}
+	t0 := time.Now()
+	if d.deltaTable == nil {
+		d.deltaTable = colstore.MustNewTable(d.base.Table().Names(), d.buffer)
+	}
+	sc := query.NewScanner(d.deltaTable)
+	s, m := sc.ScanRange(q, q.FilteredDims(), 0, d.pending, agg)
+	st.Scanned += s
+	st.Matched += m
+	st.ScanTime += time.Since(t0)
+	st.Total += time.Since(t0)
+	return st
+}
+
+// Merge folds the buffered rows into a rebuilt base index with the same
+// layout and clears the buffer.
+func (d *DeltaIndex) Merge() error {
+	if d.pending == 0 {
+		return nil
+	}
+	old := d.base.Table()
+	n := old.NumRows()
+	cols := make([][]int64, old.NumCols())
+	for c := range cols {
+		cols[c] = make([]int64, 0, n+d.pending)
+		cols[c] = append(cols[c], old.Raw(c)...)
+		cols[c] = append(cols[c], d.buffer[c]...)
+	}
+	merged, err := colstore.NewTable(old.Names(), cols)
+	if err != nil {
+		return fmt.Errorf("flood: merging delta: %w", err)
+	}
+	for c := 0; c < old.NumCols(); c++ {
+		if old.HasAggregate(c) {
+			merged.EnableAggregate(c)
+		}
+	}
+	base, err := core.Build(merged, d.layout, core.Options{Delta: d.opts.Delta})
+	if err != nil {
+		return fmt.Errorf("flood: rebuilding base: %w", err)
+	}
+	d.base = base
+	for c := range d.buffer {
+		d.buffer[c] = d.buffer[c][:0]
+	}
+	d.pending = 0
+	d.deltaTable = nil
+	return nil
+}
+
+var _ Index = (*DeltaIndex)(nil)
+
+// Neighbor is one k-nearest-neighbor result: a physical row in the index's
+// reordered table and its squared distance in flattened grid coordinates.
+type Neighbor = core.Neighbor
+
+// KNN returns the k nearest neighbors of point under the scale-free
+// flattened metric of the index's grid dimensions (§6). See core.Flood.KNN.
+func (f *Flood) KNN(point []int64, k int) ([]Neighbor, error) {
+	return f.idx.KNN(point, k)
+}

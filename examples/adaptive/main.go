@@ -1,0 +1,69 @@
+// Command adaptive demonstrates Flood's headline property (§7.4, Fig. 10):
+// when the query workload shifts, relearning the layout restores
+// performance, while static indexes stay tuned for yesterday's queries. The
+// cost model is calibrated once and reused across relearns (§7.6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	flood "flood"
+	"flood/datagen"
+)
+
+func main() {
+	const rows = 200_000
+	ds := datagen.TPCH(rows, 31)
+
+	// Calibrate the cost model once (a per-machine cost, reused below).
+	calib := datagen.StandardWorkload(ds, 100, 32)
+	fmt.Println("calibrating cost model (one-time)...")
+	model, err := flood.Calibrate(ds.Table, calib, &flood.Options{Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	avgTime := func(idx flood.Index, queries []flood.Query) time.Duration {
+		var total time.Duration
+		for _, q := range queries {
+			agg := flood.NewCount()
+			total += idx.Execute(q, agg).Total
+		}
+		return (total / time.Duration(len(queries))).Round(time.Microsecond)
+	}
+
+	// Three workload "eras", each with different filter dimensions. The
+	// index learned for one era serves the next era's queries until it is
+	// relearned.
+	var current *flood.Flood
+	for era, seed := range []int64{41, 42, 43} {
+		queries := datagen.RandomWorkload(ds, 120, seed)
+		train, test := datagen.SplitTrainTest(queries, 0.6, seed)
+
+		if current == nil {
+			start := time.Now()
+			current, err = flood.Build(ds.Table, train, &flood.Options{CostModel: model, Seed: seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("era %d: built %s in %v; avg query %v\n",
+				era, current.Layout(), time.Since(start).Round(time.Millisecond), avgTime(current, test))
+			continue
+		}
+
+		staleTime := avgTime(current, test)
+		start := time.Now()
+		fresh, err := flood.Build(ds.Table, train, &flood.Options{CostModel: model, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		relearn := time.Since(start).Round(time.Millisecond)
+		freshTime := avgTime(fresh, test)
+		speedup := float64(staleTime) / float64(freshTime)
+		fmt.Printf("era %d: stale layout served %v/query -> relearned %s in %v -> %v/query (%.1fx)\n",
+			era, staleTime, fresh.Layout(), relearn, freshTime, speedup)
+		current = fresh
+	}
+}

@@ -1,0 +1,76 @@
+// Command quickstart shows the smallest end-to-end use of the flood package:
+// load a table, describe the expected query workload, build a learned index,
+// and run aggregation queries against it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	flood "flood"
+)
+
+func main() {
+	// A tiny orders table: 100k rows, 4 columns, all int64 (dates as day
+	// offsets, money as cents).
+	const n = 100_000
+	rng := rand.New(rand.NewSource(1))
+	day := make([]int64, n)
+	store := make([]int64, n)
+	amount := make([]int64, n)
+	items := make([]int64, n)
+	for i := 0; i < n; i++ {
+		day[i] = rng.Int63n(365)
+		store[i] = rng.Int63n(50)
+		amount[i] = 500 + rng.Int63n(100_000)
+		items[i] = 1 + rng.Int63n(20)
+	}
+	tbl, err := flood.NewTable([]string{"day", "store", "amount", "items"},
+		[][]int64{day, store, amount, items})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Describe the workload Flood should optimize for: mostly day-range +
+	// store-equality filters, occasionally amount slices.
+	var train []flood.Query
+	for i := 0; i < 50; i++ {
+		d0 := rng.Int63n(300)
+		q := flood.NewQuery(4).WithRange(0, d0, d0+14).WithEquals(1, rng.Int63n(50))
+		train = append(train, q)
+	}
+	for i := 0; i < 10; i++ {
+		a0 := rng.Int63n(80_000)
+		train = append(train, flood.NewQuery(4).WithRange(2, a0, a0+2_000))
+	}
+
+	idx, err := flood.Build(tbl, train, &flood.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned layout: %s (index metadata: %d bytes)\n",
+		idx.Layout(), idx.SizeBytes())
+
+	// COUNT orders at store 7 in a two-week window.
+	count := flood.NewCount()
+	q := flood.NewQuery(4).WithRange(0, 100, 113).WithEquals(1, 7)
+	st := idx.Execute(q, count)
+	fmt.Printf("orders at store 7, days 100-113: %d (scanned %d points in %v)\n",
+		count.Result(), st.Scanned, st.Total)
+
+	// SUM revenue over the same window.
+	sum := flood.NewSum(2)
+	idx.Execute(q, sum)
+	fmt.Printf("revenue: $%.2f\n", float64(sum.Result())/100)
+
+	// Compare with a plain full scan.
+	fs, err := flood.BuildBaseline(flood.FullScan, tbl, flood.BaselineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	count2 := flood.NewCount()
+	st2 := fs.Execute(q, count2)
+	fmt.Printf("full scan agrees: %v (scanned %d points in %v)\n",
+		count.Result() == count2.Result(), st2.Scanned, st2.Total)
+}

@@ -1,0 +1,168 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"flood/internal/dataset"
+	"flood/internal/workload"
+)
+
+func buildSmall(t *testing.T) (*Flood, *dataset.Dataset, []Query) {
+	t.Helper()
+	ds := dataset.Sales(6000, 201)
+	queries := workload.Standard(ds, 30, 202)
+	idx, err := Build(ds.Table, queries, &Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 203})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, ds, queries
+}
+
+func TestDeltaIndexInsertAndQuery(t *testing.T) {
+	idx, ds, queries := buildSmall(t)
+	d := NewDeltaIndex(idx, 0)
+	if d.NumRows() != 6000 || d.Pending() != 0 {
+		t.Fatal("fresh delta index counts wrong")
+	}
+	// Insert rows cloned from the dataset with a recognizable marker on
+	// the date dimension.
+	dateCol := ds.ColumnIndex("date")
+	rng := rand.New(rand.NewSource(204))
+	const added = 300
+	for i := 0; i < added; i++ {
+		src := rng.Intn(6000)
+		row := make([]int64, ds.Table.NumCols())
+		for c := range row {
+			row[c] = ds.Cols[c][src]
+		}
+		row[dateCol] = 5000 + int64(i) // far outside the original domain
+		if err := d.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Pending() != added || d.NumRows() != 6000+added {
+		t.Fatalf("pending %d rows, want %d", d.Pending(), added)
+	}
+	// A query isolating the inserted rows.
+	agg := NewCount()
+	d.Execute(NewQuery(ds.Table.NumCols()).WithRange(dateCol, 5000, 6000), agg)
+	if agg.Result() != added {
+		t.Fatalf("inserted-row query found %d, want %d", agg.Result(), added)
+	}
+	// Pre-existing queries still agree with the bare index plus delta.
+	for _, q := range queries[:5] {
+		if q.Ranges[dateCol].Present && q.Ranges[dateCol].Max >= 5000 {
+			continue
+		}
+		a1, a2 := NewCount(), NewCount()
+		idx.Execute(q, a1)
+		d.Execute(q, a2)
+		if a2.Result() < a1.Result() {
+			t.Fatalf("delta query lost rows: %d < %d", a2.Result(), a1.Result())
+		}
+	}
+	// Merge folds everything into the base.
+	if err := d.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 || d.NumRows() != 6000+added {
+		t.Fatalf("after merge: pending %d, rows %d", d.Pending(), d.NumRows())
+	}
+	agg.Reset()
+	d.Execute(NewQuery(ds.Table.NumCols()).WithRange(dateCol, 5000, 6000), agg)
+	if agg.Result() != added {
+		t.Fatalf("post-merge query found %d, want %d", agg.Result(), added)
+	}
+}
+
+func TestDeltaIndexAutoMerge(t *testing.T) {
+	idx, ds, _ := buildSmall(t)
+	d := NewDeltaIndex(idx, 50)
+	row := make([]int64, ds.Table.NumCols())
+	for i := 0; i < 120; i++ {
+		if err := d.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Pending() >= 50 {
+		t.Fatalf("auto-merge did not fire: %d pending", d.Pending())
+	}
+	if d.NumRows() != 6120 {
+		t.Fatalf("rows = %d, want 6120", d.NumRows())
+	}
+}
+
+func TestDeltaIndexValidation(t *testing.T) {
+	idx, _, _ := buildSmall(t)
+	d := NewDeltaIndex(idx, 0)
+	if err := d.Insert([]int64{1, 2}); err == nil {
+		t.Fatal("short row should fail")
+	}
+	if err := d.Merge(); err != nil {
+		t.Fatal("empty merge should be a no-op")
+	}
+}
+
+func TestKNNPublicAPI(t *testing.T) {
+	idx, ds, _ := buildSmall(t)
+	point := make([]int64, ds.Table.NumCols())
+	for c := range point {
+		point[c] = ds.Cols[c][42]
+	}
+	nbrs, err := idx.KNN(point, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 5 {
+		t.Fatalf("got %d neighbors", len(nbrs))
+	}
+	// The query point exists in the data, so the nearest distance is 0.
+	if nbrs[0].Dist != 0 {
+		t.Fatalf("nearest neighbor of an existing point should be at distance 0, got %f", nbrs[0].Dist)
+	}
+}
+
+func TestMonitorDetectsDrift(t *testing.T) {
+	m := NewMonitor(nil, 10, 2)
+	// Establish a ~100µs reference window.
+	for i := 0; i < 10; i++ {
+		if m.Record(Stats{Total: 100 * time.Microsecond}) {
+			t.Fatal("monitor fired while establishing reference")
+		}
+	}
+	if m.Reference() == 0 {
+		t.Fatal("reference not established")
+	}
+	// Mild noise must not fire.
+	for i := 0; i < 10; i++ {
+		if m.Record(Stats{Total: 150 * time.Microsecond}) {
+			t.Fatal("monitor fired on mild noise")
+		}
+	}
+	// A sustained 5x regression must fire within a window.
+	fired := false
+	for i := 0; i < 10; i++ {
+		if m.Record(Stats{Total: 500 * time.Microsecond}) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("monitor failed to detect a 5x regression")
+	}
+}
+
+func TestMonitorUsesPredictedCost(t *testing.T) {
+	idx, _, _ := buildSmall(t)
+	m := NewMonitor(idx, 4, 1000) // absurd factor: never fires
+	if m.Reference() != idx.PredictedCost() {
+		t.Fatal("monitor should seed its reference from the predicted cost")
+	}
+	for i := 0; i < 20; i++ {
+		if m.Record(Stats{Total: time.Millisecond}) {
+			t.Fatal("factor 1000 should never fire here")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package flood is a learned multi-dimensional in-memory index, a Go
+// implementation of "Learning Multi-dimensional Indexes" (Nathan, Ding,
+// Alizadeh, Kraska — SIGMOD 2020).
+//
+// Flood speeds up analytical range scans with predicates over several
+// attributes by jointly optimizing the data storage layout and the index
+// structure for a target dataset and query workload. It lays the table out
+// as a d-1 dimensional grid whose column boundaries are learned from the
+// data's per-dimension CDFs ("flattening") and whose shape — which dimension
+// sorts each cell, and how many columns each grid dimension gets — is chosen
+// by gradient descent over a machine-learned cost model trained on a sample
+// workload.
+//
+// Basic usage:
+//
+//	tbl, _ := flood.NewTable(names, columns)        // int64 column-major data
+//	idx, _ := flood.Build(tbl, trainQueries, nil)   // learn layout + build
+//	agg := flood.NewCount()
+//	q := flood.NewQuery(tbl.NumCols()).WithRange(0, lo, hi).WithEquals(3, v)
+//	stats := idx.Execute(q, agg)                    // agg.Result() holds COUNT
+//
+// The package also exposes the paper's seven baseline multi-dimensional
+// indexes (see BuildBaseline) on the same column-store substrate, which is
+// what the benchmark harness in cmd/floodbench uses to regenerate the
+// paper's evaluation.
+package flood
+
+import (
+	"fmt"
+
+	"flood/internal/colstore"
+	"flood/internal/core"
+	"flood/internal/costmodel"
+	"flood/internal/optimizer"
+	"flood/internal/query"
+)
+
+// Table is an immutable in-memory column store with block-delta compression
+// (128-value blocks, §7.1). All values are int64: encode strings with a
+// dictionary and scale decimals to integers before loading.
+type Table = colstore.Table
+
+// NewTable builds a table from column-major int64 data.
+func NewTable(names []string, cols [][]int64) (*Table, error) {
+	return colstore.NewTable(names, cols)
+}
+
+// Query is a conjunction of per-dimension ranges (a hyper-rectangle).
+type Query = query.Query
+
+// Range is one inclusive filter interval.
+type Range = query.Range
+
+// Stats instruments one query execution (scan overhead, per-phase times).
+type Stats = query.Stats
+
+// Aggregator accumulates a statistic over matching rows.
+type Aggregator = query.Aggregator
+
+// Index is the contract shared by Flood and every baseline.
+type Index = query.Index
+
+// Layout describes a Flood grid shape; obtain one from a built index via
+// Layout(), or construct manually for BuildWithLayout.
+type Layout = core.Layout
+
+// CostModel is a calibrated query-time model, reusable across datasets
+// (§7.6, Table 3).
+type CostModel = costmodel.Model
+
+// NewQuery returns an unfiltered query over nDims dimensions. Add filters
+// with WithRange / WithEquals.
+func NewQuery(nDims int) Query { return query.NewQuery(nDims) }
+
+// NewCount returns a COUNT(*) aggregator.
+func NewCount() Aggregator { return query.NewCount() }
+
+// NewSum returns a SUM(col) aggregator. Call Table.EnableAggregate(col)
+// first to let exact sub-ranges resolve via cumulative aggregates (§7.1).
+func NewSum(col int) Aggregator { return query.NewSum(col) }
+
+// NewMin returns a MIN(col) aggregator.
+func NewMin(col int) Aggregator { return query.NewMin(col) }
+
+// ExecuteOr evaluates a disjunction (OR) of conjunctive queries against any
+// index, decomposing the rectangles into disjoint pieces first so every
+// matching row is accumulated exactly once (§3).
+func ExecuteOr(idx Index, queries []Query, agg Aggregator) Stats {
+	return query.ExecuteDisjunction(idx, queries, agg)
+}
+
+// Options tunes learned-index construction. The zero value (or nil) picks
+// the paper's defaults.
+type Options struct {
+	// CostModel reuses a previously calibrated model; nil calibrates one
+	// on the build table and workload (slower but self-contained).
+	CostModel *CostModel
+	// CalibrationLayouts is the number of random layouts used when
+	// calibrating (default 10, §4.1.1).
+	CalibrationLayouts int
+	// DataSampleSize / QuerySampleSize bound the layout-search samples
+	// (§7.7; defaults 2000 rows / 50 queries).
+	DataSampleSize  int
+	QuerySampleSize int
+	// GDSteps is the number of gradient-descent steps per restart.
+	GDSteps int
+	// Delta is the per-cell refinement model error budget (§7.8,
+	// default 50).
+	Delta float64
+	// Seed makes builds reproducible.
+	Seed int64
+}
+
+func (o *Options) orDefault() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// Flood is a built learned index.
+type Flood struct {
+	idx    *core.Flood
+	result optimizer.Result
+	model  *CostModel
+}
+
+// Build learns a layout for tbl from the sample workload and constructs the
+// index. The input table is not modified; the index holds a reordered copy.
+func Build(tbl *Table, train []Query, opts *Options) (*Flood, error) {
+	o := opts.orDefault()
+	if len(train) == 0 {
+		return nil, fmt.Errorf("flood: Build needs a sample query workload; use BuildWithLayout for manual layouts")
+	}
+	m := o.CostModel
+	if m == nil {
+		var err error
+		m, err = costmodel.Calibrate(tbl, train, costmodel.CalibrationConfig{
+			NumLayouts: o.CalibrationLayouts,
+			Seed:       o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flood: calibrating cost model: %w", err)
+		}
+	}
+	res, err := optimizer.FindOptimalLayout(tbl, train, m, optimizer.Config{
+		DataSampleSize:  o.DataSampleSize,
+		QuerySampleSize: o.QuerySampleSize,
+		GDSteps:         o.GDSteps,
+		Seed:            o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flood: optimizing layout: %w", err)
+	}
+	idx, err := core.Build(tbl, res.Layout, core.Options{Delta: o.Delta})
+	if err != nil {
+		return nil, fmt.Errorf("flood: building layout: %w", err)
+	}
+	return &Flood{idx: idx, result: res, model: m}, nil
+}
+
+// Calibrate trains a reusable cost model on any dataset and workload
+// (possibly synthetic); calibration is a once-per-machine cost (§7.6).
+func Calibrate(tbl *Table, queries []Query, opts *Options) (*CostModel, error) {
+	o := opts.orDefault()
+	return costmodel.Calibrate(tbl, queries, costmodel.CalibrationConfig{
+		NumLayouts: o.CalibrationLayouts,
+		Seed:       o.Seed,
+	})
+}
+
+// BuildWithLayout constructs a Flood index with an explicit layout, skipping
+// learning. Useful for ablations and tests.
+func BuildWithLayout(tbl *Table, layout Layout, opts *Options) (*Flood, error) {
+	o := opts.orDefault()
+	idx, err := core.Build(tbl, layout, core.Options{Delta: o.Delta})
+	if err != nil {
+		return nil, err
+	}
+	return &Flood{idx: idx, result: optimizer.Result{Layout: layout}}, nil
+}
+
+// Execute runs q through projection, refinement, and scan, feeding matching
+// rows to agg. The aggregator is not reset: callers reset it between
+// queries.
+func (f *Flood) Execute(q Query, agg Aggregator) Stats { return f.idx.Execute(q, agg) }
+
+// Name implements Index.
+func (f *Flood) Name() string { return f.idx.Name() }
+
+// SizeBytes reports index metadata size (cell table + models), excluding
+// the stored data.
+func (f *Flood) SizeBytes() int64 { return f.idx.SizeBytes() }
+
+// Layout returns the (learned or supplied) layout.
+func (f *Flood) Layout() Layout { return f.idx.Layout() }
+
+// Model returns the cost model used to learn the layout (nil when the index
+// was built with BuildWithLayout).
+func (f *Flood) Model() *CostModel { return f.model }
+
+// PredictedCost returns the model's predicted average query time in
+// nanoseconds (0 when the layout was supplied manually).
+func (f *Flood) PredictedCost() float64 { return f.result.PredictedCost }
+
+// Table returns the index's reordered copy of the data.
+func (f *Flood) Table() *Table { return f.idx.Table() }
+
+var _ Index = (*Flood)(nil)

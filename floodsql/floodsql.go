@@ -1,0 +1,406 @@
+// Package floodsql translates the SQL fragment the paper targets (§3) into
+// flood queries:
+//
+//	SELECT SUM(R.X) FROM MyTable
+//	WHERE (a <= R.Y AND R.Y <= b) AND (c <= R.Z AND R.Z <= d)
+//
+// The supported grammar covers single-table aggregations with conjunctive
+// and disjunctive range predicates over integer-valued columns:
+//
+//	stmt   := SELECT agg FROM ident [WHERE pred]
+//	agg    := COUNT(*) | SUM(col) | MIN(col)
+//	pred   := or
+//	or     := and (OR and)*
+//	and    := atom (AND atom)*
+//	atom   := '(' pred ')' | col op value | col BETWEEN value AND value
+//	op     := = | < | <= | > | >=
+//
+// Predicates are normalized to disjunctive normal form; disjuncts execute
+// through flood.ExecuteOr, which decomposes them into disjoint rectangles so
+// rows are never double-counted (§3: OR clauses "can be decomposed into
+// multiple queries over disjoint attribute ranges").
+package floodsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	flood "flood"
+)
+
+// Statement is a parsed, table-resolved aggregation query.
+type Statement struct {
+	// Agg is "count", "sum", or "min".
+	Agg string
+	// AggCol is the aggregated column index (-1 for COUNT(*)).
+	AggCol int
+	// Table is the FROM identifier (informational; resolution happens
+	// against the table passed to Parse).
+	Table string
+	// Disjuncts is the predicate in disjunctive normal form: the result
+	// set is the union of these hyper-rectangles. An empty slice means
+	// no WHERE clause (match everything).
+	Disjuncts []flood.Query
+	nDims     int
+}
+
+// Parse compiles a SQL string against tbl's schema.
+func Parse(sql string, tbl *flood.Table) (*Statement, error) {
+	p := &parser{lex: newLexer(sql), tbl: tbl}
+	st, err := p.statement()
+	if err != nil {
+		return nil, fmt.Errorf("floodsql: %w", err)
+	}
+	return st, nil
+}
+
+// Run executes the statement against any index built over the same table.
+func (s *Statement) Run(idx flood.Index) (int64, flood.Stats, error) {
+	var agg flood.Aggregator
+	switch s.Agg {
+	case "count":
+		agg = flood.NewCount()
+	case "sum":
+		agg = flood.NewSum(s.AggCol)
+	case "min":
+		agg = flood.NewMin(s.AggCol)
+	default:
+		return 0, flood.Stats{}, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
+	}
+	queries := s.Disjuncts
+	if len(queries) == 0 {
+		queries = []flood.Query{flood.NewQuery(s.nDims)}
+	}
+	st := flood.ExecuteOr(idx, queries, agg)
+	return agg.Result(), st, nil
+}
+
+// --- lexer ---
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , * =  < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type lexer struct {
+	src string
+	pos int
+	tok token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.next()
+	return l
+}
+
+func (l *lexer) next() {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tokEOF}
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '_' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		l.tok = token{kind: tokIdent, text: l.src[start:l.pos]}
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		l.tok = token{kind: tokNumber, text: l.src[start:l.pos]}
+	case c == '<' || c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.tok = token{kind: tokSymbol, text: l.src[l.pos : l.pos+2]}
+			l.pos += 2
+		} else {
+			l.tok = token{kind: tokSymbol, text: string(c)}
+			l.pos++
+		}
+	case c == '(' || c == ')' || c == ',' || c == '*' || c == '=':
+		l.tok = token{kind: tokSymbol, text: string(c)}
+		l.pos++
+	default:
+		l.tok = token{kind: tokSymbol, text: string(c)}
+		l.pos++
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// --- parser ---
+
+type parser struct {
+	lex *lexer
+	tbl *flood.Table
+}
+
+func (p *parser) statement() (*Statement, error) {
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Statement{AggCol: -1, nDims: p.tbl.NumCols()}
+	aggName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Agg = strings.ToLower(aggName)
+	if st.Agg != "count" && st.Agg != "sum" && st.Agg != "min" {
+		return nil, fmt.Errorf("unsupported aggregate %q (want COUNT, SUM, or MIN)", aggName)
+	}
+	if err := p.symbol("("); err != nil {
+		return nil, err
+	}
+	if st.Agg == "count" {
+		if err := p.symbol("*"); err != nil {
+			return nil, err
+		}
+	} else {
+		col, err := p.column()
+		if err != nil {
+			return nil, err
+		}
+		st.AggCol = col
+	}
+	if err := p.symbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind == tokEOF {
+		return st, nil
+	}
+	if err := p.keyword("WHERE"); err != nil {
+		return nil, err
+	}
+	dnf, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tokEOF {
+		return nil, fmt.Errorf("unexpected trailing input %q", p.lex.tok.text)
+	}
+	st.Disjuncts = dnf
+	return st, nil
+}
+
+// orExpr returns the predicate as a DNF list of conjunctive queries.
+func (p *parser) orExpr() ([]flood.Query, error) {
+	out, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.lex.next()
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rhs...)
+	}
+	return out, nil
+}
+
+func (p *parser) andExpr() ([]flood.Query, error) {
+	out, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.lex.next()
+		rhs, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		// Distribute: (A1 ∨ A2) ∧ (B1 ∨ B2) = ∨_{i,j} (Ai ∧ Bj).
+		var merged []flood.Query
+		for _, a := range out {
+			for _, b := range rhs {
+				if q, ok := intersect(a, b); ok {
+					merged = append(merged, q)
+				}
+			}
+		}
+		out = merged
+		if len(out) == 0 {
+			// Contradictory predicate: empty result, keep one
+			// unsatisfiable query for well-formed execution.
+			return []flood.Query{flood.NewQuery(p.tbl.NumCols()).WithRange(0, 1, 0)}, nil
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) atom() ([]flood.Query, error) {
+	if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "(" {
+		p.lex.next()
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.symbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	col, err := p.column()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKeyword("BETWEEN") {
+		p.lex.next()
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return []flood.Query{flood.NewQuery(p.tbl.NumCols()).WithRange(col, lo, hi)}, nil
+	}
+	if p.lex.tok.kind != tokSymbol {
+		return nil, fmt.Errorf("expected comparison operator, found %q", p.lex.tok.text)
+	}
+	op := p.lex.tok.text
+	p.lex.next()
+	v, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	q := flood.NewQuery(p.tbl.NumCols())
+	switch op {
+	case "=":
+		q = q.WithEquals(col, v)
+	case "<":
+		q = q.WithRange(col, minInt64, v-1)
+	case "<=":
+		q = q.WithRange(col, minInt64, v)
+	case ">":
+		q = q.WithRange(col, v+1, maxInt64)
+	case ">=":
+		q = q.WithRange(col, v, maxInt64)
+	default:
+		return nil, fmt.Errorf("unsupported operator %q", op)
+	}
+	return []flood.Query{q}, nil
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// intersect combines two conjunctive queries; ok is false when the
+// conjunction is unsatisfiable.
+func intersect(a, b flood.Query) (flood.Query, bool) {
+	out := flood.Query{Ranges: append([]flood.Range(nil), a.Ranges...)}
+	for d := range out.Ranges {
+		rb := b.Ranges[d]
+		if !rb.Present {
+			continue
+		}
+		ra := out.Ranges[d]
+		if !ra.Present {
+			out.Ranges[d] = rb
+			continue
+		}
+		if rb.Min > ra.Min {
+			ra.Min = rb.Min
+		}
+		if rb.Max < ra.Max {
+			ra.Max = rb.Max
+		}
+		if ra.Min > ra.Max {
+			return out, false
+		}
+		out.Ranges[d] = ra
+	}
+	return out, true
+}
+
+func (p *parser) keyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return fmt.Errorf("expected %s, found %q", kw, p.lex.tok.text)
+	}
+	p.lex.next()
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.lex.tok.kind == tokIdent && strings.EqualFold(p.lex.tok.text, kw)
+}
+
+func (p *parser) symbol(s string) error {
+	if p.lex.tok.kind != tokSymbol || p.lex.tok.text != s {
+		return fmt.Errorf("expected %q, found %q", s, p.lex.tok.text)
+	}
+	p.lex.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.lex.tok.kind != tokIdent {
+		return "", fmt.Errorf("expected identifier, found %q", p.lex.tok.text)
+	}
+	t := p.lex.tok.text
+	p.lex.next()
+	return t, nil
+}
+
+// column parses an identifier (optionally qualified, e.g. R.price) and
+// resolves it against the table schema.
+func (p *parser) column() (int, error) {
+	name, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	col := p.tbl.ColumnIndex(name)
+	if col < 0 {
+		return 0, fmt.Errorf("unknown column %q", name)
+	}
+	return col, nil
+}
+
+func (p *parser) number() (int64, error) {
+	if p.lex.tok.kind != tokNumber {
+		return 0, fmt.Errorf("expected number, found %q", p.lex.tok.text)
+	}
+	t := strings.ReplaceAll(p.lex.tok.text, "_", "")
+	p.lex.next()
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", t, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,187 @@
+package floodsql
+
+import (
+	"math/rand"
+	"testing"
+
+	flood "flood"
+)
+
+func testTable(t *testing.T) (*flood.Table, [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n := 3000
+	cols := make([][]int64, 3)
+	for c := range cols {
+		cols[c] = make([]int64, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.Int63n(1000)
+		}
+	}
+	tbl, err := flood.NewTable([]string{"price", "qty", "day"}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, cols
+}
+
+func testIndex(t *testing.T, tbl *flood.Table) flood.Index {
+	t.Helper()
+	idx, err := flood.BuildWithLayout(tbl, flood.Layout{
+		GridDims: []int{0, 1}, GridCols: []int{8, 4}, SortDim: 2, Flatten: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func mustRun(t *testing.T, idx flood.Index, tbl *flood.Table, sql string) int64 {
+	t.Helper()
+	st, err := Parse(sql, tbl)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	v, _, err := st.Run(idx)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return v
+}
+
+func TestSelectCountWhere(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM orders WHERE price BETWEEN 100 AND 300 AND qty >= 500")
+	var want int64
+	for i := range cols[0] {
+		if cols[0][i] >= 100 && cols[0][i] <= 300 && cols[1][i] >= 500 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestSelectSumQualifiedColumns(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl, "select sum(R.price) from T where R.day < 100 and R.day > 10")
+	var want int64
+	for i := range cols[0] {
+		if cols[2][i] < 100 && cols[2][i] > 10 {
+			want += cols[0][i]
+		}
+	}
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestSelectMinNoWhere(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl, "SELECT MIN(qty) FROM t")
+	want := cols[1][0]
+	for _, v := range cols[1] {
+		if v < want {
+			want = v
+		}
+	}
+	if got != want {
+		t.Fatalf("min = %d, want %d", got, want)
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl,
+		"SELECT COUNT(*) FROM t WHERE price <= 50 OR (price >= 900 AND qty = 7) OR day = 3")
+	var want int64
+	for i := range cols[0] {
+		if cols[0][i] <= 50 || (cols[0][i] >= 900 && cols[1][i] == 7) || cols[2][i] == 3 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("disjunction count = %d, want %d", got, want)
+	}
+}
+
+func TestNestedParensDistribute(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl,
+		"SELECT COUNT(*) FROM t WHERE (price < 100 OR price > 900) AND (qty < 50 OR qty > 950)")
+	var want int64
+	for i := range cols[0] {
+		p, q := cols[0][i], cols[1][i]
+		if (p < 100 || p > 900) && (q < 50 || q > 950) {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("distributed count = %d, want %d", got, want)
+	}
+}
+
+func TestContradictionIsEmpty(t *testing.T) {
+	tbl, _ := testTable(t)
+	idx := testIndex(t, tbl)
+	if got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM t WHERE price < 10 AND price > 20"); got != 0 {
+		t.Fatalf("contradiction matched %d rows", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tbl, _ := testTable(t)
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT AVG(price) FROM t",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM t WHERE",
+		"SELECT COUNT(*) FROM t WHERE nosuchcol = 5",
+		"SELECT COUNT(*) FROM t WHERE price == 5 garbage",
+		"SELECT COUNT(*) FROM t WHERE price BETWEEN 1",
+		"SELECT SUM(*) FROM t",
+		"SELECT COUNT(*) FROM t WHERE (price = 1",
+		"SELECT COUNT(*) FROM t WHERE price = 99999999999999999999",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql, tbl); err == nil {
+			t.Fatalf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestAgainstFullScan(t *testing.T) {
+	tbl, _ := testTable(t)
+	idx := testIndex(t, tbl)
+	fs, err := flood.BuildBaseline(flood.FullScan, tbl, flood.BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM t WHERE price <= 500",
+		"SELECT SUM(day) FROM t WHERE qty BETWEEN 100 AND 200 OR price = 42",
+		"SELECT COUNT(*) FROM t WHERE day >= 990 OR day <= 10",
+		"SELECT MIN(price) FROM t WHERE qty > 500 AND day < 500",
+	}
+	for _, sql := range queries {
+		if a, b := mustRun(t, idx, tbl, sql), mustRun(t, fs, tbl, sql); a != b {
+			t.Fatalf("%s: flood=%d fullscan=%d", sql, a, b)
+		}
+	}
+}
+
+func TestNegativeNumbersAndUnderscores(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM t WHERE price >= -1_0 AND price <= 1_000")
+	if got != int64(len(cols[0])) {
+		t.Fatalf("full-range count = %d, want %d", got, len(cols[0]))
+	}
+}

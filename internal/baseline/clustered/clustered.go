@@ -1,0 +1,117 @@
+// Package clustered implements the Clustered Single-Dimensional Index
+// baseline (§7.2, Appendix A): the table is sorted by one key dimension
+// (typically the workload's most selective) and a learned RMI over that
+// column locates filter endpoints. Queries without a filter on the key
+// dimension fall back to a full scan.
+package clustered
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+	"flood/internal/rmi"
+)
+
+// Index is a clustered single-dimensional learned index.
+type Index struct {
+	t      *colstore.Table
+	keyDim int
+	pos    *rmi.PositionIndex
+}
+
+// Options configures construction.
+type Options struct {
+	// Leaves is the RMI leaf count; 0 picks sqrt(n) per Appendix A.
+	Leaves int
+}
+
+// Build sorts a copy of t by keyDim and trains the RMI.
+func Build(t *colstore.Table, keyDim int, opts Options) (*Index, error) {
+	if keyDim < 0 || keyDim >= t.NumCols() {
+		return nil, fmt.Errorf("clustered: key dim %d out of range", keyDim)
+	}
+	n := t.NumRows()
+	keys := t.Raw(keyDim)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	sortedKeys := make([]int64, n)
+	for r, p := range perm {
+		sortedKeys[r] = keys[p]
+	}
+	leaves := opts.Leaves
+	if leaves <= 0 {
+		leaves = intSqrt(n)
+	}
+	pos := rmi.TrainPosition(sortedKeys, leaves)
+	pos.DropKeys()
+	return &Index{t: t.Reorder(perm), keyDim: keyDim, pos: pos}, nil
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Name implements query.Index.
+func (x *Index) Name() string { return "Clustered" }
+
+// KeyDim returns the clustering dimension.
+func (x *Index) KeyDim() int { return x.keyDim }
+
+// SizeBytes implements query.Index.
+func (x *Index) SizeBytes() int64 { return x.pos.SizeBytes() }
+
+// Table returns the index's reordered table.
+func (x *Index) Table() *colstore.Table { return x.t }
+
+// Execute implements query.Index.
+func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	if q.Empty() {
+		st.Total = time.Since(t0)
+		return st
+	}
+	n := x.t.NumRows()
+	lo, hi := 0, n
+	r := q.Ranges[x.keyDim]
+	col := x.t.Column(x.keyDim)
+	at := func(i int) int64 { return col.Get(i) }
+	if r.Present {
+		if r.Min != query.NegInf {
+			lo = x.pos.LookupAt(at, r.Min)
+		}
+		if r.Max != query.PosInf {
+			hi = x.pos.LookupAt(at, r.Max+1)
+		}
+	}
+	t1 := time.Now()
+	st.IndexTime = t1.Sub(t0)
+
+	// The key dimension is exact within [lo, hi): drop it from the
+	// residual filter set.
+	var dims []int
+	for _, d := range q.FilteredDims() {
+		if d != x.keyDim {
+			dims = append(dims, d)
+		}
+	}
+	sc := query.NewScanner(x.t)
+	s, m := sc.ScanRange(q, dims, lo, hi, agg)
+	st.Scanned, st.Matched = s, m
+	if len(dims) == 0 {
+		st.ExactMatched = m
+	}
+	st.ScanTime = time.Since(t1)
+	st.Total = time.Since(t0)
+	return st
+}

@@ -1,0 +1,337 @@
+// Package baseline_test cross-checks every baseline index against full-scan
+// ground truth on randomized data and queries — the indexes differ wildly in
+// mechanism but must agree exactly on results.
+package baseline_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flood/internal/baseline/clustered"
+	"flood/internal/baseline/fullscan"
+	"flood/internal/baseline/gridfile"
+	"flood/internal/baseline/kdtree"
+	"flood/internal/baseline/octree"
+	"flood/internal/baseline/rstar"
+	"flood/internal/baseline/ubtree"
+	"flood/internal/baseline/zorder"
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+func makeData(t testing.TB, nRows, nDims int, seed int64) (*colstore.Table, [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int64, nDims)
+	names := make([]string, nDims)
+	for d := range data {
+		data[d] = make([]int64, nRows)
+		names[d] = string(rune('a' + d))
+		for i := range data[d] {
+			switch d % 4 {
+			case 0:
+				data[d][i] = rng.Int63n(1000)
+			case 1:
+				data[d][i] = int64(math.Exp(rng.NormFloat64()*1.5 + 6))
+			case 2:
+				data[d][i] = rng.Int63n(8) // low-cardinality categorical
+			default:
+				data[d][i] = rng.Int63n(1_000_000) - 500_000
+			}
+		}
+	}
+	tbl, err := colstore.NewTable(names, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, data
+}
+
+func bruteCount(data [][]int64, q query.Query) int64 {
+	var cnt int64
+	point := make([]int64, len(data))
+	for i := 0; i < len(data[0]); i++ {
+		for d := range data {
+			point[d] = data[d][i]
+		}
+		if q.Matches(point) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func randomQuery(rng *rand.Rand, data [][]int64, maxDims int) query.Query {
+	q := query.NewQuery(len(data))
+	nf := 1 + rng.Intn(maxDims)
+	for k := 0; k < nf; k++ {
+		d := rng.Intn(len(data))
+		lo := data[d][rng.Intn(len(data[d]))]
+		hi := data[d][rng.Intn(len(data[d]))]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if rng.Intn(5) == 0 {
+			hi = lo // equality predicate
+		}
+		q = q.WithRange(d, lo, hi)
+	}
+	return q
+}
+
+func allIndexes(t *testing.T, tbl *colstore.Table, pageSize int) []query.Index {
+	t.Helper()
+	dims := []int{0, 1, 2, 3}
+	cl, err := clustered.Build(tbl, 0, clustered.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zo, err := zorder.Build(tbl, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := ubtree.Build(tbl, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := octree.Build(tbl, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := kdtree.Build(tbl, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rstar.Build(tbl, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := gridfile.Build(tbl, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []query.Index{fullscan.New(tbl), cl, zo, ub, oc, kd, rs, gf}
+}
+
+func TestAllBaselinesMatchBruteForce(t *testing.T) {
+	tbl, data := makeData(t, 4000, 4, 101)
+	rng := rand.New(rand.NewSource(202))
+	for _, pageSize := range []int{64, 512} {
+		for _, idx := range allIndexes(t, tbl, pageSize) {
+			for trial := 0; trial < 30; trial++ {
+				q := randomQuery(rng, data, 4)
+				agg := query.NewCount()
+				st := idx.Execute(q, agg)
+				want := bruteCount(data, q)
+				if agg.Result() != want {
+					t.Fatalf("%s (page %d): count = %d, want %d (query %+v)",
+						idx.Name(), pageSize, agg.Result(), want, q.Ranges)
+				}
+				if st.Matched != want {
+					t.Fatalf("%s: stats.Matched = %d, want %d", idx.Name(), st.Matched, want)
+				}
+				if st.Scanned < st.Matched {
+					t.Fatalf("%s: scanned %d < matched %d", idx.Name(), st.Scanned, st.Matched)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinesUnfilteredQuery(t *testing.T) {
+	tbl, _ := makeData(t, 1500, 4, 103)
+	for _, idx := range allIndexes(t, tbl, 256) {
+		agg := query.NewCount()
+		idx.Execute(query.NewQuery(4), agg)
+		if agg.Result() != 1500 {
+			t.Fatalf("%s: unfiltered count = %d, want 1500", idx.Name(), agg.Result())
+		}
+	}
+}
+
+func TestBaselinesEmptyQuery(t *testing.T) {
+	tbl, _ := makeData(t, 800, 4, 104)
+	for _, idx := range allIndexes(t, tbl, 256) {
+		agg := query.NewCount()
+		st := idx.Execute(query.NewQuery(4).WithRange(1, 50, 10), agg)
+		if agg.Result() != 0 {
+			t.Fatalf("%s: inverted-range count = %d, want 0", idx.Name(), agg.Result())
+		}
+		if st.Matched != 0 {
+			t.Fatalf("%s: inverted-range matched = %d", idx.Name(), st.Matched)
+		}
+	}
+}
+
+func TestBaselinesOutOfDomainQuery(t *testing.T) {
+	tbl, _ := makeData(t, 800, 4, 105)
+	for _, idx := range allIndexes(t, tbl, 256) {
+		agg := query.NewCount()
+		idx.Execute(query.NewQuery(4).WithRange(0, 1<<40, 1<<41), agg)
+		if agg.Result() != 0 {
+			t.Fatalf("%s: out-of-domain count = %d, want 0", idx.Name(), agg.Result())
+		}
+	}
+}
+
+func TestBaselinesSumAgree(t *testing.T) {
+	tbl, data := makeData(t, 2000, 4, 106)
+	rng := rand.New(rand.NewSource(107))
+	for _, idx := range allIndexes(t, tbl, 512) {
+		for trial := 0; trial < 10; trial++ {
+			q := randomQuery(rng, data, 3)
+			agg := query.NewSum(3)
+			idx.Execute(q, agg)
+			var want int64
+			point := make([]int64, 4)
+			for i := range data[0] {
+				for d := range data {
+					point[d] = data[d][i]
+				}
+				if q.Matches(point) {
+					want += data[3][i]
+				}
+			}
+			if agg.Result() != want {
+				t.Fatalf("%s: sum = %d, want %d", idx.Name(), agg.Result(), want)
+			}
+		}
+	}
+}
+
+func TestBaselinesSizeBytes(t *testing.T) {
+	tbl, _ := makeData(t, 3000, 4, 108)
+	for _, idx := range allIndexes(t, tbl, 128) {
+		if idx.Name() == "FullScan" {
+			if idx.SizeBytes() != 0 {
+				t.Fatal("full scan should have zero metadata")
+			}
+			continue
+		}
+		if idx.SizeBytes() <= 0 {
+			t.Fatalf("%s: SizeBytes = %d, want > 0", idx.Name(), idx.SizeBytes())
+		}
+	}
+}
+
+func TestBaselinesFilterOnUnindexedDim(t *testing.T) {
+	// Indexes built over dims {0,1} must still answer filters on dim 3
+	// correctly (residual row checks).
+	tbl, data := makeData(t, 2000, 4, 109)
+	dims := []int{0, 1}
+	zo, _ := zorder.Build(tbl, dims, 256)
+	ub, _ := ubtree.Build(tbl, dims, 256)
+	oc, _ := octree.Build(tbl, dims, 256)
+	kd, _ := kdtree.Build(tbl, dims, 256)
+	rs, _ := rstar.Build(tbl, dims, 256)
+	gf, _ := gridfile.Build(tbl, dims, 256)
+	rng := rand.New(rand.NewSource(110))
+	for _, idx := range []query.Index{zo, ub, oc, kd, rs, gf} {
+		for trial := 0; trial < 15; trial++ {
+			q := randomQuery(rng, data, 2).WithRange(3, -100_000, 100_000)
+			agg := query.NewCount()
+			idx.Execute(q, agg)
+			if want := bruteCount(data, q); agg.Result() != want {
+				t.Fatalf("%s: count = %d, want %d", idx.Name(), agg.Result(), want)
+			}
+		}
+	}
+}
+
+func TestClusteredFallsBackToFullScan(t *testing.T) {
+	tbl, data := makeData(t, 1000, 4, 111)
+	cl, err := clustered.Build(tbl, 2, clustered.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No filter on the key dim: the whole table must be scanned.
+	q := query.NewQuery(4).WithRange(0, 100, 500)
+	agg := query.NewCount()
+	st := cl.Execute(q, agg)
+	if st.Scanned != 1000 {
+		t.Fatalf("expected full scan (1000 scanned), got %d", st.Scanned)
+	}
+	if want := bruteCount(data, q); agg.Result() != want {
+		t.Fatalf("count = %d, want %d", agg.Result(), want)
+	}
+	// Filter on the key dim: scan should narrow.
+	q = query.NewQuery(4).WithRange(2, 2, 3)
+	agg.Reset()
+	st = cl.Execute(q, agg)
+	if want := bruteCount(data, q); agg.Result() != want {
+		t.Fatalf("narrowed count = %d, want %d", agg.Result(), want)
+	}
+	if st.Scanned >= 1000 {
+		t.Fatalf("key-dim filter should narrow the scan, scanned %d", st.Scanned)
+	}
+}
+
+func TestTreeBaselinesPruneDisjointRegions(t *testing.T) {
+	tbl, _ := makeData(t, 8000, 4, 112)
+	oc, _ := octree.Build(tbl, []int{0, 1, 2, 3}, 128)
+	kd, _ := kdtree.Build(tbl, []int{0, 1, 2, 3}, 128)
+	rs, _ := rstar.Build(tbl, []int{0, 1, 2, 3}, 128)
+	q := query.NewQuery(4).WithRange(0, 0, 20) // ~2% of dim 0's domain
+	for _, idx := range []query.Index{oc, kd, rs} {
+		agg := query.NewCount()
+		st := idx.Execute(q, agg)
+		if st.Scanned >= 8000 {
+			t.Fatalf("%s: selective query scanned everything (%d)", idx.Name(), st.Scanned)
+		}
+	}
+}
+
+func TestGridFileDegenerateData(t *testing.T) {
+	// All points identical: buckets cannot split; build must still finish.
+	n := 600
+	con := make([]int64, n)
+	u := make([]int64, n)
+	for i := range con {
+		con[i] = 7
+		u[i] = 7
+	}
+	tbl := colstore.MustNewTable([]string{"a", "b"}, [][]int64{con, u})
+	gf, err := gridfile.Build(tbl, []int{0, 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := query.NewCount()
+	gf.Execute(query.NewQuery(2).WithEquals(0, 7), agg)
+	if agg.Result() != int64(n) {
+		t.Fatalf("degenerate grid file count = %d, want %d", agg.Result(), n)
+	}
+}
+
+func TestUBTreeSkipAheadNarrowsScan(t *testing.T) {
+	// A thin rectangle along dim 1 forces the Z-curve to leave and
+	// re-enter the rectangle; skip-ahead must avoid scanning everything.
+	rng := rand.New(rand.NewSource(113))
+	n := 20000
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(1 << 16)
+		b[i] = rng.Int63n(1 << 16)
+	}
+	tbl := colstore.MustNewTable([]string{"a", "b"}, [][]int64{a, b})
+	ub, err := ubtree.Build(tbl, []int{0, 1}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(2).WithRange(0, 0, 1<<16).WithRange(1, 1000, 1100)
+	agg := query.NewCount()
+	st := ub.Execute(q, agg)
+	var want int64
+	for i := range a {
+		if b[i] >= 1000 && b[i] <= 1100 {
+			want++
+		}
+	}
+	if agg.Result() != want {
+		t.Fatalf("count = %d, want %d", agg.Result(), want)
+	}
+	if st.Scanned > int64(n)*3/4 {
+		t.Fatalf("skip-ahead ineffective: scanned %d of %d", st.Scanned, n)
+	}
+}

@@ -1,0 +1,44 @@
+// Package fullscan implements the Full Scan baseline (§7.2): every point is
+// visited, but only the columns present in the query filter are accessed.
+package fullscan
+
+import (
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// Index scans the whole table for every query.
+type Index struct {
+	t *colstore.Table
+}
+
+// New returns a full-scan "index" over t. The table is used as-is (no
+// reordering).
+func New(t *colstore.Table) *Index { return &Index{t: t} }
+
+// Name implements query.Index.
+func (x *Index) Name() string { return "FullScan" }
+
+// SizeBytes implements query.Index: a full scan keeps no metadata.
+func (x *Index) SizeBytes() int64 { return 0 }
+
+// Table returns the underlying table.
+func (x *Index) Table() *colstore.Table { return x.t }
+
+// Execute implements query.Index.
+func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	if q.Empty() {
+		st.Total = time.Since(t0)
+		return st
+	}
+	sc := query.NewScanner(x.t)
+	s, m := sc.ScanRange(q, q.FilteredDims(), 0, x.t.NumRows(), agg)
+	st.Scanned, st.Matched = s, m
+	st.ScanTime = time.Since(t0)
+	st.Total = st.ScanTime
+	return st
+}

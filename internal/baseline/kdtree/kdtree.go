@@ -1,0 +1,244 @@
+// Package kdtree implements the k-d tree baseline (§7.2, Appendix A): space
+// is recursively partitioned at the median value along each dimension, with
+// dimensions cycled round-robin in order of decreasing selectivity, until
+// leaves fall below the page size. A dimension in which all remaining points
+// share one value is dropped from further partitioning. Pages are laid out
+// by in-order traversal; every node records its split, bounds, and physical
+// index range.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// DefaultPageSize bounds leaf occupancy.
+const DefaultPageSize = 1024
+
+type node struct {
+	splitDim   int // table dimension; -1 for leaves
+	splitVal   int64
+	mins, maxs []int64 // tight bounds over indexed dims
+	start, end int32
+	left       *node
+	right      *node
+}
+
+// Index is a built k-d tree.
+type Index struct {
+	t        *colstore.Table
+	dims     []int
+	root     *node
+	numNodes int
+}
+
+// Build partitions t over dims (most selective first).
+func Build(t *colstore.Table, dims []int, pageSize int) (*Index, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("kdtree: no dimensions to index")
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	n := t.NumRows()
+	raws := make([][]int64, len(dims))
+	for i, d := range dims {
+		raws[i] = t.Raw(d)
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	b := &builder{raws: raws, dims: dims, pageSize: pageSize}
+	root := b.split(rows, 0)
+	perm := make([]int, n)
+	for i, r := range b.order {
+		perm[i] = int(r)
+	}
+	return &Index{t: t.Reorder(perm), dims: append([]int(nil), dims...), root: root, numNodes: b.numNodes}, nil
+}
+
+type builder struct {
+	raws     [][]int64
+	dims     []int
+	pageSize int
+	order    []int32
+	numNodes int
+}
+
+func (b *builder) split(rows []int32, next int) *node {
+	b.numNodes++
+	nd := &node{splitDim: -1, start: int32(len(b.order))}
+	nd.mins = make([]int64, len(b.raws))
+	nd.maxs = make([]int64, len(b.raws))
+	if len(rows) == 0 {
+		nd.end = nd.start
+		return nd
+	}
+	for i := range b.raws {
+		nd.mins[i], nd.maxs[i] = b.raws[i][rows[0]], b.raws[i][rows[0]]
+		for _, r := range rows[1:] {
+			v := b.raws[i][r]
+			if v < nd.mins[i] {
+				nd.mins[i] = v
+			}
+			if v > nd.maxs[i] {
+				nd.maxs[i] = v
+			}
+		}
+	}
+	if len(rows) <= b.pageSize {
+		b.order = append(b.order, rows...)
+		nd.end = int32(len(b.order))
+		return nd
+	}
+	// Round-robin over indexed dims, skipping constant ones.
+	li := -1
+	for probe := 0; probe < len(b.raws); probe++ {
+		cand := (next + probe) % len(b.raws)
+		if nd.mins[cand] < nd.maxs[cand] {
+			li = cand
+			break
+		}
+	}
+	if li < 0 {
+		// Every dimension is constant: cannot partition further.
+		b.order = append(b.order, rows...)
+		nd.end = int32(len(b.order))
+		return nd
+	}
+	sort.Slice(rows, func(a, c int) bool { return b.raws[li][rows[a]] < b.raws[li][rows[c]] })
+	m := len(rows) / 2
+	// Move the split point off a run of duplicates so both halves are
+	// non-empty in value space.
+	for m < len(rows) && b.raws[li][rows[m]] == b.raws[li][rows[m-1]] {
+		m++
+	}
+	if m == len(rows) {
+		m = len(rows) / 2
+		for m > 0 && b.raws[li][rows[m]] == b.raws[li][rows[m-1]] {
+			m--
+		}
+		if m == 0 {
+			b.order = append(b.order, rows...)
+			nd.end = int32(len(b.order))
+			return nd
+		}
+	}
+	nd.splitDim = b.dims[li]
+	nd.splitVal = b.raws[li][rows[m]]
+	nd.left = b.split(rows[:m], next+1)
+	nd.right = b.split(rows[m:], next+1)
+	nd.end = int32(len(b.order))
+	return nd
+}
+
+// Name implements query.Index.
+func (x *Index) Name() string { return "KDTree" }
+
+// SizeBytes implements query.Index.
+func (x *Index) SizeBytes() int64 {
+	perNode := int64(len(x.dims))*16 + 16 + 8 + 16 // bounds + split + range + child ptrs
+	return int64(x.numNodes) * perNode
+}
+
+// Table returns the index's reordered table.
+func (x *Index) Table() *colstore.Table { return x.t }
+
+// NumNodes returns the number of tree nodes.
+func (x *Index) NumNodes() int { return x.numNodes }
+
+// Execute implements query.Index.
+func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	if q.Empty() || x.t.NumRows() == 0 {
+		st.Total = time.Since(t0)
+		return st
+	}
+	type span struct {
+		start, end int32
+		exact      bool
+	}
+	var spans []span
+	dims := q.FilteredDims()
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		rel := relation(q, x.dims, nd.mins, nd.maxs)
+		if rel == relDisjoint {
+			return
+		}
+		if rel == relContained {
+			st.CellsVisited++
+			spans = append(spans, span{nd.start, nd.end, true})
+			return
+		}
+		if nd.splitDim < 0 || nd.left == nil {
+			st.CellsVisited++
+			spans = append(spans, span{nd.start, nd.end, false})
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(x.root)
+	t1 := time.Now()
+	st.IndexTime = t1.Sub(t0)
+
+	sc := query.NewScanner(x.t)
+	for _, sp := range spans {
+		if sp.exact {
+			s, m := sc.ScanExactRange(int(sp.start), int(sp.end), agg)
+			st.Scanned += s
+			st.Matched += m
+			st.ExactMatched += m
+			continue
+		}
+		s, m := sc.ScanRange(q, dims, int(sp.start), int(sp.end), agg)
+		st.Scanned += s
+		st.Matched += m
+	}
+	st.ScanTime = time.Since(t1)
+	st.Total = time.Since(t0)
+	return st
+}
+
+type rel int
+
+const (
+	relDisjoint rel = iota
+	relIntersect
+	relContained
+)
+
+func relation(q query.Query, dims []int, mins, maxs []int64) rel {
+	contained := true
+	for _, d := range q.FilteredDims() {
+		i := -1
+		for j, dd := range dims {
+			if dd == d {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			contained = false
+			continue
+		}
+		r := q.Ranges[d]
+		if maxs[i] < r.Min || mins[i] > r.Max {
+			return relDisjoint
+		}
+		if mins[i] < r.Min || maxs[i] > r.Max {
+			contained = false
+		}
+	}
+	if contained {
+		return relContained
+	}
+	return relIntersect
+}

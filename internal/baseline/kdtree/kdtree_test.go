@@ -1,0 +1,108 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"flood/internal/colstore"
+)
+
+func buildTree(t *testing.T, n, pageSize int) (*Index, [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	data := make([][]int64, 3)
+	for c := range data {
+		data[c] = make([]int64, n)
+		for i := range data[c] {
+			data[c][i] = rng.Int63n(1 << 12)
+		}
+	}
+	tbl := colstore.MustNewTable([]string{"a", "b", "c"}, data)
+	idx, err := Build(tbl, []int{0, 1, 2}, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, data
+}
+
+// TestSplitInvariants checks that at every internal node, the left subtree
+// holds values strictly below the split and the right subtree holds values
+// at or above it, and ranges partition the table.
+func TestSplitInvariants(t *testing.T) {
+	idx, _ := buildTree(t, 6000, 128)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.splitDim < 0 || nd.left == nil {
+			if int(nd.end-nd.start) > 128 && nd.splitDim >= 0 {
+				t.Fatalf("oversized leaf: %d", nd.end-nd.start)
+			}
+			return
+		}
+		if nd.left.start != nd.start || nd.left.end != nd.right.start || nd.right.end != nd.end {
+			t.Fatal("child ranges do not partition parent")
+		}
+		for r := nd.left.start; r < nd.left.end; r++ {
+			if idx.t.Get(nd.splitDim, int(r)) >= nd.splitVal {
+				t.Fatalf("left row %d >= split %d on dim %d", r, nd.splitVal, nd.splitDim)
+			}
+		}
+		for r := nd.right.start; r < nd.right.end; r++ {
+			if idx.t.Get(nd.splitDim, int(r)) < nd.splitVal {
+				t.Fatalf("right row %d < split %d on dim %d", r, nd.splitVal, nd.splitDim)
+			}
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(idx.root)
+	if idx.root.start != 0 || int(idx.root.end) != 6000 {
+		t.Fatal("root does not cover the table")
+	}
+}
+
+func TestConstantDimensionSkipped(t *testing.T) {
+	n := 1000
+	con := make([]int64, n)
+	varied := make([]int64, n)
+	rng := rand.New(rand.NewSource(22))
+	for i := range varied {
+		con[i] = 5
+		varied[i] = rng.Int63n(1 << 20)
+	}
+	tbl := colstore.MustNewTable([]string{"con", "var"}, [][]int64{con, varied})
+	idx, err := Build(tbl, []int{0, 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.splitDim == 0 {
+			t.Fatal("tree split on a constant dimension")
+		}
+		if nd.left != nil {
+			walk(nd.left)
+			walk(nd.right)
+		}
+	}
+	walk(idx.root)
+}
+
+func TestAllConstantBecomesLeaf(t *testing.T) {
+	n := 500
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i], b[i] = 1, 2
+	}
+	tbl := colstore.MustNewTable([]string{"a", "b"}, [][]int64{a, b})
+	idx, err := Build(tbl, []int{0, 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.root.left != nil {
+		t.Fatal("fully constant data should be a single (oversized) leaf")
+	}
+	if idx.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", idx.NumNodes())
+	}
+}

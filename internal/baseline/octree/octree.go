@@ -1,0 +1,273 @@
+// Package octree implements the Hyperoctree baseline (§7.2, Appendix A):
+// space is recursively subdivided into 2^d equal hyperoctants until every
+// leaf holds at most pageSize points. Points within a page are stored
+// contiguously and pages are ordered by an in-order traversal. Every node
+// keeps the per-dimension min/max of its points and its physical index
+// range; only non-empty children are materialized, which keeps the structure
+// viable at high dimensionality.
+package octree
+
+import (
+	"fmt"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// DefaultPageSize bounds leaf occupancy.
+const DefaultPageSize = 1024
+
+// maxDepth caps subdivision on pathological (heavily duplicated) data.
+const maxDepth = 48
+
+type node struct {
+	mins, maxs []int64 // tight bounds of the node's points (indexed dims)
+	start, end int32
+	children   []*node
+}
+
+// Index is a built hyperoctree.
+type Index struct {
+	t        *colstore.Table
+	dims     []int
+	root     *node
+	numNodes int
+}
+
+// Build subdivides t over the given dimensions.
+func Build(t *colstore.Table, dims []int, pageSize int) (*Index, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("octree: no dimensions to index")
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	n := t.NumRows()
+	raws := make([][]int64, len(dims))
+	for i, d := range dims {
+		raws[i] = t.Raw(d)
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	boxLo := make([]int64, len(dims))
+	boxHi := make([]int64, len(dims))
+	for i := range dims {
+		if n > 0 {
+			boxLo[i], boxHi[i] = raws[i][0], raws[i][0]
+			for _, v := range raws[i][1:] {
+				if v < boxLo[i] {
+					boxLo[i] = v
+				}
+				if v > boxHi[i] {
+					boxHi[i] = v
+				}
+			}
+		}
+	}
+	b := &builder{raws: raws, pageSize: pageSize}
+	root := b.split(rows, boxLo, boxHi, 0)
+	// The DFS order of b.order is the physical layout.
+	perm := make([]int, n)
+	for i, r := range b.order {
+		perm[i] = int(r)
+	}
+	idx := &Index{t: t.Reorder(perm), dims: append([]int(nil), dims...), root: root, numNodes: b.numNodes}
+	return idx, nil
+}
+
+type builder struct {
+	raws     [][]int64
+	pageSize int
+	order    []int32
+	numNodes int
+}
+
+func (b *builder) split(rows []int32, boxLo, boxHi []int64, depth int) *node {
+	b.numNodes++
+	nd := &node{
+		mins:  make([]int64, len(b.raws)),
+		maxs:  make([]int64, len(b.raws)),
+		start: int32(len(b.order)),
+	}
+	for i := range b.raws {
+		nd.mins[i], nd.maxs[i] = boxHi[i], boxLo[i]
+	}
+	for _, r := range rows {
+		for i := range b.raws {
+			v := b.raws[i][r]
+			if v < nd.mins[i] {
+				nd.mins[i] = v
+			}
+			if v > nd.maxs[i] {
+				nd.maxs[i] = v
+			}
+		}
+	}
+	degenerate := true
+	for i := range b.raws {
+		if boxLo[i] < boxHi[i] {
+			degenerate = false
+			break
+		}
+	}
+	if len(rows) <= b.pageSize || depth >= maxDepth || degenerate {
+		b.order = append(b.order, rows...)
+		nd.end = int32(len(b.order))
+		return nd
+	}
+	// Partition into hyperoctants around the box midpoint. Children are
+	// kept sparsely: only octants holding points are materialized.
+	mid := make([]int64, len(b.raws))
+	for i := range mid {
+		mid[i] = boxLo[i] + (boxHi[i]-boxLo[i])/2
+	}
+	groups := make(map[uint64][]int32)
+	for _, r := range rows {
+		var key uint64
+		for i := range b.raws {
+			if b.raws[i][r] > mid[i] {
+				key |= 1 << uint(i)
+			}
+		}
+		groups[key] = append(groups[key], r)
+	}
+	if len(groups) == 1 {
+		// All points share an octant whose box no longer shrinks them
+		// apart: stop splitting to guarantee progress.
+		b.order = append(b.order, rows...)
+		nd.end = int32(len(b.order))
+		return nd
+	}
+	// Deterministic child order: ascending octant key.
+	for key := uint64(0); key < uint64(1)<<uint(len(b.raws)); key++ {
+		g, okKey := groups[key]
+		if !okKey {
+			continue
+		}
+		cLo := make([]int64, len(b.raws))
+		cHi := make([]int64, len(b.raws))
+		for i := range b.raws {
+			if key&(1<<uint(i)) != 0 {
+				cLo[i], cHi[i] = mid[i]+1, boxHi[i]
+			} else {
+				cLo[i], cHi[i] = boxLo[i], mid[i]
+			}
+		}
+		nd.children = append(nd.children, b.split(g, cLo, cHi, depth+1))
+	}
+	nd.end = int32(len(b.order))
+	return nd
+}
+
+// Name implements query.Index.
+func (x *Index) Name() string { return "Hyperoctree" }
+
+// SizeBytes implements query.Index.
+func (x *Index) SizeBytes() int64 {
+	perNode := int64(len(x.dims))*16 + 8 + 24 // bounds + range + child slice header
+	return int64(x.numNodes) * perNode
+}
+
+// Table returns the index's reordered table.
+func (x *Index) Table() *colstore.Table { return x.t }
+
+// NumNodes returns the number of tree nodes.
+func (x *Index) NumNodes() int { return x.numNodes }
+
+// Execute implements query.Index.
+func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	if q.Empty() || x.t.NumRows() == 0 {
+		st.Total = time.Since(t0)
+		return st
+	}
+	// Collect the page ranges first (index time), then scan them.
+	type span struct {
+		start, end int32
+		exact      bool
+	}
+	var spans []span
+	dims := q.FilteredDims()
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		rel := relation(q, x.dims, nd.mins, nd.maxs)
+		if rel == relDisjoint {
+			return
+		}
+		if rel == relContained {
+			st.CellsVisited++
+			spans = append(spans, span{nd.start, nd.end, true})
+			return
+		}
+		if nd.children == nil {
+			st.CellsVisited++
+			spans = append(spans, span{nd.start, nd.end, false})
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(x.root)
+	t1 := time.Now()
+	st.IndexTime = t1.Sub(t0)
+
+	sc := query.NewScanner(x.t)
+	for _, sp := range spans {
+		if sp.exact {
+			s, m := sc.ScanExactRange(int(sp.start), int(sp.end), agg)
+			st.Scanned += s
+			st.Matched += m
+			st.ExactMatched += m
+			continue
+		}
+		s, m := sc.ScanRange(q, dims, int(sp.start), int(sp.end), agg)
+		st.Scanned += s
+		st.Matched += m
+	}
+	st.ScanTime = time.Since(t1)
+	st.Total = time.Since(t0)
+	return st
+}
+
+type rel int
+
+const (
+	relDisjoint rel = iota
+	relIntersect
+	relContained
+)
+
+// relation classifies a node's bounds against the query rectangle. Filters
+// on dimensions outside dims force relIntersect (they must be row-checked).
+func relation(q query.Query, dims []int, mins, maxs []int64) rel {
+	contained := true
+	for _, d := range q.FilteredDims() {
+		i := -1
+		for j, dd := range dims {
+			if dd == d {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			contained = false
+			continue
+		}
+		r := q.Ranges[d]
+		if maxs[i] < r.Min || mins[i] > r.Max {
+			return relDisjoint
+		}
+		if mins[i] < r.Min || maxs[i] > r.Max {
+			contained = false
+		}
+	}
+	if contained {
+		return relContained
+	}
+	return relIntersect
+}

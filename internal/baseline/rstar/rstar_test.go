@@ -1,0 +1,101 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"flood/internal/colstore"
+)
+
+func buildTree(t *testing.T, n, pageSize int) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	data := make([][]int64, 3)
+	for c := range data {
+		data[c] = make([]int64, n)
+		for i := range data[c] {
+			data[c][i] = rng.Int63n(1 << 14)
+		}
+	}
+	tbl := colstore.MustNewTable([]string{"a", "b", "c"}, data)
+	idx, err := Build(tbl, []int{0, 1, 2}, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestMBRInvariants checks the R-tree's defining property: every parent's
+// bounding rectangle contains its children's, and leaf rectangles contain
+// their rows.
+func TestMBRInvariants(t *testing.T) {
+	idx := buildTree(t, 8000, 256)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.children == nil {
+			if int(nd.end-nd.start) > 256 {
+				t.Fatalf("oversized leaf: %d", nd.end-nd.start)
+			}
+			for r := nd.start; r < nd.end; r++ {
+				for i, d := range idx.dims {
+					v := idx.t.Get(d, int(r))
+					if v < nd.mins[i] || v > nd.maxs[i] {
+						t.Fatalf("row %d outside leaf MBR on dim %d", r, d)
+					}
+				}
+			}
+			return
+		}
+		if len(nd.children) > DefaultFanout {
+			t.Fatalf("node has %d children > fanout", len(nd.children))
+		}
+		for _, c := range nd.children {
+			for i := range nd.mins {
+				if c.mins[i] < nd.mins[i] || c.maxs[i] > nd.maxs[i] {
+					t.Fatal("child MBR escapes parent MBR")
+				}
+			}
+			walk(c)
+		}
+	}
+	walk(idx.root)
+}
+
+// TestLeavesPartitionRows ensures STR packing lays out every row exactly
+// once, in leaf order.
+func TestLeavesPartitionRows(t *testing.T) {
+	idx := buildTree(t, 5000, 128)
+	var cur int32
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.children == nil {
+			if nd.start != cur {
+				t.Fatalf("leaf starts at %d, want %d", nd.start, cur)
+			}
+			cur = nd.end
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(idx.root)
+	if int(cur) != 5000 {
+		t.Fatalf("leaves cover %d rows, want 5000", cur)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	tbl := colstore.MustNewTable([]string{"a"}, [][]int64{{9}})
+	idx, err := Build(tbl, []int{0}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.root == nil {
+		t.Fatal("single-row tree must have a root")
+	}
+	empty := colstore.MustNewTable([]string{"a"}, [][]int64{{}})
+	if _, err := Build(empty, []int{0}, 16); err != nil {
+		t.Fatal(err)
+	}
+}

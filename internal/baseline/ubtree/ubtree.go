@@ -1,0 +1,130 @@
+// Package ubtree implements the UB-tree baseline (§7.2, Appendix A): points
+// are ordered by Z-value and grouped into pages storing only their minimum
+// Z-value. A query walks the physical range between the rectangle's extreme
+// Z-values; whenever it reaches a point outside the rectangle it computes the
+// next in-rectangle Z-value (BIGMIN) and skips ahead to the page containing
+// it.
+package ubtree
+
+import (
+	"time"
+
+	"flood/internal/baseline/zbase"
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// Index is a UB-tree over a Z-sorted table.
+type Index struct {
+	b *zbase.Base
+}
+
+// Build Z-sorts t over dims (most selective first) with the given page size
+// (0 = default).
+func Build(t *colstore.Table, dims []int, pageSize int) (*Index, error) {
+	b, err := zbase.Build(t, dims, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{b: b}, nil
+}
+
+// Name implements query.Index.
+func (x *Index) Name() string { return "UBtree" }
+
+// SizeBytes implements query.Index.
+func (x *Index) SizeBytes() int64 { return x.b.SizeBytes() }
+
+// Table returns the index's reordered table.
+func (x *Index) Table() *colstore.Table { return x.b.T }
+
+// Execute implements query.Index.
+func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	lo, hi, ok := x.b.QuantizedRect(q)
+	if q.Empty() || !ok || x.b.T.NumRows() == 0 {
+		st.Total = time.Since(t0)
+		return st
+	}
+	enc := x.b.Enc
+	zlo := enc.EncodeParts(lo)
+	zhi := enc.EncodeParts(hi)
+	page := x.b.PageFor(zlo)
+	lastPage := x.b.PageFor(zhi)
+	t1 := time.Now()
+	st.IndexTime = t1.Sub(t0)
+
+	// Row-level walk with BIGMIN skip-ahead. Each visited row is
+	// quantized and checked against the rectangle; out-of-rectangle rows
+	// trigger a jump to the page holding the next in-rectangle code.
+	dims := q.FilteredDims()
+	point := make([]int64, len(x.b.Dims))
+	parts := make([]uint64, len(x.b.Dims))
+	n := x.b.T.NumRows()
+	_, endRow := x.b.PageRange(lastPage)
+	row, _ := x.b.PageRange(page)
+	// skipTarget caches the last BIGMIN: rows with codes below it are
+	// known to be outside the rectangle, so they advance without paying
+	// for another BIGMIN + page search.
+	var skipTarget uint64
+	haveSkip := false
+	for row < endRow && row < n {
+		st.Scanned++
+		inRect := true
+		for i, d := range x.b.Dims {
+			point[i] = x.b.T.Get(d, row)
+			parts[i] = enc.Part(i, point[i])
+			if parts[i] < lo[i] || parts[i] > hi[i] {
+				inRect = false
+			}
+		}
+		if inRect {
+			if x.matchesResidual(q, dims, row) {
+				agg.Add(x.b.T, row)
+				st.Matched++
+			}
+			row++
+			continue
+		}
+		z := enc.EncodeParts(parts)
+		if z > zhi {
+			break
+		}
+		if haveSkip && z < skipTarget {
+			row++
+			continue
+		}
+		// Skip ahead: find the next Z-code inside the rectangle and
+		// jump to the page that contains it.
+		big, ok := enc.BigMin(z, zlo, zhi)
+		if !ok || big > zhi {
+			break
+		}
+		skipTarget, haveSkip = big, true
+		next := x.b.PageFor(big)
+		nextStart, _ := x.b.PageRange(next)
+		if nextStart > row {
+			row = nextStart
+			st.CellsVisited++
+		} else {
+			row++
+		}
+	}
+	st.ScanTime = time.Since(t1)
+	st.Total = time.Since(t0)
+	return st
+}
+
+// matchesResidual verifies the exact (unquantized) filter for a row that
+// passed the quantized rectangle check.
+func (x *Index) matchesResidual(q query.Query, dims []int, row int) bool {
+	for _, d := range dims {
+		v := x.b.T.Get(d, row)
+		r := q.Ranges[d]
+		if v < r.Min || v > r.Max {
+			return false
+		}
+	}
+	return true
+}

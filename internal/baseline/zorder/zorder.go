@@ -1,0 +1,143 @@
+// Package zorder implements the Z-Order Index baseline (§7.2, Appendix A):
+// points are ordered by Z-value and grouped into pages; each page stores the
+// per-dimension min/max of its points, and a query scans every page between
+// the rectangle's smallest and largest Z-value whose min/max metadata
+// intersects the query rectangle.
+package zorder
+
+import (
+	"time"
+
+	"flood/internal/baseline/zbase"
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// Index is a Z-order-sorted table with page MBR metadata.
+type Index struct {
+	b        *zbase.Base
+	pageMins [][]int64 // per page, per indexed dim
+	pageMaxs [][]int64
+}
+
+// Build Z-sorts t over dims (most selective first) with the given page size
+// (0 = default).
+func Build(t *colstore.Table, dims []int, pageSize int) (*Index, error) {
+	b, err := zbase.Build(t, dims, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{b: b}
+	np := b.NumPages()
+	x.pageMins = make([][]int64, np)
+	x.pageMaxs = make([][]int64, np)
+	for p := 0; p < np; p++ {
+		start, end := b.PageRange(p)
+		mins := make([]int64, len(dims))
+		maxs := make([]int64, len(dims))
+		for i, d := range dims {
+			col := b.T.Column(d)
+			mins[i], maxs[i] = col.Get(start), col.Get(start)
+			for r := start + 1; r < end; r++ {
+				v := col.Get(r)
+				if v < mins[i] {
+					mins[i] = v
+				}
+				if v > maxs[i] {
+					maxs[i] = v
+				}
+			}
+		}
+		x.pageMins[p], x.pageMaxs[p] = mins, maxs
+	}
+	return x, nil
+}
+
+// Name implements query.Index.
+func (x *Index) Name() string { return "ZOrder" }
+
+// SizeBytes implements query.Index.
+func (x *Index) SizeBytes() int64 {
+	return x.b.SizeBytes() + int64(len(x.pageMins))*int64(len(x.b.Dims))*16
+}
+
+// Table returns the index's reordered table.
+func (x *Index) Table() *colstore.Table { return x.b.T }
+
+// Execute implements query.Index.
+func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	lo, hi, ok := x.b.QuantizedRect(q)
+	if q.Empty() || !ok || x.b.T.NumRows() == 0 {
+		st.Total = time.Since(t0)
+		return st
+	}
+	zlo := x.b.Enc.EncodeParts(lo)
+	zhi := x.b.Enc.EncodeParts(hi)
+	pStart := x.b.PageFor(zlo)
+	pEnd := x.b.PageFor(zhi)
+	t1 := time.Now()
+	st.IndexTime = t1.Sub(t0)
+
+	dims := q.FilteredDims()
+	sc := query.NewScanner(x.b.T)
+	for p := pStart; p <= pEnd; p++ {
+		// Scan a page only when the rectangle formed by its min/max
+		// values intersects the query rectangle.
+		if !x.pageIntersects(p, q) {
+			continue
+		}
+		st.CellsVisited++
+		start, end := x.b.PageRange(p)
+		if x.pageContained(p, q) {
+			s, m := sc.ScanExactRange(start, end, agg)
+			st.Scanned += s
+			st.Matched += m
+			st.ExactMatched += m
+			continue
+		}
+		s, m := sc.ScanRange(q, dims, start, end, agg)
+		st.Scanned += s
+		st.Matched += m
+	}
+	st.ScanTime = time.Since(t1)
+	st.Total = time.Since(t0)
+	return st
+}
+
+func (x *Index) pageIntersects(p int, q query.Query) bool {
+	for i, d := range x.b.Dims {
+		r := q.Ranges[d]
+		if !r.Present {
+			continue
+		}
+		if x.pageMaxs[p][i] < r.Min || x.pageMins[p][i] > r.Max {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *Index) pageContained(p int, q query.Query) bool {
+	for _, d := range q.FilteredDims() {
+		i := x.localDim(d)
+		if i < 0 {
+			return false // filter on an unindexed dimension
+		}
+		r := q.Ranges[d]
+		if x.pageMins[p][i] < r.Min || x.pageMaxs[p][i] > r.Max {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *Index) localDim(d int) int {
+	for i, dd := range x.b.Dims {
+		if dd == d {
+			return i
+		}
+	}
+	return -1
+}

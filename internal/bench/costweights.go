@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+
+	"flood/internal/core"
+	"flood/internal/costmodel"
+	"flood/internal/optimizer"
+	"flood/internal/query"
+)
+
+func init() {
+	register("fig5", "Fig. 5: the scan weight ws is non-constant and non-linear", runFig5)
+	register("table3", "Table 3: cost-model robustness across datasets", runTable3)
+}
+
+// runFig5 reproduces the observation motivating the learned cost model
+// (§4.1.2): the per-point scan weight ws varies by orders of magnitude and
+// depends non-linearly on the number of scanned points and the average scan
+// run length.
+func runFig5(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Fig. 5: empirical scan weight ws across random layouts (TPC-H)")
+	e, err := newEnv(cfg, "tpch")
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	type sample struct {
+		ns, runLen, ws float64
+	}
+	var samples []sample
+	layouts := 6
+	if cfg.Fast {
+		layouts = 3
+	}
+	for li := 0; li < layouts; li++ {
+		layout := randomBenchLayout(rng, e.ds.Table.NumCols(), e.ds.Table.NumRows())
+		idx, err := core.Build(e.ds.Table, layout, core.Options{})
+		if err != nil {
+			return err
+		}
+		agg := query.NewCount()
+		for _, q := range capQueries(e.train, 40) {
+			agg.Reset()
+			st := idx.Execute(q, agg)
+			if st.Scanned == 0 || st.CellsVisited == 0 {
+				continue
+			}
+			samples = append(samples, sample{
+				ns:     float64(st.Scanned),
+				runLen: float64(st.Scanned) / float64(st.CellsVisited),
+				ws:     float64(st.ScanTime.Nanoseconds()) / float64(st.Scanned),
+			})
+		}
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("fig5: no scan samples collected")
+	}
+	bin := func(key func(sample) float64, title string) {
+		byKey := map[int][]float64{}
+		for _, s := range samples {
+			b := int(math.Floor(math.Log10(math.Max(key(s), 1))))
+			byKey[b] = append(byKey[b], s.ws)
+		}
+		var bins []int
+		for b := range byKey {
+			bins = append(bins, b)
+		}
+		sort.Ints(bins)
+		fmt.Fprintf(cfg.Out, "\n%s:\n", title)
+		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "bin (log10)\tsamples\tmedian ws (ns/point)")
+		for _, b := range bins {
+			ws := byKey[b]
+			sort.Float64s(ws)
+			fmt.Fprintf(w, "10^%d\t%d\t%.2f\n", b, len(ws), ws[len(ws)/2])
+		}
+		w.Flush()
+	}
+	bin(func(s sample) float64 { return s.ns }, "ws vs number of scanned points")
+	bin(func(s sample) float64 { return s.runLen }, "ws vs average scan run length")
+
+	var minWS, maxWS = math.Inf(1), 0.0
+	for _, s := range samples {
+		minWS = math.Min(minWS, s.ws)
+		maxWS = math.Max(maxWS, s.ws)
+	}
+	fmt.Fprintf(cfg.Out, "\nws spans %.2f - %.2f ns/point (%.0fx): not a constant\n", minWS, maxWS, maxWS/minWS)
+	return nil
+}
+
+// randomBenchLayout mirrors the calibration's random layout generator.
+func randomBenchLayout(rng *rand.Rand, d, n int) core.Layout {
+	order := rng.Perm(d)
+	grid := order[:d-1]
+	cols := make([]int, len(grid))
+	target := math.Exp(rng.Float64() * math.Log(float64(n)/8+2))
+	for i := range cols {
+		cols[i] = 1 + rng.Intn(int(math.Pow(target, 1/float64(len(cols))))+1)
+	}
+	return core.Layout{GridDims: grid, GridCols: cols, SortDim: order[d-1], Flatten: true}
+}
+
+// runTable3 cross-applies cost models: a model calibrated on dataset A
+// optimizes a layout for dataset B; resulting query times should be within
+// ~10% of the self-calibrated diagonal (§7.6).
+func runTable3(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Table 3: layouts learned with cost models trained on other datasets")
+	names := datasetNames()
+	if cfg.Fast {
+		names = names[:2]
+	}
+	envs := make([]*env, len(names))
+	models := make([]*costmodel.Model, len(names))
+	for i, n := range names {
+		e, err := newEnv(cfg, n)
+		if err != nil {
+			return err
+		}
+		envs[i] = e
+		if models[i], err = e.costModel(); err != nil {
+			return err
+		}
+	}
+	times := make([][]float64, len(names))
+	for mi := range names {
+		times[mi] = make([]float64, len(names))
+		for di := range names {
+			e := envs[di]
+			res, err := optimizer.FindOptimalLayout(e.ds.Table, e.train, models[mi], optimizer.Config{
+				Seed:    cfg.Seed + 14,
+				GDSteps: gdSteps(cfg),
+			})
+			if err != nil {
+				return err
+			}
+			idx, err := core.Build(e.ds.Table, res.Layout, core.Options{})
+			if err != nil {
+				return err
+			}
+			times[mi][di] = float64(run(idx, e.test).AvgTotal)
+		}
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "model \\ layout for")
+	for _, n := range names {
+		fmt.Fprintf(w, "\t%s", n)
+	}
+	fmt.Fprintln(w)
+	for mi, mn := range names {
+		fmt.Fprintf(w, "%s", mn)
+		for di := range names {
+			delta := (times[mi][di] - times[di][di]) / times[di][di] * 100
+			if mi == di {
+				fmt.Fprintf(w, "\t%s", fmtDurNS(times[mi][di]))
+			} else {
+				fmt.Fprintf(w, "\t%s (%+.0f%%)", fmtDurNS(times[mi][di]), delta)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func fmtDurNS(ns float64) string {
+	switch {
+	case ns < 1e4:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	case ns < 1e7:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	}
+}

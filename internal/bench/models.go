@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"flood/internal/dataset"
+	"flood/internal/plm"
+	"flood/internal/rmi"
+)
+
+func init() {
+	register("fig17a", "Fig. 17a: per-cell CDF models (PLM vs RMI vs binary search)", runFig17a)
+	register("fig17b", "Fig. 17b: PLM delta size/speed trade-off", runFig17b)
+}
+
+// lookupBench measures average lower-bound lookup time over probes.
+func lookupBench(name string, probes []int64, lookup func(int64) int) (string, time.Duration) {
+	t0 := time.Now()
+	var sink int
+	for _, p := range probes {
+		sink += lookup(p)
+	}
+	_ = sink
+	return name, time.Since(t0) / time.Duration(len(probes))
+}
+
+// fig17Datasets builds the two 1-D datasets of §7.8: real OSM timestamps and
+// staggered uniform data (uniform over identically sized disjoint
+// intervals).
+func fig17Datasets(n int, seed int64) map[string][]int64 {
+	osm := dataset.OSM(n, seed)
+	ts := append([]int64(nil), osm.Cols[osm.ColumnIndex("timestamp")]...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+
+	rng := rand.New(rand.NewSource(seed + 1))
+	stag := make([]int64, n)
+	for i := range stag {
+		interval := rng.Int63n(64)
+		stag[i] = interval*1_000_000 + rng.Int63n(1000) // wide gaps between intervals
+	}
+	sort.Slice(stag, func(i, j int) bool { return stag[i] < stag[j] })
+	return map[string][]int64{"osm-timestamps": ts, "staggered-uniform": stag}
+}
+
+func runFig17a(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Fig. 17a: per-cell model lookup time (ns)")
+	sizes := []int{cfg.Scale / 5, cfg.Scale}
+	if cfg.Fast {
+		sizes = []int{cfg.Scale / 5}
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "dataset\tsize\tPLM\tRMI\tBinary")
+	for _, n := range sizes {
+		for name, vals := range fig17Datasets(n, cfg.Seed) {
+			rng := rand.New(rand.NewSource(cfg.Seed + 2))
+			probes := make([]int64, 200_000)
+			for i := range probes {
+				probes[i] = vals[rng.Intn(len(vals))]
+			}
+			p := plm.Train(vals, plm.DefaultDelta)
+			r := rmi.TrainPosition(vals, intSqrt(len(vals)))
+			_, plmT := lookupBench("plm", probes, func(v int64) int { return p.LowerBound(vals, v) })
+			_, rmiT := lookupBench("rmi", probes, func(v int64) int { return r.Lookup(v) })
+			_, binT := lookupBench("bin", probes, func(v int64) int {
+				return sort.Search(len(vals), func(i int) bool { return vals[i] >= v })
+			})
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", name, n, plmT.Nanoseconds(), rmiT.Nanoseconds(), binT.Nanoseconds())
+		}
+	}
+	return w.Flush()
+}
+
+func runFig17b(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	header(cfg.Out, "Fig. 17b: PLM delta vs size and lookup time (OSM timestamps)")
+	vals := fig17Datasets(cfg.Scale, cfg.Seed)["osm-timestamps"]
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	probes := make([]int64, 100_000)
+	for i := range probes {
+		probes[i] = vals[rng.Intn(len(vals))]
+	}
+	deltas := []float64{2, 10, 50, 200, 1000}
+	if cfg.Fast {
+		deltas = []float64{10, 50, 500}
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "delta\tsegments\tsize\tlookup (ns)")
+	for _, d := range deltas {
+		m := plm.Train(vals, d)
+		_, t := lookupBench("plm", probes, func(v int64) int { return m.LowerBound(vals, v) })
+		mark := ""
+		if d == plm.DefaultDelta {
+			mark = "  <- paper's configuration"
+		}
+		fmt.Fprintf(w, "%.0f\t%d\t%s\t%d%s\n", d, m.NumSegments(), fmtBytes(m.SizeBytes()), t.Nanoseconds(), mark)
+	}
+	return w.Flush()
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}

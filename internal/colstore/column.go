@@ -1,0 +1,167 @@
+// Package colstore implements the in-memory column store substrate used by
+// Flood and every baseline index in this repository.
+//
+// Following §7.1 of the paper, each column stores 64-bit integers using
+// block-delta compression: values are divided into consecutive blocks of 128
+// entries and each value is encoded as the bit-packed delta to the minimum
+// value in its block. The encoding supports constant-time random access and
+// fast block-at-a-time decoding for scans. Columns may optionally carry a
+// cumulative-aggregate companion (prefix sums) that lets exact sub-range
+// aggregations complete in O(1) without touching the underlying data.
+package colstore
+
+import "math/bits"
+
+// BlockSize is the number of values per compression block (§7.1).
+const BlockSize = 128
+
+// Column is an immutable, block-delta-compressed vector of int64 values.
+type Column struct {
+	n       int
+	mins    []int64  // per-block minimum value
+	widths  []uint8  // per-block delta bit width (0..64)
+	offsets []uint32 // per-block starting word index into words
+	words   []uint64 // packed deltas
+}
+
+// NewColumn compresses values into a Column. The input slice is not retained.
+func NewColumn(values []int64) *Column {
+	n := len(values)
+	nBlocks := (n + BlockSize - 1) / BlockSize
+	c := &Column{
+		n:       n,
+		mins:    make([]int64, nBlocks),
+		widths:  make([]uint8, nBlocks),
+		offsets: make([]uint32, nBlocks),
+	}
+	totalWords := 0
+	for b := 0; b < nBlocks; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > n {
+			hi = n
+		}
+		blk := values[lo:hi]
+		minV, maxV := blk[0], blk[0]
+		for _, v := range blk[1:] {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		w := bits.Len64(uint64(maxV) - uint64(minV))
+		c.mins[b] = minV
+		c.widths[b] = uint8(w)
+		c.offsets[b] = uint32(totalWords)
+		totalWords += (len(blk)*w + 63) / 64
+	}
+	c.words = make([]uint64, totalWords)
+	for b := 0; b < nBlocks; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > n {
+			hi = n
+		}
+		w := uint(c.widths[b])
+		if w == 0 {
+			continue
+		}
+		base := uint(c.offsets[b]) * 64
+		minV := c.mins[b]
+		for r, v := range values[lo:hi] {
+			delta := uint64(v) - uint64(minV)
+			pos := base + uint(r)*w
+			wi := pos >> 6
+			off := pos & 63
+			c.words[wi] |= delta << off
+			if off+w > 64 {
+				c.words[wi+1] |= delta >> (64 - off)
+			}
+		}
+	}
+	return c
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int { return c.n }
+
+// Get returns the value at row i in constant time.
+func (c *Column) Get(i int) int64 {
+	b := i / BlockSize
+	w := uint(c.widths[b])
+	if w == 0 {
+		return c.mins[b]
+	}
+	r := uint(i % BlockSize)
+	pos := uint(c.offsets[b])*64 + r*w
+	wi := pos >> 6
+	off := pos & 63
+	delta := c.words[wi] >> off
+	if off+w > 64 {
+		delta |= c.words[wi+1] << (64 - off)
+	}
+	delta &= mask(w)
+	return c.mins[b] + int64(delta)
+}
+
+// DecodeBlock decodes block b into out and returns the number of valid
+// values (BlockSize for all but possibly the last block). out must have
+// room for BlockSize values.
+func (c *Column) DecodeBlock(b int, out []int64) int {
+	lo := b * BlockSize
+	cnt := c.n - lo
+	if cnt > BlockSize {
+		cnt = BlockSize
+	}
+	minV := c.mins[b]
+	w := uint(c.widths[b])
+	if w == 0 {
+		for i := 0; i < cnt; i++ {
+			out[i] = minV
+		}
+		return cnt
+	}
+	base := uint(c.offsets[b]) * 64
+	m := mask(w)
+	for i := 0; i < cnt; i++ {
+		pos := base + uint(i)*w
+		wi := pos >> 6
+		off := pos & 63
+		delta := c.words[wi] >> off
+		if off+w > 64 {
+			delta |= c.words[wi+1] << (64 - off)
+		}
+		out[i] = minV + int64(delta&m)
+	}
+	return cnt
+}
+
+// Decode materializes the whole column into a fresh slice.
+func (c *Column) Decode() []int64 {
+	out := make([]int64, c.n)
+	var buf [BlockSize]int64
+	nBlocks := (c.n + BlockSize - 1) / BlockSize
+	for b := 0; b < nBlocks; b++ {
+		cnt := c.DecodeBlock(b, buf[:])
+		copy(out[b*BlockSize:], buf[:cnt])
+	}
+	return out
+}
+
+// SizeBytes reports the in-memory footprint of the compressed column.
+func (c *Column) SizeBytes() int64 {
+	return int64(len(c.mins)*8 + len(c.widths) + len(c.offsets)*4 + len(c.words)*8)
+}
+
+// UncompressedSizeBytes reports the footprint the column would occupy as a
+// plain []int64.
+func (c *Column) UncompressedSizeBytes() int64 { return int64(c.n) * 8 }
+
+func mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}

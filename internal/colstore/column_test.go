@@ -1,0 +1,156 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnRoundtripSmall(t *testing.T) {
+	cases := [][]int64{
+		{0},
+		{42},
+		{-1, 0, 1},
+		{math.MinInt64, math.MaxInt64},
+		{5, 5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	}
+	for _, vals := range cases {
+		c := NewColumn(vals)
+		if c.Len() != len(vals) {
+			t.Fatalf("Len = %d, want %d", c.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := c.Get(i); got != want {
+				t.Fatalf("Get(%d) = %d, want %d (input %v)", i, got, want, vals)
+			}
+		}
+	}
+}
+
+func TestColumnRoundtripExactBlockBoundaries(t *testing.T) {
+	for _, n := range []int{BlockSize - 1, BlockSize, BlockSize + 1, 3 * BlockSize} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i * 31)
+		}
+		c := NewColumn(vals)
+		got := c.Decode()
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("n=%d: Decode()[%d] = %d, want %d", n, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestColumnRoundtripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewColumn(vals)
+		for i, want := range vals {
+			if c.Get(i) != want {
+				return false
+			}
+		}
+		dec := c.Decode()
+		for i, want := range vals {
+			if dec[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnRoundtripWideAndNarrowBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10 * BlockSize
+	vals := make([]int64, n)
+	for b := 0; b*BlockSize < n; b++ {
+		// Alternate between constant, narrow, and full-width blocks to
+		// exercise every bit-width path.
+		var gen func() int64
+		switch b % 3 {
+		case 0:
+			gen = func() int64 { return 7 }
+		case 1:
+			gen = func() int64 { return rng.Int63n(100) }
+		default:
+			gen = func() int64 { return int64(rng.Uint64()) }
+		}
+		for i := 0; i < BlockSize; i++ {
+			vals[b*BlockSize+i] = gen()
+		}
+	}
+	c := NewColumn(vals)
+	for i, want := range vals {
+		if got := c.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestColumnDecodeBlockPartial(t *testing.T) {
+	vals := make([]int64, BlockSize+17)
+	for i := range vals {
+		vals[i] = int64(i * i)
+	}
+	c := NewColumn(vals)
+	var buf [BlockSize]int64
+	if cnt := c.DecodeBlock(1, buf[:]); cnt != 17 {
+		t.Fatalf("DecodeBlock(1) count = %d, want 17", cnt)
+	}
+	for i := 0; i < 17; i++ {
+		if buf[i] != vals[BlockSize+i] {
+			t.Fatalf("block 1 value %d = %d, want %d", i, buf[i], vals[BlockSize+i])
+		}
+	}
+}
+
+func TestColumnCompressionEffectiveness(t *testing.T) {
+	// Smooth data should compress far below 8 bytes/value.
+	vals := make([]int64, 1<<16)
+	for i := range vals {
+		vals[i] = 1_000_000 + int64(i%50)
+	}
+	c := NewColumn(vals)
+	if c.SizeBytes() >= c.UncompressedSizeBytes()/4 {
+		t.Fatalf("compressed %d bytes, want < 1/4 of %d", c.SizeBytes(), c.UncompressedSizeBytes())
+	}
+}
+
+func BenchmarkColumnGet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 30)
+	}
+	c := NewColumn(vals)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += c.Get(i & (1<<20 - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkColumnDecodeBlock(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 30)
+	}
+	c := NewColumn(vals)
+	var buf [BlockSize]int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeBlock(i&(1<<13-1), buf[:])
+	}
+}

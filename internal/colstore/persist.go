@@ -1,0 +1,67 @@
+package colstore
+
+import (
+	"fmt"
+
+	"flood/internal/wire"
+)
+
+// Encode serializes the table (compressed columns and aggregate-column
+// presence) to w.
+func (t *Table) Encode(w *wire.Writer) {
+	w.Tag("TBL1")
+	w.Strs(t.names)
+	w.Int(t.n)
+	for _, c := range t.cols {
+		w.Int(c.n)
+		w.I64s(c.mins)
+		w.U8s(c.widths)
+		w.U32s(c.offsets)
+		w.U64s(c.words)
+	}
+	for _, p := range t.prefixes {
+		w.Bool(p != nil)
+	}
+}
+
+// DecodeTable reads a table written by Encode. Aggregate companions are
+// rebuilt from the column data.
+func DecodeTable(r *wire.Reader) (*Table, error) {
+	r.Expect("TBL1")
+	names := r.Strs()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("colstore: decoding table header: %w", err)
+	}
+	t := &Table{
+		names:    names,
+		cols:     make([]*Column, len(names)),
+		prefixes: make([][]int64, len(names)),
+		n:        n,
+	}
+	for i := range t.cols {
+		c := &Column{
+			n:       r.Int(),
+			mins:    r.I64s(),
+			widths:  r.U8s(),
+			offsets: r.U32s(),
+			words:   r.U64s(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("colstore: decoding column %d: %w", i, err)
+		}
+		if c.n != n {
+			return nil, fmt.Errorf("colstore: column %d has %d rows, table has %d", i, c.n, n)
+		}
+		t.cols[i] = c
+	}
+	for i := range t.prefixes {
+		if r.Bool() {
+			t.buildPrefix(i, t.cols[i].Decode())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("colstore: decoding table: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,150 @@
+package colstore
+
+import "fmt"
+
+// Table is a read-only collection of equally sized named columns. Indexes
+// reorder rows at build time by constructing a new Table with Reorder; the
+// store itself never mutates.
+type Table struct {
+	names    []string
+	cols     []*Column
+	prefixes [][]int64 // optional per-column prefix sums (len n+1), nil if absent
+	n        int
+}
+
+// NewTable builds a table from column-major data. Every column must have the
+// same length. Column name lookups are case-sensitive.
+func NewTable(names []string, data [][]int64) (*Table, error) {
+	if len(names) != len(data) {
+		return nil, fmt.Errorf("colstore: %d names for %d columns", len(names), len(data))
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("colstore: table must have at least one column")
+	}
+	n := len(data[0])
+	t := &Table{
+		names:    append([]string(nil), names...),
+		cols:     make([]*Column, len(data)),
+		prefixes: make([][]int64, len(data)),
+		n:        n,
+	}
+	for i, col := range data {
+		if len(col) != n {
+			return nil, fmt.Errorf("colstore: column %q has %d rows, want %d", names[i], len(col), n)
+		}
+		t.cols[i] = NewColumn(col)
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable for statically well-formed inputs (tests, examples).
+func MustNewTable(names []string, data [][]int64) *Table {
+	t, err := NewTable(names, data)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.n }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Name returns the name of column i.
+func (t *Table) Name(i int) string { return t.names[i] }
+
+// Names returns a copy of all column names in order.
+func (t *Table) Names() []string { return append([]string(nil), t.names...) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, n := range t.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the compressed column at position i.
+func (t *Table) Column(i int) *Column { return t.cols[i] }
+
+// Get returns the value at (col, row) in constant time.
+func (t *Table) Get(col, row int) int64 { return t.cols[col].Get(row) }
+
+// Raw decodes column i into a fresh slice.
+func (t *Table) Raw(i int) []int64 { return t.cols[i].Decode() }
+
+// Reorder returns a new table whose row r holds the original row perm[r].
+// perm must be a permutation of [0, NumRows). Aggregate columns are rebuilt
+// for the same set of columns that had them.
+func (t *Table) Reorder(perm []int) *Table {
+	nt := &Table{
+		names:    append([]string(nil), t.names...),
+		cols:     make([]*Column, len(t.cols)),
+		prefixes: make([][]int64, len(t.cols)),
+		n:        t.n,
+	}
+	buf := make([]int64, t.n)
+	for c := range t.cols {
+		raw := t.cols[c].Decode()
+		for r, p := range perm {
+			buf[r] = raw[p]
+		}
+		nt.cols[c] = NewColumn(buf)
+		if t.prefixes[c] != nil {
+			nt.buildPrefix(c, buf)
+		}
+	}
+	return nt
+}
+
+// EnableAggregate builds a cumulative-aggregation companion for column c so
+// SUM over exact sub-ranges resolves as two prefix lookups (§7.1 optimization
+// 2). Safe to call more than once.
+func (t *Table) EnableAggregate(c int) {
+	if t.prefixes[c] != nil {
+		return
+	}
+	t.buildPrefix(c, t.cols[c].Decode())
+}
+
+func (t *Table) buildPrefix(c int, raw []int64) {
+	pre := make([]int64, len(raw)+1)
+	var acc int64
+	for i, v := range raw {
+		acc += v
+		pre[i+1] = acc
+	}
+	t.prefixes[c] = pre
+}
+
+// HasAggregate reports whether column c has a cumulative-aggregation column.
+func (t *Table) HasAggregate(c int) bool { return t.prefixes[c] != nil }
+
+// PrefixSum returns sum of column c over rows [start, end). It panics if the
+// aggregate column was not enabled.
+func (t *Table) PrefixSum(c, start, end int) int64 {
+	pre := t.prefixes[c]
+	return pre[end] - pre[start]
+}
+
+// SizeBytes reports the compressed footprint of all columns plus any
+// aggregate companions.
+func (t *Table) SizeBytes() int64 {
+	var s int64
+	for i, c := range t.cols {
+		s += c.SizeBytes()
+		if t.prefixes[i] != nil {
+			s += int64(len(t.prefixes[i])) * 8
+		}
+	}
+	return s
+}
+
+// UncompressedSizeBytes reports the footprint of the table as plain arrays.
+func (t *Table) UncompressedSizeBytes() int64 {
+	return int64(t.n) * int64(len(t.cols)) * 8
+}

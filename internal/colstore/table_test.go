@@ -1,0 +1,111 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testTable(t *testing.T, n int) (*Table, [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]int64, 3)
+	for c := range data {
+		data[c] = make([]int64, n)
+		for i := range data[c] {
+			data[c][i] = rng.Int63n(1000) - 500
+		}
+	}
+	tbl, err := NewTable([]string{"a", "b", "c"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, data
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl, data := testTable(t, 500)
+	if tbl.NumRows() != 500 || tbl.NumCols() != 3 {
+		t.Fatalf("shape = (%d, %d), want (500, 3)", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.ColumnIndex("b") != 1 || tbl.ColumnIndex("zzz") != -1 {
+		t.Fatalf("ColumnIndex lookup broken")
+	}
+	for c := range data {
+		for r := range data[c] {
+			if tbl.Get(c, r) != data[c][r] {
+				t.Fatalf("Get(%d,%d) = %d, want %d", c, r, tbl.Get(c, r), data[c][r])
+			}
+		}
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable([]string{"a"}, [][]int64{{1}, {2}}); err == nil {
+		t.Fatal("want error for mismatched names/columns")
+	}
+	if _, err := NewTable([]string{"a", "b"}, [][]int64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged columns")
+	}
+	if _, err := NewTable(nil, nil); err == nil {
+		t.Fatal("want error for empty table")
+	}
+}
+
+func TestTableReorder(t *testing.T) {
+	tbl, data := testTable(t, 300)
+	perm := rand.New(rand.NewSource(3)).Perm(300)
+	rt := tbl.Reorder(perm)
+	for c := 0; c < 3; c++ {
+		for r := 0; r < 300; r++ {
+			if rt.Get(c, r) != data[c][perm[r]] {
+				t.Fatalf("reordered Get(%d,%d) = %d, want %d", c, r, rt.Get(c, r), data[c][perm[r]])
+			}
+		}
+	}
+}
+
+func TestTablePrefixSum(t *testing.T) {
+	tbl, data := testTable(t, 400)
+	tbl.EnableAggregate(2)
+	if !tbl.HasAggregate(2) || tbl.HasAggregate(0) {
+		t.Fatal("aggregate flags wrong")
+	}
+	for _, rg := range [][2]int{{0, 0}, {0, 400}, {17, 123}, {399, 400}} {
+		var want int64
+		for i := rg[0]; i < rg[1]; i++ {
+			want += data[2][i]
+		}
+		if got := tbl.PrefixSum(2, rg[0], rg[1]); got != want {
+			t.Fatalf("PrefixSum(2, %d, %d) = %d, want %d", rg[0], rg[1], got, want)
+		}
+	}
+}
+
+func TestTableReorderKeepsAggregates(t *testing.T) {
+	tbl, data := testTable(t, 200)
+	tbl.EnableAggregate(1)
+	perm := rand.New(rand.NewSource(5)).Perm(200)
+	rt := tbl.Reorder(perm)
+	if !rt.HasAggregate(1) {
+		t.Fatal("reorder dropped aggregate column")
+	}
+	var want int64
+	for r := 10; r < 50; r++ {
+		want += data[1][perm[r]]
+	}
+	if got := rt.PrefixSum(1, 10, 50); got != want {
+		t.Fatalf("PrefixSum after reorder = %d, want %d", got, want)
+	}
+}
+
+func TestTableSizeAccounting(t *testing.T) {
+	tbl, _ := testTable(t, 1000)
+	before := tbl.SizeBytes()
+	tbl.EnableAggregate(0)
+	if tbl.SizeBytes() <= before {
+		t.Fatal("aggregate column not accounted in SizeBytes")
+	}
+	if tbl.UncompressedSizeBytes() != 3*1000*8 {
+		t.Fatalf("UncompressedSizeBytes = %d", tbl.UncompressedSizeBytes())
+	}
+}

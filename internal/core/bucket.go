@@ -1,0 +1,61 @@
+package core
+
+import "flood/internal/rmi"
+
+// bucketer maps a dimension's values onto grid column indexes. Both
+// implementations are monotone non-decreasing, the property projection
+// relies on: bucket(u) <= bucket(v) whenever u <= v.
+type bucketer interface {
+	bucket(v int64, cols int) int
+	// normalize maps v to flattened space [0, 1] — the metric space used
+	// by kNN search.
+	normalize(v int64) float64
+	sizeBytes() int64
+}
+
+// cdfBucketer places v into column ⌊CDF(v)·c⌋ so each column holds roughly
+// the same number of points (flattening, §5.1).
+type cdfBucketer struct {
+	cdf *rmi.CDF
+}
+
+func (b cdfBucketer) bucket(v int64, cols int) int { return b.cdf.Bucket(v, cols) }
+func (b cdfBucketer) normalize(v int64) float64    { return b.cdf.At(v) }
+func (b cdfBucketer) sizeBytes() int64             { return b.cdf.SizeBytes() }
+
+// linearBucketer divides [min, max] into equally spaced columns (§3.1).
+type linearBucketer struct {
+	min     int64
+	rangeSz float64 // max - min + 1
+}
+
+func newLinearBucketer(min, max int64) linearBucketer {
+	return linearBucketer{min: min, rangeSz: float64(max) - float64(min) + 1}
+}
+
+func (b linearBucketer) bucket(v int64, cols int) int {
+	if v < b.min {
+		return 0
+	}
+	c := int(float64(v-b.min) / b.rangeSz * float64(cols))
+	if c >= cols {
+		c = cols - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+func (b linearBucketer) normalize(v int64) float64 {
+	u := (float64(v) - float64(b.min)) / b.rangeSz
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+func (b linearBucketer) sizeBytes() int64 { return 16 }

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/plm"
+	"flood/internal/query"
+	"flood/internal/rmi"
+)
+
+// Flood is a built index: the table reordered into grid traversal order, the
+// cell table mapping cells to physical ranges, per-dimension bucketing
+// models, and per-cell refinement models.
+type Flood struct {
+	t      *colstore.Table
+	layout Layout
+	opts   Options
+
+	buckets   []bucketer // one per grid dimension
+	strides   []int      // mixed-radix strides per grid dimension
+	numCells  int
+	cellStart []int32      // len numCells+1: physical start per cell
+	models    []*plm.Model // per cell, nil when empty or refinement is not model-based
+
+	// Cell-size statistics for the cost model (§4.1.1).
+	nonEmptyCells  int
+	avgCellSize    float64
+	medianCellSize float64
+	p99CellSize    float64
+}
+
+type scanRange struct {
+	cell       int32
+	start, end int32
+	mask       uint64 // residual filter dims needing per-row checks
+}
+
+// Build constructs a Flood index over t with the given layout. The input
+// table is not modified; the index holds a reordered copy.
+func Build(t *colstore.Table, layout Layout, opts Options) (*Flood, error) {
+	if err := layout.Validate(t.NumCols()); err != nil {
+		return nil, err
+	}
+	n := t.NumRows()
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("core: table has %d rows; max supported is %d", n, math.MaxInt32)
+	}
+	if t.NumCols() > 64 {
+		// Residual filter sets are dimension bitmasks in one uint64.
+		return nil, fmt.Errorf("core: table has %d dimensions; max supported is 64", t.NumCols())
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = plm.DefaultDelta
+	}
+	f := &Flood{layout: layout, opts: opts, numCells: layout.NumCells()}
+	g := len(layout.GridDims)
+	f.strides = make([]int, g)
+	stride := 1
+	for i := g - 1; i >= 0; i-- {
+		f.strides[i] = stride
+		stride *= layout.GridCols[i]
+	}
+
+	// Train per-dimension bucketers and assign each row to a cell.
+	f.buckets = make([]bucketer, g)
+	cells := make([]int32, n)
+	for gi, dim := range layout.GridDims {
+		raw := t.Raw(dim)
+		if layout.Flatten {
+			leaves := opts.CDFLeaves
+			if leaves <= 0 {
+				leaves = defaultCDFLeaves(n)
+			}
+			f.buckets[gi] = cdfBucketer{cdf: rmi.TrainCDF(raw, leaves)}
+		} else {
+			minV, maxV := raw[0], raw[0]
+			for _, v := range raw[1:] {
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+			}
+			f.buckets[gi] = newLinearBucketer(minV, maxV)
+		}
+		b := f.buckets[gi]
+		cols := layout.GridCols[gi]
+		str := int32(f.strides[gi])
+		for i, v := range raw {
+			cells[i] += int32(b.bucket(v, cols)) * str
+		}
+	}
+	if n == 0 {
+		f.t = t
+		f.cellStart = make([]int32, f.numCells+1)
+		return f, nil
+	}
+
+	// Order rows by (cell, sort value): a depth-first traversal of the
+	// grid with per-cell sorting (§3.1).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if layout.SortDim >= 0 {
+		sortVals := t.Raw(layout.SortDim)
+		sort.Slice(perm, func(a, b int) bool {
+			pa, pb := perm[a], perm[b]
+			if cells[pa] != cells[pb] {
+				return cells[pa] < cells[pb]
+			}
+			return sortVals[pa] < sortVals[pb]
+		})
+	} else {
+		sort.Slice(perm, func(a, b int) bool { return cells[perm[a]] < cells[perm[b]] })
+	}
+	f.t = t.Reorder(perm)
+
+	// Cell table: physical start index of each cell (§3.2.1).
+	f.cellStart = make([]int32, f.numCells+1)
+	for _, i := range perm {
+		f.cellStart[cells[i]+1]++
+	}
+	for c := 0; c < f.numCells; c++ {
+		f.cellStart[c+1] += f.cellStart[c]
+	}
+
+	// Per-cell refinement models over the sort dimension (§5.2).
+	if layout.SortDim >= 0 && opts.Refinement == RefineModel {
+		sorted := f.t.Raw(layout.SortDim)
+		f.models = make([]*plm.Model, f.numCells)
+		for c := 0; c < f.numCells; c++ {
+			cs, ce := f.cellStart[c], f.cellStart[c+1]
+			if cs == ce {
+				continue
+			}
+			f.models[c] = plm.Train(sorted[cs:ce], opts.Delta)
+		}
+	}
+	f.computeCellStats()
+	return f, nil
+}
+
+func defaultCDFLeaves(n int) int {
+	l := n / 64
+	if l < 16 {
+		l = 16
+	}
+	if l > 1024 {
+		l = 1024
+	}
+	return l
+}
+
+func (f *Flood) computeCellStats() {
+	sizes := make([]int, 0, f.numCells)
+	total := 0
+	for c := 0; c < f.numCells; c++ {
+		if sz := int(f.cellStart[c+1] - f.cellStart[c]); sz > 0 {
+			sizes = append(sizes, sz)
+			total += sz
+		}
+	}
+	f.nonEmptyCells = len(sizes)
+	if len(sizes) == 0 {
+		return
+	}
+	sort.Ints(sizes)
+	f.avgCellSize = float64(total) / float64(len(sizes))
+	f.medianCellSize = float64(sizes[len(sizes)/2])
+	f.p99CellSize = float64(sizes[(len(sizes)-1)*99/100])
+}
+
+// Name implements query.Index.
+func (f *Flood) Name() string { return "Flood" }
+
+// Layout returns the layout the index was built with.
+func (f *Flood) Layout() Layout { return f.layout }
+
+// Table returns the index's reordered data.
+func (f *Flood) Table() *colstore.Table { return f.t }
+
+// NumCells returns the total number of grid cells.
+func (f *Flood) NumCells() int { return f.numCells }
+
+// NonEmptyCells returns the number of cells holding at least one point.
+func (f *Flood) NonEmptyCells() int { return f.nonEmptyCells }
+
+// CellSizeStats returns (average, median, 99th percentile) of non-empty cell
+// sizes — cost model features (§4.1.1).
+func (f *Flood) CellSizeStats() (avg, median, p99 float64) {
+	return f.avgCellSize, f.medianCellSize, f.p99CellSize
+}
+
+// CellBounds returns the physical row range [start, end) stored for cell c.
+func (f *Flood) CellBounds(c int) (start, end int) {
+	return int(f.cellStart[c]), int(f.cellStart[c+1])
+}
+
+// SizeBytes reports index metadata size: the cell table, bucketing models,
+// and per-cell refinement models. The stored data itself is excluded.
+func (f *Flood) SizeBytes() int64 {
+	s := int64(len(f.cellStart)) * 4
+	for _, b := range f.buckets {
+		s += b.sizeBytes()
+	}
+	for _, m := range f.models {
+		if m != nil {
+			s += m.SizeBytes()
+		}
+	}
+	return s
+}
+
+// Execute implements query.Index: projection, refinement, scan (§3.2).
+func (f *Flood) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	var st query.Stats
+	t0 := time.Now()
+	if q.Empty() || f.t.NumRows() == 0 {
+		st.Total = time.Since(t0)
+		return st
+	}
+	ranges, projSt := f.project(q)
+	st.CellsVisited = projSt.CellsVisited
+	t1 := time.Now()
+	st.ProjectTime = t1.Sub(t0)
+
+	refSt := f.refine(q, ranges)
+	st.RangesRefined = refSt.RangesRefined
+	t2 := time.Now()
+	st.RefineTime = t2.Sub(t1)
+	st.IndexTime = st.ProjectTime + st.RefineTime
+
+	scanSt := f.scan(q, ranges, agg)
+	st.Scanned, st.Matched, st.ExactMatched = scanSt.Scanned, scanSt.Matched, scanSt.ExactMatched
+	t3 := time.Now()
+	st.ScanTime = t3.Sub(t2)
+	st.Total = t3.Sub(t0)
+	return st
+}
+
+// refines reports whether sort-dimension refinement applies to q.
+func (f *Flood) refines(q query.Query) bool {
+	return f.layout.SortDim >= 0 && q.Ranges[f.layout.SortDim].Present &&
+		f.opts.Refinement != RefineNone
+}
+
+// project implements §3.2.1: identify the cells intersecting the query
+// rectangle and their physical ranges, tagging each with the residual
+// filter dimensions that must be row-checked during the scan.
+func (f *Flood) project(q query.Query) ([]scanRange, query.Stats) {
+	var st query.Stats
+	g := len(f.layout.GridDims)
+	los := make([]int, g)
+	his := make([]int, g)
+	present := make([]bool, g)
+	for gi, dim := range f.layout.GridDims {
+		r := q.Ranges[dim]
+		cols := f.layout.GridCols[gi]
+		if r.Present {
+			los[gi] = f.buckets[gi].bucket(r.Min, cols)
+			his[gi] = f.buckets[gi].bucket(r.Max, cols)
+			present[gi] = true
+		} else {
+			los[gi], his[gi] = 0, cols-1
+		}
+	}
+	// Residual filters that must be checked per row: filtered dims that
+	// are neither grid dims nor a refined sort dim.
+	var baseMask uint64
+	refine := f.refines(q)
+	for _, d := range q.FilteredDims() {
+		if d == f.layout.SortDim && refine {
+			continue
+		}
+		if gi := f.gridIndexOf(d); gi >= 0 {
+			continue // handled per cell: interior cells skip the check
+		}
+		baseMask |= 1 << uint(d)
+	}
+
+	ranges := make([]scanRange, 0, 64)
+	coords := append([]int(nil), los...)
+	for {
+		cell := 0
+		mask := baseMask
+		for gi := 0; gi < g; gi++ {
+			cell += coords[gi] * f.strides[gi]
+			if present[gi] && (coords[gi] == los[gi] || coords[gi] == his[gi]) {
+				mask |= 1 << uint(f.layout.GridDims[gi])
+			}
+		}
+		st.CellsVisited++
+		cs, ce := f.cellStart[cell], f.cellStart[cell+1]
+		if cs != ce {
+			ranges = append(ranges, scanRange{cell: int32(cell), start: cs, end: ce, mask: mask})
+		}
+		// Odometer over the query rectangle's cells.
+		gi := g - 1
+		for ; gi >= 0; gi-- {
+			coords[gi]++
+			if coords[gi] <= his[gi] {
+				break
+			}
+			coords[gi] = los[gi]
+		}
+		if gi < 0 {
+			break
+		}
+	}
+	return ranges, st
+}
+
+// refine implements §3.2.2 / §5.2: narrow each range along the sort
+// dimension using per-cell models (or binary search), mutating ranges in
+// place.
+func (f *Flood) refine(q query.Query, ranges []scanRange) query.Stats {
+	var st query.Stats
+	if f.refines(q) {
+		r := q.Ranges[f.layout.SortDim]
+		col := f.t.Column(f.layout.SortDim)
+		for i := range ranges {
+			rg := &ranges[i]
+			st.RangesRefined++
+			cellLen := int(rg.end - rg.start)
+			base := int(rg.start)
+			at := func(j int) int64 { return col.Get(base + j) }
+			var i1, i2 int
+			if f.opts.Refinement == RefineModel && f.models != nil && f.models[rg.cell] != nil {
+				m := f.models[rg.cell]
+				if r.Min == query.NegInf {
+					i1 = 0
+				} else {
+					i1 = m.LowerBoundAt(cellLen, at, r.Min)
+				}
+				if r.Max == query.PosInf {
+					i2 = cellLen
+				} else {
+					i2 = m.LowerBoundAt(cellLen, at, r.Max+1)
+				}
+			} else {
+				if r.Min == query.NegInf {
+					i1 = 0
+				} else {
+					i1 = sort.Search(cellLen, func(j int) bool { return at(j) >= r.Min })
+				}
+				if r.Max == query.PosInf {
+					i2 = cellLen
+				} else {
+					i2 = sort.Search(cellLen, func(j int) bool { return at(j) > r.Max })
+				}
+			}
+			rg.start, rg.end = int32(base+i1), int32(base+i2)
+		}
+	}
+	return st
+}
+
+// scan implements §3.2 step 3: visit every refined physical range, using
+// exact-range fast paths when no residual filters remain.
+func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator) query.Stats {
+	var st query.Stats
+
+	// ---- Scan (§3.2 step 3) ----
+	sc := query.NewScanner(f.t)
+	var dims []int
+	var lastMask uint64 = ^uint64(0)
+	for _, rg := range ranges {
+		if rg.start >= rg.end {
+			continue
+		}
+		if rg.mask == 0 {
+			s, m := sc.ScanExactRange(int(rg.start), int(rg.end), agg)
+			st.Scanned += s
+			st.Matched += m
+			st.ExactMatched += m
+			continue
+		}
+		if rg.mask != lastMask {
+			dims = dims[:0]
+			for d := 0; d < f.t.NumCols(); d++ {
+				if rg.mask&(1<<uint(d)) != 0 {
+					dims = append(dims, d)
+				}
+			}
+			lastMask = rg.mask
+		}
+		s, m := sc.ScanRange(q, dims, int(rg.start), int(rg.end), agg)
+		st.Scanned += s
+		st.Matched += m
+	}
+	return st
+}
+
+func (f *Flood) gridIndexOf(dim int) int {
+	for gi, d := range f.layout.GridDims {
+		if d == dim {
+			return gi
+		}
+	}
+	return -1
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// makeData builds an nRows x nDims table with mixed distributions.
+func makeData(t testing.TB, nRows, nDims int, seed int64) (*colstore.Table, [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int64, nDims)
+	names := make([]string, nDims)
+	for d := range data {
+		data[d] = make([]int64, nRows)
+		names[d] = string(rune('a' + d))
+		for i := range data[d] {
+			switch d % 3 {
+			case 0: // uniform
+				data[d][i] = rng.Int63n(1000)
+			case 1: // skewed
+				data[d][i] = int64(math.Exp(rng.NormFloat64() + 5))
+			default: // clustered
+				data[d][i] = rng.Int63n(10)*100 + rng.Int63n(8)
+			}
+		}
+	}
+	tbl, err := colstore.NewTable(names, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, data
+}
+
+func bruteCount(data [][]int64, q query.Query) int64 {
+	var cnt int64
+	n := len(data[0])
+	point := make([]int64, len(data))
+	for i := 0; i < n; i++ {
+		for d := range data {
+			point[d] = data[d][i]
+		}
+		if q.Matches(point) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func bruteSum(data [][]int64, q query.Query, col int) int64 {
+	var s int64
+	n := len(data[0])
+	point := make([]int64, len(data))
+	for i := 0; i < n; i++ {
+		for d := range data {
+			point[d] = data[d][i]
+		}
+		if q.Matches(point) {
+			s += data[col][i]
+		}
+	}
+	return s
+}
+
+func randomQuery(rng *rand.Rand, data [][]int64, maxDims int) query.Query {
+	q := query.NewQuery(len(data))
+	nf := 1 + rng.Intn(maxDims)
+	for k := 0; k < nf; k++ {
+		d := rng.Intn(len(data))
+		i := rng.Intn(len(data[d]))
+		j := rng.Intn(len(data[d]))
+		lo, hi := data[d][i], data[d][j]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		q = q.WithRange(d, lo, hi)
+	}
+	return q
+}
+
+func layoutsUnderTest() []Layout {
+	return []Layout{
+		{GridDims: []int{0, 1}, GridCols: []int{8, 4}, SortDim: 2, Flatten: true},
+		{GridDims: []int{0, 1}, GridCols: []int{8, 4}, SortDim: 2, Flatten: false},
+		{GridDims: []int{2, 0}, GridCols: []int{5, 7}, SortDim: 3, Flatten: true},
+		{GridDims: []int{0, 1, 2, 3}, GridCols: []int{3, 3, 3, 3}, SortDim: -1, Flatten: true}, // simple grid
+		{GridDims: []int{1}, GridCols: []int{16}, SortDim: 0, Flatten: true},
+		{GridDims: nil, GridCols: nil, SortDim: 0, Flatten: false},                      // pure clustered layout
+		{GridDims: []int{0, 1, 3}, GridCols: []int{1, 6, 2}, SortDim: 2, Flatten: true}, // dropped dim via cols=1
+	}
+}
+
+func TestFloodMatchesBruteForce(t *testing.T) {
+	tbl, data := makeData(t, 3000, 4, 1)
+	rng := rand.New(rand.NewSource(2))
+	for li, layout := range layoutsUnderTest() {
+		for _, mode := range []RefinementMode{RefineModel, RefineBinary, RefineNone} {
+			idx, err := Build(tbl, layout, Options{Refinement: mode})
+			if err != nil {
+				t.Fatalf("layout %d: %v", li, err)
+			}
+			for trial := 0; trial < 40; trial++ {
+				q := randomQuery(rng, data, 4)
+				agg := query.NewCount()
+				st := idx.Execute(q, agg)
+				want := bruteCount(data, q)
+				if agg.Result() != want {
+					t.Fatalf("layout %d (%s) mode %d: count = %d, want %d (query %+v)",
+						li, layout, mode, agg.Result(), want, q.Ranges)
+				}
+				if st.Matched != want {
+					t.Fatalf("layout %d: stats.Matched = %d, want %d", li, st.Matched, want)
+				}
+				if st.Scanned < st.Matched {
+					t.Fatalf("layout %d: scanned %d < matched %d", li, st.Scanned, st.Matched)
+				}
+			}
+		}
+	}
+}
+
+func TestFloodSumAggregation(t *testing.T) {
+	tbl, data := makeData(t, 2000, 4, 3)
+	tbl.EnableAggregate(3)
+	layout := Layout{GridDims: []int{0, 1}, GridCols: []int{6, 6}, SortDim: 2, Flatten: true}
+	idx, err := Build(tbl, layout, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		q := randomQuery(rng, data, 3)
+		agg := query.NewSum(3)
+		idx.Execute(q, agg)
+		if want := bruteSum(data, q, 3); agg.Result() != want {
+			t.Fatalf("sum = %d, want %d", agg.Result(), want)
+		}
+	}
+}
+
+func TestFloodExactRangesReduceChecks(t *testing.T) {
+	// A query covering a wide swath of grid dims with a sort-dim filter
+	// should produce exact sub-ranges.
+	tbl, data := makeData(t, 5000, 3, 5)
+	layout := Layout{GridDims: []int{0}, GridCols: []int{16}, SortDim: 1, Flatten: true}
+	idx, err := Build(tbl, layout, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(3).WithRange(0, 0, 999).WithRange(1, 0, 1<<40)
+	agg := query.NewCount()
+	st := idx.Execute(q, agg)
+	if want := bruteCount(data, q); agg.Result() != want {
+		t.Fatalf("count = %d, want %d", agg.Result(), want)
+	}
+	if st.ExactMatched == 0 {
+		t.Fatal("expected some exact sub-range matches")
+	}
+}
+
+func TestFloodUnfilteredQueryScansEverything(t *testing.T) {
+	tbl, _ := makeData(t, 1000, 3, 6)
+	layout := Layout{GridDims: []int{0, 1}, GridCols: []int{4, 4}, SortDim: 2, Flatten: true}
+	idx, _ := Build(tbl, layout, Options{})
+	agg := query.NewCount()
+	st := idx.Execute(query.NewQuery(3), agg)
+	if agg.Result() != 1000 || st.Matched != 1000 {
+		t.Fatalf("unfiltered count = %d", agg.Result())
+	}
+	if st.ExactMatched != 1000 {
+		t.Fatalf("unfiltered query should be fully exact, got %d", st.ExactMatched)
+	}
+}
+
+func TestFloodEmptyAndInvertedQueries(t *testing.T) {
+	tbl, _ := makeData(t, 500, 3, 7)
+	layout := Layout{GridDims: []int{0}, GridCols: []int{4}, SortDim: 1, Flatten: true}
+	idx, _ := Build(tbl, layout, Options{})
+	agg := query.NewCount()
+	st := idx.Execute(query.NewQuery(3).WithRange(0, 100, 50), agg)
+	if agg.Result() != 0 || st.Scanned != 0 {
+		t.Fatal("inverted range should match nothing and scan nothing")
+	}
+	// Range entirely outside the data domain.
+	agg.Reset()
+	idx.Execute(query.NewQuery(3).WithRange(1, 1<<50, 1<<51), agg)
+	if agg.Result() != 0 {
+		t.Fatal("out-of-domain range should match nothing")
+	}
+}
+
+func TestFloodLayoutValidation(t *testing.T) {
+	tbl, _ := makeData(t, 100, 3, 8)
+	bad := []Layout{
+		{GridDims: []int{0, 0}, GridCols: []int{2, 2}, SortDim: 1},
+		{GridDims: []int{0}, GridCols: []int{0}, SortDim: 1},
+		{GridDims: []int{0}, GridCols: []int{2}, SortDim: 0},
+		{GridDims: []int{5}, GridCols: []int{2}, SortDim: 1},
+		{GridDims: []int{0}, GridCols: []int{2, 3}, SortDim: 1},
+		{SortDim: -1},
+		{GridDims: []int{0}, GridCols: []int{2}, SortDim: 9},
+	}
+	for i, l := range bad {
+		if _, err := Build(tbl, l, Options{}); err == nil {
+			t.Fatalf("layout %d should fail validation: %s", i, l)
+		}
+	}
+}
+
+func TestFloodCellTablePartition(t *testing.T) {
+	// The cell table must partition [0, n): starts non-decreasing,
+	// first = 0, last = n.
+	tbl, _ := makeData(t, 4000, 4, 9)
+	layout := Layout{GridDims: []int{0, 1, 3}, GridCols: []int{7, 5, 3}, SortDim: 2, Flatten: true}
+	idx, err := Build(tbl, layout, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.cellStart[0] != 0 || int(idx.cellStart[idx.numCells]) != 4000 {
+		t.Fatalf("cell table endpoints: %d .. %d", idx.cellStart[0], idx.cellStart[idx.numCells])
+	}
+	for c := 0; c < idx.numCells; c++ {
+		if idx.cellStart[c] > idx.cellStart[c+1] {
+			t.Fatalf("cell table not monotone at %d", c)
+		}
+	}
+	// Within every cell, rows are sorted by the sort dimension.
+	for c := 0; c < idx.numCells; c++ {
+		for r := int(idx.cellStart[c]) + 1; r < int(idx.cellStart[c+1]); r++ {
+			if idx.t.Get(2, r-1) > idx.t.Get(2, r) {
+				t.Fatalf("cell %d not sorted by sort dim at row %d", c, r)
+			}
+		}
+	}
+}
+
+func TestFloodStatsTimings(t *testing.T) {
+	tbl, data := makeData(t, 3000, 3, 10)
+	layout := Layout{GridDims: []int{0}, GridCols: []int{8}, SortDim: 1, Flatten: true}
+	idx, _ := Build(tbl, layout, Options{})
+	q := query.NewQuery(3).WithRange(0, 0, 500).WithRange(1, 0, 1000)
+	st := idx.Execute(q, query.NewCount())
+	if st.IndexTime != st.ProjectTime+st.RefineTime {
+		t.Fatal("IndexTime must equal projection + refinement")
+	}
+	if st.Total < st.IndexTime+st.ScanTime {
+		t.Fatal("Total must cover index + scan time")
+	}
+	if st.CellsVisited == 0 || st.RangesRefined == 0 {
+		t.Fatalf("expected cells visited and ranges refined, got %+v", st)
+	}
+	_ = data
+}
+
+func TestFloodSizeBytes(t *testing.T) {
+	tbl, _ := makeData(t, 2000, 3, 11)
+	small, _ := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{2}, SortDim: 1, Flatten: true}, Options{})
+	big, _ := Build(tbl, Layout{GridDims: []int{0, 2}, GridCols: []int{50, 20}, SortDim: 1, Flatten: true}, Options{})
+	if small.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("more cells should cost more metadata: %d <= %d", big.SizeBytes(), small.SizeBytes())
+	}
+}
+
+func TestFloodEmptyTable(t *testing.T) {
+	tbl, err := colstore.NewTable([]string{"a", "b"}, [][]int64{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{4}, SortDim: 1, Flatten: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := query.NewCount()
+	idx.Execute(query.NewQuery(2).WithRange(0, 0, 10), agg)
+	if agg.Result() != 0 {
+		t.Fatal("empty table should match nothing")
+	}
+}
+
+func TestFloodCellStatsReasonable(t *testing.T) {
+	tbl, _ := makeData(t, 10000, 3, 12)
+	idx, _ := Build(tbl, Layout{GridDims: []int{0, 1}, GridCols: []int{10, 10}, SortDim: 2, Flatten: true}, Options{})
+	avg, med, p99 := idx.CellSizeStats()
+	if avg <= 0 || med <= 0 || p99 < med {
+		t.Fatalf("cell stats look wrong: avg=%f med=%f p99=%f", avg, med, p99)
+	}
+	if idx.NonEmptyCells() == 0 || idx.NonEmptyCells() > idx.NumCells() {
+		t.Fatalf("NonEmptyCells = %d of %d", idx.NonEmptyCells(), idx.NumCells())
+	}
+}
+
+func TestFlatteningBalancesSkewedCells(t *testing.T) {
+	// On heavily skewed data, flattened layouts should spread points far
+	// more evenly than equi-width layouts (§5.1).
+	rng := rand.New(rand.NewSource(13))
+	n := 20000
+	skew := make([]int64, n)
+	other := make([]int64, n)
+	for i := range skew {
+		// Log-normal with a large offset so values stay distinct: heavy
+		// right tail but no single dominating duplicate.
+		skew[i] = int64(math.Exp(rng.NormFloat64()*2 + 10))
+		other[i] = rng.Int63n(100)
+	}
+	tbl := colstore.MustNewTable([]string{"s", "o"}, [][]int64{skew, other})
+	flat, _ := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{20}, SortDim: 1, Flatten: true}, Options{})
+	raw, _ := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{20}, SortDim: 1, Flatten: false}, Options{})
+	maxCell := func(f *Flood) int {
+		m := 0
+		for c := 0; c < f.NumCells(); c++ {
+			if s, e := f.CellBounds(c); e-s > m {
+				m = e - s
+			}
+		}
+		return m
+	}
+	flatMax, rawMax := maxCell(flat), maxCell(raw)
+	if flatMax*2 >= rawMax {
+		t.Fatalf("flattening should cap the largest cell: flattened max %d vs raw max %d", flatMax, rawMax)
+	}
+}

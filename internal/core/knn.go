@@ -1,0 +1,177 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Neighbor is one kNN result: a physical row in the index's table and its
+// squared distance in flattened space.
+type Neighbor struct {
+	Row  int
+	Dist float64
+}
+
+// KNN returns the k nearest neighbors of point under the Euclidean metric in
+// *flattened* grid coordinates: each grid dimension's values are mapped
+// through its CDF to [0, 1] before distances are computed, which makes the
+// metric scale-free across attributes with wildly different units (§6
+// "Nearest Neighbor Queries"). The search visits the cell containing the
+// query point and expands outward ring by ring, pruning cells whose closest
+// possible flattened point is farther than the current k-th best — the
+// grid-based analogue of a k-d tree's adjacent-page walk.
+//
+// The layout must have at least one grid dimension. Results are ordered by
+// increasing distance; fewer than k neighbors are returned only when the
+// table holds fewer than k rows.
+func (f *Flood) KNN(point []int64, k int) ([]Neighbor, error) {
+	g := len(f.layout.GridDims)
+	if g == 0 {
+		return nil, fmt.Errorf("core: kNN requires a layout with grid dimensions")
+	}
+	if len(point) != f.t.NumCols() {
+		return nil, fmt.Errorf("core: point has %d values, table has %d dimensions", len(point), f.t.NumCols())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive")
+	}
+	// Flattened query coordinates and home cell.
+	uq := make([]float64, g)
+	home := make([]int, g)
+	for gi := range f.layout.GridDims {
+		dim := f.layout.GridDims[gi]
+		uq[gi] = f.buckets[gi].normalize(point[dim])
+		home[gi] = f.buckets[gi].bucket(point[dim], f.layout.GridCols[gi])
+	}
+
+	best := &neighborHeap{}
+	heap.Init(best)
+	kth := math.Inf(1)
+	cols := f.layout.GridCols
+
+	// Coarsest dimension bounds how quickly ring distance grows.
+	minInvCols := math.Inf(1)
+	for _, c := range cols {
+		if inv := 1 / float64(c); inv < minInvCols {
+			minInvCols = inv
+		}
+	}
+
+	maxRing := 0
+	for _, c := range cols {
+		if c > maxRing {
+			maxRing = c
+		}
+	}
+	coords := make([]int, g)
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any cell in ring r is at least (r-1) whole columns away along
+		// some dimension.
+		if ringMin := float64(ring-1) * minInvCols; ring > 0 && best.Len() >= k && ringMin*ringMin > kth {
+			break
+		}
+		f.visitRing(home, ring, coords, func(cellCoords []int) {
+			lb := f.cellLowerBound(uq, cellCoords)
+			if best.Len() >= k && lb > kth {
+				return
+			}
+			cell := 0
+			for gi, b := range cellCoords {
+				cell += b * f.strides[gi]
+			}
+			cs, ce := f.cellStart[cell], f.cellStart[cell+1]
+			for r := int(cs); r < int(ce); r++ {
+				d := f.flatDist(uq, r)
+				if best.Len() < k {
+					heap.Push(best, Neighbor{Row: r, Dist: d})
+					kth = best.peek().Dist
+				} else if d < kth {
+					best.replaceTop(Neighbor{Row: r, Dist: d})
+					kth = best.peek().Dist
+				}
+			}
+		})
+	}
+	out := make([]Neighbor, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Neighbor)
+	}
+	return out, nil
+}
+
+// visitRing enumerates all in-bounds cells at Chebyshev distance exactly
+// ring from home.
+func (f *Flood) visitRing(home []int, ring int, coords []int, visit func([]int)) {
+	g := len(home)
+	var rec func(gi int, onBoundary bool)
+	rec = func(gi int, onBoundary bool) {
+		if gi == g {
+			if onBoundary || ring == 0 {
+				visit(coords)
+			}
+			return
+		}
+		lo := home[gi] - ring
+		hi := home[gi] + ring
+		for b := lo; b <= hi; b++ {
+			if b < 0 || b >= f.layout.GridCols[gi] {
+				continue
+			}
+			coords[gi] = b
+			rec(gi+1, onBoundary || b == lo || b == hi)
+		}
+	}
+	rec(0, false)
+}
+
+// cellLowerBound is the squared flattened distance from uq to the closest
+// point of the cell's bounding box.
+func (f *Flood) cellLowerBound(uq []float64, cellCoords []int) float64 {
+	var d2 float64
+	for gi, b := range cellCoords {
+		c := float64(f.layout.GridCols[gi])
+		lo := float64(b) / c
+		hi := float64(b+1) / c
+		switch {
+		case uq[gi] < lo:
+			d := lo - uq[gi]
+			d2 += d * d
+		case uq[gi] > hi:
+			d := uq[gi] - hi
+			d2 += d * d
+		}
+	}
+	return d2
+}
+
+// flatDist is the squared flattened distance from uq to stored row r.
+func (f *Flood) flatDist(uq []float64, r int) float64 {
+	var d2 float64
+	for gi, dim := range f.layout.GridDims {
+		u := f.buckets[gi].normalize(f.t.Get(dim, r))
+		d := u - uq[gi]
+		d2 += d * d
+	}
+	return d2
+}
+
+// neighborHeap is a max-heap on distance (top = worst of the current best k).
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+func (h neighborHeap) peek() Neighbor { return h[0] }
+func (h *neighborHeap) replaceTop(n Neighbor) {
+	(*h)[0] = n
+	heap.Fix(h, 0)
+}

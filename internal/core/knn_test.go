@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"flood/internal/query"
+)
+
+// bruteKNN computes ground truth in the same flattened metric the index
+// uses, reading normalized coordinates through the index's own bucketers.
+func bruteKNN(f *Flood, point []int64, k int) []Neighbor {
+	n := f.Table().NumRows()
+	uq := make([]float64, len(f.layout.GridDims))
+	for gi, dim := range f.layout.GridDims {
+		uq[gi] = f.buckets[gi].normalize(point[dim])
+	}
+	all := make([]Neighbor, n)
+	for r := 0; r < n; r++ {
+		all[r] = Neighbor{Row: r, Dist: f.flatDist(uq, r)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Dist < all[j].Dist })
+	if k > n {
+		k = n
+	}
+	return all[:k]
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	tbl, data := makeData(t, 3000, 3, 91)
+	for _, layout := range []Layout{
+		{GridDims: []int{0, 1}, GridCols: []int{8, 6}, SortDim: 2, Flatten: true},
+		{GridDims: []int{0, 1}, GridCols: []int{5, 5}, SortDim: 2, Flatten: false},
+		{GridDims: []int{2}, GridCols: []int{12}, SortDim: 0, Flatten: true},
+	} {
+		idx, err := Build(tbl, layout, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(92))
+		for trial := 0; trial < 20; trial++ {
+			point := []int64{
+				data[0][rng.Intn(len(data[0]))] + rng.Int63n(9) - 4,
+				data[1][rng.Intn(len(data[1]))],
+				data[2][rng.Intn(len(data[2]))],
+			}
+			k := 1 + rng.Intn(10)
+			got, err := idx.KNN(point, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNN(idx, point, k)
+			if len(got) != len(want) {
+				t.Fatalf("layout %s: got %d neighbors, want %d", layout, len(got), len(want))
+			}
+			for i := range got {
+				// Distances must match exactly; rows may differ on ties.
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("layout %s trial %d: neighbor %d dist %f, want %f",
+						layout, trial, i, got[i].Dist, want[i].Dist)
+				}
+			}
+			// Results must be sorted by distance.
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist < got[i-1].Dist {
+					t.Fatal("kNN results not sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	tbl, _ := makeData(t, 200, 3, 93)
+	idx, _ := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{4}, SortDim: 1, Flatten: true}, Options{})
+	if _, err := idx.KNN([]int64{1, 2}, 3); err == nil {
+		t.Fatal("wrong point dimensionality should fail")
+	}
+	if _, err := idx.KNN([]int64{1, 2, 3}, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	pure, _ := Build(tbl, Layout{SortDim: 0, Flatten: false}, Options{})
+	if _, err := pure.KNN([]int64{1, 2, 3}, 1); err == nil {
+		t.Fatal("kNN on a gridless layout should fail")
+	}
+}
+
+func TestKNNMoreThanN(t *testing.T) {
+	tbl, _ := makeData(t, 50, 3, 94)
+	idx, _ := Build(tbl, Layout{GridDims: []int{0, 1}, GridCols: []int{3, 3}, SortDim: 2, Flatten: true}, Options{})
+	got, err := idx.KNN([]int64{100, 100, 100}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("asked for more neighbors than rows: got %d, want 50", len(got))
+	}
+	_ = query.NewQuery(3)
+}

@@ -1,0 +1,122 @@
+// Package core implements the Flood index itself: a learned multi-dimensional
+// clustered in-memory index (§3, §5 of the paper).
+//
+// A layout arranges d attributes as a (d-1)-dimensional grid plus a sort
+// dimension. Grid column boundaries are learned per dimension from the data's
+// CDF ("flattening", §5.1) so that each column holds roughly the same number
+// of points; within a cell, points are sorted by the sort dimension and a
+// per-cell piecewise-linear model accelerates refinement (§5.2). Queries run
+// as projection → refinement → scan (§3.2).
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Layout describes the shape of a Flood grid: which dimensions form the grid
+// (in traversal order), how many columns each gets, which dimension points
+// are sorted by inside each cell, and whether column boundaries are flattened
+// by the data's per-dimension CDF.
+type Layout struct {
+	// GridDims lists the table dimensions that form the grid, ordered
+	// from most to least significant in the cell traversal.
+	GridDims []int
+	// GridCols holds the number of columns per grid dimension
+	// (len(GridCols) == len(GridDims), every entry >= 1).
+	GridCols []int
+	// SortDim is the dimension used to order points within each cell, or
+	// -1 for a layout with no sort dimension (the "Simple Grid" ablation
+	// of Fig. 11).
+	SortDim int
+	// Flatten selects learned CDF column boundaries (§5.1) instead of
+	// equi-width columns.
+	Flatten bool
+}
+
+// Validate checks the layout against a table with nDims dimensions.
+func (l Layout) Validate(nDims int) error {
+	if len(l.GridDims) != len(l.GridCols) {
+		return fmt.Errorf("core: %d grid dims but %d column counts", len(l.GridDims), len(l.GridCols))
+	}
+	seen := make(map[int]bool, len(l.GridDims)+1)
+	for i, d := range l.GridDims {
+		if d < 0 || d >= nDims {
+			return fmt.Errorf("core: grid dim %d out of range [0, %d)", d, nDims)
+		}
+		if seen[d] {
+			return fmt.Errorf("core: dimension %d appears twice", d)
+		}
+		seen[d] = true
+		if l.GridCols[i] < 1 {
+			return fmt.Errorf("core: grid dim %d has %d columns, want >= 1", d, l.GridCols[i])
+		}
+	}
+	if l.SortDim != -1 {
+		if l.SortDim < 0 || l.SortDim >= nDims {
+			return fmt.Errorf("core: sort dim %d out of range [0, %d)", l.SortDim, nDims)
+		}
+		if seen[l.SortDim] {
+			return fmt.Errorf("core: sort dim %d is also a grid dim", l.SortDim)
+		}
+	}
+	if len(l.GridDims) == 0 && l.SortDim == -1 {
+		return fmt.Errorf("core: layout indexes no dimensions")
+	}
+	return nil
+}
+
+// NumCells returns the total number of grid cells.
+func (l Layout) NumCells() int {
+	n := 1
+	for _, c := range l.GridCols {
+		n *= c
+	}
+	return n
+}
+
+// String renders the layout compactly, e.g. "grid[2:8 0:4] sort=1 flat".
+func (l Layout) String() string {
+	var b strings.Builder
+	b.WriteString("grid[")
+	for i, d := range l.GridDims {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", d, l.GridCols[i])
+	}
+	b.WriteString("]")
+	if l.SortDim >= 0 {
+		fmt.Fprintf(&b, " sort=%d", l.SortDim)
+	}
+	if l.Flatten {
+		b.WriteString(" flat")
+	}
+	return b.String()
+}
+
+// RefinementMode selects how per-cell sort-dimension refinement runs.
+type RefinementMode int
+
+const (
+	// RefineModel uses per-cell piecewise-linear CDF models rectified by
+	// exponential search (§5.2) — the paper's configuration.
+	RefineModel RefinementMode = iota
+	// RefineBinary uses plain binary search within each cell (§3.2.2),
+	// the pre-learning baseline of Fig. 17.
+	RefineBinary
+	// RefineNone skips refinement; the sort dimension is filter-checked
+	// during scans like any unindexed dimension.
+	RefineNone
+)
+
+// Options configures index construction.
+type Options struct {
+	// Refinement selects the per-cell refinement strategy.
+	Refinement RefinementMode
+	// Delta is the PLM average-error budget (§7.8); 0 means DefaultDelta.
+	Delta float64
+	// CDFLeaves is the leaf count for per-dimension flattening CDFs;
+	// 0 picks a size-based default.
+	CDFLeaves int
+}

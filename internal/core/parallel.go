@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"flood/internal/query"
+)
+
+// ExecuteParallel is Execute with the scan phase fanned out over workers
+// goroutines (§8 "Concurrency and parallelism": different cells can be
+// refined and scanned simultaneously). Projection and refinement remain
+// single-threaded — they are a small fraction of query time (Table 2) — and
+// each worker scans a contiguous slice of the refined ranges with its own
+// aggregator clone, so results are exact and deterministic. workers <= 0
+// uses GOMAXPROCS.
+//
+// The paper's headline measurements are single-threaded; this entry point
+// exists for throughput-oriented deployments.
+func (f *Flood) ExecuteParallel(q query.Query, agg query.Mergeable, workers int) query.Stats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return f.Execute(q, agg)
+	}
+	var st query.Stats
+	t0 := time.Now()
+	if q.Empty() || f.t.NumRows() == 0 {
+		st.Total = time.Since(t0)
+		return st
+	}
+	ranges, projSt := f.project(q)
+	st.CellsVisited = projSt.CellsVisited
+	t1 := time.Now()
+	st.ProjectTime = t1.Sub(t0)
+	refSt := f.refine(q, ranges)
+	st.RangesRefined = refSt.RangesRefined
+	t2 := time.Now()
+	st.RefineTime = t2.Sub(t1)
+	st.IndexTime = st.ProjectTime + st.RefineTime
+
+	if len(ranges) < 2*workers {
+		workers = 1
+	}
+	if workers == 1 {
+		scanSt := f.scan(q, ranges, agg)
+		st.Scanned, st.Matched, st.ExactMatched = scanSt.Scanned, scanSt.Matched, scanSt.ExactMatched
+		t3 := time.Now()
+		st.ScanTime = t3.Sub(t2)
+		st.Total = t3.Sub(t0)
+		return st
+	}
+
+	chunk := (len(ranges) + workers - 1) / workers
+	var wg sync.WaitGroup
+	partStats := make([]query.Stats, workers)
+	partAggs := make([]query.Mergeable, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ranges) {
+			hi = len(ranges)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		partAggs[w] = agg.CloneEmpty()
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partStats[w] = f.scan(q, ranges[lo:hi], partAggs[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if partAggs[w] == nil {
+			continue
+		}
+		agg.Merge(partAggs[w])
+		st.Scanned += partStats[w].Scanned
+		st.Matched += partStats[w].Matched
+		st.ExactMatched += partStats[w].ExactMatched
+	}
+	t3 := time.Now()
+	st.ScanTime = t3.Sub(t2)
+	st.Total = t3.Sub(t0)
+	return st
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"flood/internal/colstore"
+	"flood/internal/plm"
+	"flood/internal/rmi"
+	"flood/internal/wire"
+)
+
+// persistMagic versions the on-disk index format.
+const persistMagic = "FLOODIX1"
+
+// Save serializes the built index — layout, reordered data, bucketing
+// models, cell table, and per-cell refinement models — so it can be reloaded
+// with Load without re-sorting or re-training.
+func (f *Flood) Save(out io.Writer) error {
+	w := wire.NewWriter(out)
+	w.Tag(persistMagic)
+	// Layout.
+	w.Ints(f.layout.GridDims)
+	w.Ints(f.layout.GridCols)
+	w.Int(f.layout.SortDim)
+	w.Bool(f.layout.Flatten)
+	// Options.
+	w.Int(int(f.opts.Refinement))
+	w.F64(f.opts.Delta)
+	w.Int(f.opts.CDFLeaves)
+	// Data.
+	f.t.Encode(w)
+	// Bucketers.
+	for _, b := range f.buckets {
+		switch b := b.(type) {
+		case cdfBucketer:
+			w.U8(1)
+			b.cdf.Encode(w)
+		case linearBucketer:
+			w.U8(2)
+			w.I64(b.min)
+			w.F64(b.rangeSz)
+		default:
+			return fmt.Errorf("core: unknown bucketer type %T", b)
+		}
+	}
+	// Cell table.
+	w.I32s(f.cellStart)
+	// Refinement models (sparse).
+	w.Bool(f.models != nil)
+	if f.models != nil {
+		for _, m := range f.models {
+			w.Bool(m != nil)
+			if m != nil {
+				m.Encode(w)
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads an index written by Save.
+func Load(in io.Reader) (*Flood, error) {
+	r := wire.NewReader(in)
+	r.Expect(persistMagic)
+	f := &Flood{}
+	f.layout.GridDims = r.Ints()
+	f.layout.GridCols = r.Ints()
+	f.layout.SortDim = r.Int()
+	f.layout.Flatten = r.Bool()
+	f.opts.Refinement = RefinementMode(r.Int())
+	f.opts.Delta = r.F64()
+	f.opts.CDFLeaves = r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: loading index header: %w", err)
+	}
+	var err error
+	if f.t, err = colstore.DecodeTable(r); err != nil {
+		return nil, err
+	}
+	if err := f.layout.Validate(f.t.NumCols()); err != nil {
+		return nil, fmt.Errorf("core: loaded layout invalid: %w", err)
+	}
+	f.numCells = f.layout.NumCells()
+	g := len(f.layout.GridDims)
+	f.strides = make([]int, g)
+	stride := 1
+	for i := g - 1; i >= 0; i-- {
+		f.strides[i] = stride
+		stride *= f.layout.GridCols[i]
+	}
+	f.buckets = make([]bucketer, g)
+	for gi := range f.buckets {
+		switch tag := r.U8(); tag {
+		case 1:
+			cdf, err := rmi.DecodeCDF(r)
+			if err != nil {
+				return nil, err
+			}
+			f.buckets[gi] = cdfBucketer{cdf: cdf}
+		case 2:
+			f.buckets[gi] = linearBucketer{min: r.I64(), rangeSz: r.F64()}
+		default:
+			return nil, fmt.Errorf("core: unknown bucketer tag %d", tag)
+		}
+	}
+	f.cellStart = r.I32s()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: loading cell table: %w", err)
+	}
+	if len(f.cellStart) != f.numCells+1 {
+		return nil, fmt.Errorf("core: cell table has %d entries, layout needs %d", len(f.cellStart), f.numCells+1)
+	}
+	if r.Bool() {
+		f.models = make([]*plm.Model, f.numCells)
+		for c := range f.models {
+			if !r.Bool() {
+				continue
+			}
+			m, err := plm.DecodeModel(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading cell model %d: %w", c, err)
+			}
+			f.models[c] = m
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	f.computeCellStats()
+	return f, nil
+}

@@ -1,0 +1,232 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+	"flood/internal/rmi"
+)
+
+// Estimator computes cost-model features for candidate layouts without
+// building them, using a flattened data sample (§4.2: "statistics are either
+// estimated using a sample of D or computed exactly from the query rectangle
+// and layout parameters").
+type Estimator struct {
+	n      int         // full dataset size
+	d      int         // dimensions
+	cdfs   []*rmi.CDF  // per-dimension CDFs trained on the sample
+	flat   [][]float64 // [dim][i]: flattened sample values in [0, 1]
+	scale  float64     // n / sampleSize
+	sample int
+}
+
+// NewEstimator draws a row sample from tbl and trains per-dimension CDFs
+// (the "flattening" of Algorithm 1 line 8).
+func NewEstimator(tbl *colstore.Table, sampleSize int, seed int64) *Estimator {
+	n := tbl.NumRows()
+	if sampleSize <= 0 || sampleSize > n {
+		sampleSize = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := rng.Perm(n)[:sampleSize]
+	e := &Estimator{n: n, d: tbl.NumCols(), sample: sampleSize}
+	if sampleSize > 0 {
+		e.scale = float64(n) / float64(sampleSize)
+	}
+	e.cdfs = make([]*rmi.CDF, e.d)
+	e.flat = make([][]float64, e.d)
+	vals := make([]int64, sampleSize)
+	for dim := 0; dim < e.d; dim++ {
+		col := tbl.Column(dim)
+		for i, r := range rows {
+			vals[i] = col.Get(r)
+		}
+		leaves := sampleSize / 32
+		e.cdfs[dim] = rmi.TrainCDF(vals, leaves)
+		e.flat[dim] = make([]float64, sampleSize)
+		for i, v := range vals {
+			e.flat[dim][i] = e.cdfs[dim].At(v)
+		}
+	}
+	return e
+}
+
+// SampleSize returns the number of sampled rows.
+func (e *Estimator) SampleSize() int { return e.sample }
+
+// FlatQuery is a query with its ranges mapped through the per-dimension
+// CDFs.
+type FlatQuery struct {
+	Present  []bool
+	Lo, Hi   []float64
+	Filtered int
+}
+
+// Flatten maps q through the estimator's CDFs.
+func (e *Estimator) Flatten(q query.Query) FlatQuery {
+	fq := FlatQuery{
+		Present: make([]bool, e.d),
+		Lo:      make([]float64, e.d),
+		Hi:      make([]float64, e.d),
+	}
+	for dim, r := range q.Ranges {
+		if !r.Present {
+			fq.Hi[dim] = 1
+			continue
+		}
+		fq.Present[dim] = true
+		fq.Filtered++
+		fq.Lo[dim] = e.cdfs[dim].At(r.Min)
+		fq.Hi[dim] = e.cdfs[dim].At(r.Max)
+	}
+	return fq
+}
+
+// Candidate is a layout under optimization: column counts are continuous so
+// gradient descent can move them smoothly (§4.2).
+type Candidate struct {
+	GridDims []int
+	Cols     []float64 // >= 1
+	SortDim  int
+}
+
+// NumCells returns the (continuous) total cell count.
+func (c Candidate) NumCells() float64 {
+	t := 1.0
+	for _, v := range c.Cols {
+		t *= math.Max(1, v)
+	}
+	return t
+}
+
+// Estimate computes the features q would produce under the candidate layout.
+// Scan-region membership is smoothed: a column of width 1/c overshoots each
+// range endpoint by 1/(2c) in expectation, which keeps the objective
+// differentiable enough for numeric gradients.
+func (e *Estimator) Estimate(fq FlatQuery, cand Candidate) Features {
+	f := Features{
+		TotalCells:   cand.NumCells(),
+		DimsFiltered: float64(fq.Filtered),
+	}
+	f.AvgCellSize = float64(e.n) / f.TotalCells
+	if cand.SortDim >= 0 && fq.Present[cand.SortDim] {
+		f.SortFiltered = 1
+	}
+	// Nc: expected number of intersected cells.
+	nc := 1.0
+	for gi, dim := range cand.GridDims {
+		c := math.Max(1, cand.Cols[gi])
+		if !fq.Present[dim] {
+			nc *= c
+			continue
+		}
+		w := (fq.Hi[dim]-fq.Lo[dim])*c + 1
+		if w > c {
+			w = c
+		}
+		nc *= w
+	}
+	f.Nc = nc
+
+	// Residual dims (filtered but neither grid nor refined sort dims)
+	// spoil exactness for every cell.
+	hasResidual := false
+	for dim := 0; dim < e.d; dim++ {
+		if !fq.Present[dim] || dim == cand.SortDim {
+			continue
+		}
+		inGrid := false
+		for _, g := range cand.GridDims {
+			if g == dim {
+				inGrid = true
+				break
+			}
+		}
+		if !inGrid {
+			hasResidual = true
+			break
+		}
+	}
+
+	// Ns and exact points: count sample points inside the (smoothed) scan
+	// region and its interior.
+	var ns, exact float64
+	for i := 0; i < e.sample; i++ {
+		inScan := true
+		inInterior := !hasResidual
+		for gi, dim := range cand.GridDims {
+			if !fq.Present[dim] {
+				continue
+			}
+			c := math.Max(1, cand.Cols[gi])
+			over := 1 / (2 * c)
+			u := e.flat[dim][i]
+			if u < fq.Lo[dim]-over || u > fq.Hi[dim]+over {
+				inScan = false
+				break
+			}
+			if u < fq.Lo[dim]+over || u > fq.Hi[dim]-over {
+				inInterior = false
+			}
+		}
+		if !inScan {
+			continue
+		}
+		if sd := cand.SortDim; sd >= 0 && fq.Present[sd] {
+			u := e.flat[sd][i]
+			if u < fq.Lo[sd] || u > fq.Hi[sd] {
+				continue // refinement excludes it from the scan
+			}
+		}
+		ns++
+		if inInterior {
+			exact++
+		}
+	}
+	f.Ns = ns * e.scale
+	if f.Nc > 0 {
+		f.AvgVisitedPerCell = f.Ns / f.Nc
+	}
+	if f.Ns > 0 {
+		f.ExactFraction = exact * e.scale / f.Ns
+	}
+	return f
+}
+
+// PredictWorkload returns the model's average predicted query time (ns) for
+// the flattened workload under the candidate layout.
+func (e *Estimator) PredictWorkload(m *Model, fqs []FlatQuery, cand Candidate) float64 {
+	var total float64
+	for i := range fqs {
+		total += m.PredictTime(e.Estimate(fqs[i], cand))
+	}
+	return total / float64(len(fqs))
+}
+
+// DimSelectivities returns the average passing fraction per dimension over
+// the flattened queries (lower = more selective), mirroring
+// workload.DimSelectivities but computed on the estimator's sample.
+func (e *Estimator) DimSelectivities(fqs []FlatQuery) []float64 {
+	sums := make([]float64, e.d)
+	counts := make([]int, e.d)
+	for _, fq := range fqs {
+		for dim := 0; dim < e.d; dim++ {
+			if !fq.Present[dim] {
+				continue
+			}
+			sums[dim] += fq.Hi[dim] - fq.Lo[dim]
+			counts[dim]++
+		}
+	}
+	out := make([]float64, e.d)
+	for dim := range out {
+		if counts[dim] == 0 {
+			out[dim] = 1
+		} else {
+			out[dim] = sums[dim] / float64(counts[dim])
+		}
+	}
+	return out
+}

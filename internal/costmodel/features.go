@@ -1,0 +1,57 @@
+// Package costmodel implements Flood's learned cost model (§4.1): query time
+// is factored as Time = wp·Nc + wr·Nc + ws·Ns (Eq. 1), where the weights
+// {wp, wr, ws} are predicted by random-forest regressors over per-query
+// statistics. Calibration (§4.1.1) measures those statistics and weights by
+// running a query workload over random layouts; afterwards the model
+// predicts query time for candidate layouts using statistics estimated on a
+// small data sample, never requiring an index build.
+package costmodel
+
+import (
+	"flood/internal/core"
+	"flood/internal/query"
+)
+
+// Features are the weight-model inputs (§4.1.1). Every field is computable
+// both from a measured execution (calibration) and from a data sample
+// (layout search), with identical definitions.
+type Features struct {
+	Nc                float64 // cells intersecting the query rectangle
+	Ns                float64 // points scanned
+	TotalCells        float64 // total cells in the layout
+	AvgCellSize       float64 // dataset size / total cells
+	DimsFiltered      float64 // number of dimensions the query filters
+	AvgVisitedPerCell float64 // Ns / Nc: scan run length proxy
+	ExactFraction     float64 // fraction of scanned points in exact sub-ranges
+	SortFiltered      float64 // 1 when the query filters the sort dimension
+}
+
+// Vector flattens the features for the regressors.
+func (f Features) Vector() []float64 {
+	return []float64{
+		f.Nc, f.Ns, f.TotalCells, f.AvgCellSize,
+		f.DimsFiltered, f.AvgVisitedPerCell, f.ExactFraction, f.SortFiltered,
+	}
+}
+
+// Measured computes features from an actual execution of q on a built index.
+func Measured(idx *core.Flood, q query.Query, st query.Stats) Features {
+	f := Features{
+		Nc:           float64(st.CellsVisited),
+		Ns:           float64(st.Scanned),
+		TotalCells:   float64(idx.NumCells()),
+		DimsFiltered: float64(q.NumFiltered()),
+	}
+	n := idx.Table().NumRows()
+	f.AvgCellSize = float64(n) / f.TotalCells
+	if st.CellsVisited > 0 {
+		f.AvgVisitedPerCell = f.Ns / f.Nc
+	}
+	if st.Scanned > 0 {
+		f.ExactFraction = float64(st.ExactMatched) / f.Ns
+	}
+	if sd := idx.Layout().SortDim; sd >= 0 && q.Ranges[sd].Present {
+		f.SortFiltered = 1
+	}
+	return f
+}

@@ -1,0 +1,158 @@
+// Package encode provides the value encodings §7.1 of the paper assumes:
+// the index operates on 64-bit integers, so string attributes are
+// dictionary-encoded and floating-point attributes are scaled by the
+// smallest power of ten that makes them integral.
+package encode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dictionary maps strings to dense int64 codes ordered lexicographically, so
+// range predicates on the encoded column match lexicographic string ranges.
+type Dictionary struct {
+	values []string         // code -> string, sorted
+	codes  map[string]int64 // string -> code
+}
+
+// BuildDictionary constructs a dictionary over the distinct values of col.
+func BuildDictionary(col []string) *Dictionary {
+	seen := make(map[string]bool, len(col))
+	for _, s := range col {
+		seen[s] = true
+	}
+	values := make([]string, 0, len(seen))
+	for s := range seen {
+		values = append(values, s)
+	}
+	sort.Strings(values)
+	d := &Dictionary{values: values, codes: make(map[string]int64, len(values))}
+	for i, s := range values {
+		d.codes[s] = int64(i)
+	}
+	return d
+}
+
+// Len returns the number of distinct values.
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// Code returns the code for s, or (0, false) when s was not in the build
+// set.
+func (d *Dictionary) Code(s string) (int64, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Value returns the string for a code; it panics on out-of-range codes.
+func (d *Dictionary) Value(code int64) string { return d.values[code] }
+
+// Encode maps a string column to codes. Unknown strings produce an error.
+func (d *Dictionary) Encode(col []string) ([]int64, error) {
+	out := make([]int64, len(col))
+	for i, s := range col {
+		c, ok := d.codes[s]
+		if !ok {
+			return nil, fmt.Errorf("encode: value %q not in dictionary", s)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// RangeFor translates an inclusive string range into an inclusive code
+// range; ok is false when no dictionary value falls inside the range.
+// Endpoints need not be present in the dictionary: the range snaps inward
+// to the nearest existing values.
+func (d *Dictionary) RangeFor(lo, hi string) (loCode, hiCode int64, ok bool) {
+	i := sort.SearchStrings(d.values, lo)
+	j := sort.Search(len(d.values), func(k int) bool { return d.values[k] > hi }) - 1
+	if i > j {
+		return 0, 0, false
+	}
+	return int64(i), int64(j), true
+}
+
+// PrefixRange translates a string prefix predicate (LIKE 'abc%') into an
+// inclusive code range.
+func (d *Dictionary) PrefixRange(prefix string) (loCode, hiCode int64, ok bool) {
+	i := sort.SearchStrings(d.values, prefix)
+	j := sort.Search(len(d.values), func(k int) bool {
+		return k >= len(d.values) || !hasPrefix(d.values[k], prefix)
+	})
+	// j is the first index past the prefix run starting at i.
+	j = i + sort.Search(len(d.values)-i, func(k int) bool { return !hasPrefix(d.values[i+k], prefix) })
+	if i >= j {
+		return 0, 0, false
+	}
+	return int64(i), int64(j - 1), true
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// DecimalScaler converts floating-point values to integers by multiplying
+// with 10^digits, per §7.1 ("we scale all values by the smallest power of 10
+// that converts them to integers").
+type DecimalScaler struct {
+	digits int
+	factor float64
+}
+
+// NewDecimalScaler builds a scaler with a fixed number of decimal digits.
+func NewDecimalScaler(digits int) (*DecimalScaler, error) {
+	if digits < 0 || digits > 18 {
+		return nil, fmt.Errorf("encode: digits %d out of [0, 18]", digits)
+	}
+	return &DecimalScaler{digits: digits, factor: math.Pow(10, float64(digits))}, nil
+}
+
+// InferDecimalScaler finds the smallest digit count (up to maxDigits) that
+// represents every value exactly, e.g. prices with 2 decimal places.
+func InferDecimalScaler(col []float64, maxDigits int) (*DecimalScaler, error) {
+	if maxDigits > 9 {
+		maxDigits = 9
+	}
+	for digits := 0; digits <= maxDigits; digits++ {
+		factor := math.Pow(10, float64(digits))
+		exact := true
+		for _, v := range col {
+			scaled := v * factor
+			// Binary floats cannot represent most decimals exactly
+			// (123.45*100 = 12344.999...), so accept values within a
+			// relative tolerance of an integer.
+			tol := 1e-9 * math.Max(1, math.Abs(scaled))
+			if math.Abs(scaled-math.Round(scaled)) > tol {
+				exact = false
+				break
+			}
+		}
+		if exact {
+			return NewDecimalScaler(digits)
+		}
+	}
+	return nil, fmt.Errorf("encode: values need more than %d decimal digits", maxDigits)
+}
+
+// Digits returns the number of preserved decimal digits.
+func (s *DecimalScaler) Digits() int { return s.digits }
+
+// Encode scales a float column to integers, rounding to the scaler's
+// precision.
+func (s *DecimalScaler) Encode(col []float64) ([]int64, error) {
+	out := make([]int64, len(col))
+	for i, v := range col {
+		scaled := math.Round(v * s.factor)
+		if math.IsNaN(scaled) || scaled > math.MaxInt64 || scaled < math.MinInt64 {
+			return nil, fmt.Errorf("encode: value %g not representable at %d digits", v, s.digits)
+		}
+		out[i] = int64(scaled)
+	}
+	return out, nil
+}
+
+// EncodeValue scales one value (for query endpoints).
+func (s *DecimalScaler) EncodeValue(v float64) int64 { return int64(math.Round(v * s.factor)) }
+
+// Decode converts a scaled integer back to a float.
+func (s *DecimalScaler) Decode(v int64) float64 { return float64(v) / s.factor }

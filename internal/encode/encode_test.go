@@ -1,0 +1,156 @@
+package encode
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryRoundtrip(t *testing.T) {
+	col := []string{"cherry", "apple", "banana", "apple", "date", "banana"}
+	d := BuildDictionary(col)
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	codes, err := d.Encode(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		if d.Value(c) != col[i] {
+			t.Fatalf("roundtrip failed at %d: %q", i, d.Value(c))
+		}
+	}
+	if _, err := d.Encode([]string{"elderberry"}); err == nil {
+		t.Fatal("unknown value should fail")
+	}
+}
+
+func TestDictionaryOrderPreserving(t *testing.T) {
+	f := func(raw []string) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		d := BuildDictionary(raw)
+		for i := 0; i < len(raw)-1; i++ {
+			a, _ := d.Code(raw[i])
+			b, _ := d.Code(raw[i+1])
+			if (raw[i] < raw[i+1]) != (a < b) && raw[i] != raw[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictionaryRangeFor(t *testing.T) {
+	d := BuildDictionary([]string{"ant", "bee", "cat", "dog", "eel"})
+	lo, hi, ok := d.RangeFor("bee", "dog")
+	if !ok || d.Value(lo) != "bee" || d.Value(hi) != "dog" {
+		t.Fatalf("RangeFor(bee, dog) = (%d, %d, %v)", lo, hi, ok)
+	}
+	// Endpoints between dictionary values snap inward.
+	lo, hi, ok = d.RangeFor("ba", "cz")
+	if !ok || d.Value(lo) != "bee" || d.Value(hi) != "cat" {
+		t.Fatalf("RangeFor(ba, cz) snapped to (%q, %q)", d.Value(lo), d.Value(hi))
+	}
+	if _, _, ok := d.RangeFor("x", "z"); ok {
+		t.Fatal("empty range should report ok=false")
+	}
+	if _, _, ok := d.RangeFor("dog", "bee"); ok {
+		t.Fatal("inverted range should report ok=false")
+	}
+}
+
+func TestDictionaryPrefixRange(t *testing.T) {
+	d := BuildDictionary([]string{"car", "card", "care", "cart", "cat", "dog"})
+	lo, hi, ok := d.PrefixRange("car")
+	if !ok {
+		t.Fatal("prefix car should match")
+	}
+	if d.Value(lo) != "car" || d.Value(hi) != "cart" {
+		t.Fatalf("prefix range = [%q, %q]", d.Value(lo), d.Value(hi))
+	}
+	if _, _, ok := d.PrefixRange("z"); ok {
+		t.Fatal("no matches should report ok=false")
+	}
+	lo, hi, ok = d.PrefixRange("do")
+	if !ok || d.Value(lo) != "dog" || d.Value(hi) != "dog" {
+		t.Fatal("single-match prefix wrong")
+	}
+}
+
+func TestDecimalScaler(t *testing.T) {
+	s, err := NewDecimalScaler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, err := s.Encode([]float64{1.23, 0, -99.99, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{123, 0, -9999, 100_000_000}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("Encode[%d] = %d, want %d", i, codes[i], want[i])
+		}
+	}
+	if s.Decode(123) != 1.23 {
+		t.Fatalf("Decode(123) = %f", s.Decode(123))
+	}
+	if s.EncodeValue(5.678) != 568 {
+		t.Fatalf("EncodeValue rounds to %d", s.EncodeValue(5.678))
+	}
+	if _, err := NewDecimalScaler(40); err == nil {
+		t.Fatal("excessive digits should fail")
+	}
+}
+
+func TestInferDecimalScaler(t *testing.T) {
+	s, err := InferDecimalScaler([]float64{1.25, 3.5, 7}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Digits() != 2 {
+		t.Fatalf("inferred %d digits, want 2", s.Digits())
+	}
+	s, err = InferDecimalScaler([]float64{1, 2, 3}, 6)
+	if err != nil || s.Digits() != 0 {
+		t.Fatal("integral floats should infer 0 digits")
+	}
+	if _, err := InferDecimalScaler([]float64{1.0 / 3.0}, 6); err == nil {
+		t.Fatal("non-terminating decimal should fail")
+	}
+}
+
+func TestDictionaryLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	raw := make([]string, 5000)
+	for i := range raw {
+		b := make([]byte, 3+rng.Intn(8))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		raw[i] = string(b)
+	}
+	d := BuildDictionary(raw)
+	codes, err := d.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorting by code must equal sorting by string.
+	idx := make([]int, len(raw))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return codes[idx[a]] < codes[idx[b]] })
+	for i := 1; i < len(idx); i++ {
+		if raw[idx[i-1]] > raw[idx[i]] {
+			t.Fatal("code order disagrees with string order")
+		}
+	}
+}

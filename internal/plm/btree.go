@@ -1,0 +1,69 @@
+package plm
+
+// stree is a static, cache-optimized B-tree over a sorted key array: the
+// sorted keys form the bottom level and each higher level keeps every
+// fanout-th key of the level below. Searches touch one small contiguous key
+// block per level, avoiding the pointer chasing of a node-allocated B-tree
+// (§5.2: "forms a cache-optimized B-Tree over those values").
+type stree struct {
+	levels [][]int64
+}
+
+// fanout is the number of keys summarized by one upper-level key. 16 keys =
+// two cache lines per probe.
+const fanout = 16
+
+func newSTree(sorted []int64) *stree {
+	t := &stree{levels: [][]int64{sorted}}
+	for len(t.levels[len(t.levels)-1]) > fanout {
+		prev := t.levels[len(t.levels)-1]
+		next := make([]int64, 0, (len(prev)+fanout-1)/fanout)
+		for i := 0; i < len(prev); i += fanout {
+			next = append(next, prev[i])
+		}
+		t.levels = append(t.levels, next)
+	}
+	return t
+}
+
+// floor returns the index (in the bottom level) of the greatest key <= v, or
+// -1 when v precedes every key.
+func (t *stree) floor(v int64) int {
+	top := t.levels[len(t.levels)-1]
+	pos := scanFloor(top, 0, len(top), v)
+	if pos < 0 {
+		return -1
+	}
+	for lvl := len(t.levels) - 2; lvl >= 0; lvl-- {
+		keys := t.levels[lvl]
+		lo := pos * fanout
+		hi := lo + fanout
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		pos = scanFloor(keys, lo, hi, v)
+	}
+	return pos
+}
+
+// scanFloor finds the greatest index i in [lo, hi) with keys[i] <= v, or -1.
+// Blocks are at most fanout wide so a linear scan stays in cache.
+func scanFloor(keys []int64, lo, hi int, v int64) int {
+	res := -1
+	for i := lo; i < hi; i++ {
+		if keys[i] <= v {
+			res = i
+		} else {
+			break
+		}
+	}
+	return res
+}
+
+func (t *stree) sizeBytes() int64 {
+	var s int64
+	for _, l := range t.levels {
+		s += int64(len(l)) * 8
+	}
+	return s
+}

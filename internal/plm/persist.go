@@ -1,0 +1,42 @@
+package plm
+
+import (
+	"fmt"
+
+	"flood/internal/wire"
+)
+
+// Encode serializes the model; the lookup tree is rebuilt on decode.
+func (m *Model) Encode(w *wire.Writer) {
+	w.Tag("PLM1")
+	w.Int(m.n)
+	w.Int(len(m.segs))
+	for _, s := range m.segs {
+		w.I64(s.Key)
+		w.F64(s.Base)
+		w.F64(s.Slope)
+	}
+}
+
+// DecodeModel reads a model written by Encode.
+func DecodeModel(r *wire.Reader) (*Model, error) {
+	r.Expect("PLM1")
+	m := &Model{n: r.Int()}
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("plm: decoding model header: %w", err)
+	}
+	m.segs = make([]Segment, cnt)
+	keys := make([]int64, cnt)
+	for i := range m.segs {
+		m.segs[i].Key = r.I64()
+		m.segs[i].Base = r.F64()
+		m.segs[i].Slope = r.F64()
+		keys[i] = m.segs[i].Key
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("plm: decoding segments: %w", err)
+	}
+	m.tree = newSTree(keys)
+	return m, nil
+}

@@ -1,0 +1,199 @@
+package plm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedValues(n int, seed int64, dup bool) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		if dup {
+			span := int64(n / 8)
+			if span < 1 {
+				span = 1
+			}
+			vals[i] = rng.Int63n(span)
+		} else {
+			vals[i] = rng.Int63n(1 << 40)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func firstOccurrence(sorted []int64, v int64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+}
+
+func TestPLMLowerBoundProperty(t *testing.T) {
+	// P(v) <= D(v) for every value present in the training data (§5.2).
+	for _, dup := range []bool{false, true} {
+		vals := sortedValues(5000, 11, dup)
+		for _, delta := range []float64{0, 5, 50, 500} {
+			m := Train(vals, delta)
+			for _, v := range vals {
+				if p, d := m.Predict(v), firstOccurrence(vals, v); p > d {
+					t.Fatalf("dup=%v delta=%v: P(%d)=%d > D=%d", dup, delta, v, p, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPLMAverageErrorBound(t *testing.T) {
+	vals := sortedValues(10000, 13, true)
+	for _, delta := range []float64{1, 10, 50, 200} {
+		m := Train(vals, delta)
+		var errSum float64
+		for _, v := range vals {
+			errSum += float64(firstOccurrence(vals, v) - m.Predict(v))
+		}
+		avg := errSum / float64(len(vals))
+		// The greedy pass bounds the average error per slice; the global
+		// average is a weighted mean of per-slice averages, so it obeys
+		// the same bound.
+		if avg > delta+1 { // +1 for integer truncation of predictions
+			t.Fatalf("delta=%v: global average error %.2f exceeds budget", delta, avg)
+		}
+	}
+}
+
+func TestPLMDeltaControlsSegments(t *testing.T) {
+	vals := sortedValues(20000, 17, false)
+	prev := -1
+	for _, delta := range []float64{1, 10, 100, 1000} {
+		n := Train(vals, delta).NumSegments()
+		if prev >= 0 && n > prev {
+			t.Fatalf("segments should not grow with delta: delta=%v has %d > %d", delta, n, prev)
+		}
+		prev = n
+	}
+	if Train(vals, 0).NumSegments() < Train(vals, 1000).NumSegments() {
+		t.Fatal("delta=0 should need at least as many segments as delta=1000")
+	}
+}
+
+func TestPLMLowerBoundExactness(t *testing.T) {
+	for _, n := range []int{1, 2, 100, 5000} {
+		vals := sortedValues(n, int64(n), true)
+		m := Train(vals, DefaultDelta)
+		probes := append([]int64{vals[0] - 1, vals[n-1] + 1}, vals...)
+		rng := rand.New(rand.NewSource(19))
+		for i := 0; i < 300; i++ {
+			probes = append(probes, rng.Int63n(int64(n))+rng.Int63n(5)-2)
+		}
+		for _, v := range probes {
+			want := firstOccurrence(vals, v)
+			if got := m.LowerBound(vals, v); got != want {
+				t.Fatalf("n=%d: LowerBound(%d) = %d, want %d", n, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPLMLowerBoundQuick(t *testing.T) {
+	f := func(raw []int64, probes []int64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		m := Train(raw, 4)
+		for _, v := range probes {
+			if m.LowerBound(raw, v) != firstOccurrence(raw, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPLMEmptyAndConstant(t *testing.T) {
+	m := Train(nil, 50)
+	if m.Predict(7) != 0 || m.LowerBound(nil, 7) != 0 {
+		t.Fatal("empty model should predict 0")
+	}
+	vals := []int64{9, 9, 9, 9, 9}
+	m = Train(vals, 50)
+	if m.LowerBound(vals, 9) != 0 || m.LowerBound(vals, 10) != 5 || m.LowerBound(vals, 8) != 0 {
+		t.Fatal("constant column lower bounds wrong")
+	}
+	if m.NumSegments() != 1 {
+		t.Fatalf("constant column should need 1 segment, got %d", m.NumSegments())
+	}
+}
+
+func TestPLMSizeReflectsSegments(t *testing.T) {
+	vals := sortedValues(20000, 23, false)
+	small := Train(vals, 1000)
+	big := Train(vals, 1)
+	if big.NumSegments() <= small.NumSegments() {
+		t.Skip("distribution too easy to differentiate sizes")
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("SizeBytes should grow with segments: %d <= %d", big.SizeBytes(), small.SizeBytes())
+	}
+}
+
+func TestSTreeFloor(t *testing.T) {
+	keys := []int64{10, 20, 30, 40, 50}
+	tr := newSTree(keys)
+	cases := []struct {
+		v    int64
+		want int
+	}{{5, -1}, {10, 0}, {15, 0}, {20, 1}, {49, 3}, {50, 4}, {1000, 4}}
+	for _, c := range cases {
+		if got := tr.floor(c.v); got != c.want {
+			t.Fatalf("floor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSTreeFloorLarge(t *testing.T) {
+	keys := make([]int64, 10000)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+	}
+	tr := newSTree(keys)
+	if len(tr.levels) < 3 {
+		t.Fatalf("expected multi-level tree, got %d levels", len(tr.levels))
+	}
+	for _, v := range []int64{-1, 0, 1, 2, 3, 14999, 29997, 29998, 50000} {
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] > v }) - 1
+		if got := tr.floor(v); got != want {
+			t.Fatalf("floor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSTreeEmpty(t *testing.T) {
+	tr := newSTree(nil)
+	if tr.floor(5) != -1 {
+		t.Fatal("empty tree floor should be -1")
+	}
+}
+
+func BenchmarkPLMLowerBound(b *testing.B) {
+	vals := sortedValues(1<<17, 29, false)
+	m := Train(vals, DefaultDelta)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += m.LowerBound(vals, vals[i%len(vals)])
+	}
+	_ = sink
+}
+
+func BenchmarkBinarySearchLowerBound(b *testing.B) {
+	vals := sortedValues(1<<17, 29, false)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		v := vals[i%len(vals)]
+		sink += sort.Search(len(vals), func(j int) bool { return vals[j] >= v })
+	}
+	_ = sink
+}

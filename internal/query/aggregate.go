@@ -1,0 +1,113 @@
+package query
+
+import "flood/internal/colstore"
+
+// Aggregator accumulates a statistic over the rows an index produces. Exact
+// sub-ranges (every row in the range is known to match, §7.1) are delivered
+// through AddExactRange so implementations can use cumulative-aggregate
+// columns or arithmetic shortcuts instead of touching row data.
+type Aggregator interface {
+	// Reset clears the accumulator so the aggregator can be reused.
+	Reset()
+	// Add accumulates one matching row.
+	Add(t *colstore.Table, row int)
+	// AddExactRange accumulates rows [start, end), all of which match.
+	AddExactRange(t *colstore.Table, start, end int)
+	// Result returns the accumulated value.
+	Result() int64
+}
+
+// Count implements SELECT COUNT(*).
+type Count struct{ n int64 }
+
+// NewCount returns a COUNT(*) aggregator.
+func NewCount() *Count { return &Count{} }
+
+// Reset implements Aggregator.
+func (c *Count) Reset() { c.n = 0 }
+
+// Add implements Aggregator.
+func (c *Count) Add(*colstore.Table, int) { c.n++ }
+
+// AddExactRange implements Aggregator; exact ranges never touch row data.
+func (c *Count) AddExactRange(_ *colstore.Table, start, end int) { c.n += int64(end - start) }
+
+// Result implements Aggregator.
+func (c *Count) Result() int64 { return c.n }
+
+// Sum implements SELECT SUM(col). When the table carries a cumulative
+// aggregate for the column, exact sub-ranges resolve with two prefix lookups.
+type Sum struct {
+	col int
+	s   int64
+}
+
+// NewSum returns a SUM aggregator over column col.
+func NewSum(col int) *Sum { return &Sum{col: col} }
+
+// Col returns the aggregated column index.
+func (s *Sum) Col() int { return s.col }
+
+// Reset implements Aggregator.
+func (s *Sum) Reset() { s.s = 0 }
+
+// Add implements Aggregator.
+func (s *Sum) Add(t *colstore.Table, row int) { s.s += t.Get(s.col, row) }
+
+// AddExactRange implements Aggregator.
+func (s *Sum) AddExactRange(t *colstore.Table, start, end int) {
+	if t.HasAggregate(s.col) {
+		s.s += t.PrefixSum(s.col, start, end)
+		return
+	}
+	col := t.Column(s.col)
+	var buf [colstore.BlockSize]int64
+	for b := start / colstore.BlockSize; b*colstore.BlockSize < end; b++ {
+		cnt := col.DecodeBlock(b, buf[:])
+		lo := b * colstore.BlockSize
+		i0, i1 := 0, cnt
+		if lo < start {
+			i0 = start - lo
+		}
+		if lo+cnt > end {
+			i1 = end - lo
+		}
+		for i := i0; i < i1; i++ {
+			s.s += buf[i]
+		}
+	}
+}
+
+// Result implements Aggregator.
+func (s *Sum) Result() int64 { return s.s }
+
+// Min implements SELECT MIN(col) (returns PosInf when nothing matched).
+type Min struct {
+	col int
+	m   int64
+	any bool
+}
+
+// NewMin returns a MIN aggregator over column col.
+func NewMin(col int) *Min { return &Min{col: col, m: PosInf} }
+
+// Reset implements Aggregator.
+func (m *Min) Reset() { m.m, m.any = PosInf, false }
+
+// Add implements Aggregator.
+func (m *Min) Add(t *colstore.Table, row int) {
+	if v := t.Get(m.col, row); v < m.m {
+		m.m = v
+	}
+	m.any = true
+}
+
+// AddExactRange implements Aggregator.
+func (m *Min) AddExactRange(t *colstore.Table, start, end int) {
+	for i := start; i < end; i++ {
+		m.Add(t, i)
+	}
+}
+
+// Result implements Aggregator.
+func (m *Min) Result() int64 { return m.m }

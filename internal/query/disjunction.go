@@ -1,0 +1,99 @@
+package query
+
+// Disjunction support (§3): "Typical selections generally also include
+// disjunctions (i.e. OR clauses). However, these can be decomposed into
+// multiple queries over disjoint attribute ranges." This file implements
+// that decomposition: an OR of conjunctive hyper-rectangles becomes a list
+// of pairwise-disjoint rectangles covering the same point set, so running
+// each against an index and summing aggregates never double-counts.
+
+// intersects reports whether two queries' hyper-rectangles overlap.
+func intersects(a, b Query) bool {
+	for d := range a.Ranges {
+		ra, rb := a.Ranges[d], b.Ranges[d]
+		if ra.Max < rb.Min || rb.Max < ra.Min {
+			return false
+		}
+	}
+	return true
+}
+
+// subtract returns a \ b as a list of disjoint rectangles. a and b must
+// have the same dimensionality.
+func subtract(a, b Query) []Query {
+	if a.Empty() {
+		return nil
+	}
+	if !intersects(a, b) {
+		return []Query{a}
+	}
+	var out []Query
+	rem := a
+	for d := range a.Ranges {
+		ra, rb := rem.Ranges[d], b.Ranges[d]
+		// Piece below b along dim d.
+		if ra.Min < rb.Min {
+			piece := cloneQuery(rem)
+			piece.Ranges[d] = normRange(ra.Min, rb.Min-1)
+			out = append(out, piece)
+			ra.Min = rb.Min
+		}
+		// Piece above b along dim d.
+		if ra.Max > rb.Max {
+			piece := cloneQuery(rem)
+			piece.Ranges[d] = normRange(rb.Max+1, ra.Max)
+			out = append(out, piece)
+			ra.Max = rb.Max
+		}
+		rem.Ranges[d] = normRange(ra.Min, ra.Max)
+	}
+	// rem is now fully inside b: dropped.
+	return out
+}
+
+func cloneQuery(q Query) Query {
+	return Query{Ranges: append([]Range(nil), q.Ranges...)}
+}
+
+// normRange builds a range, clearing the Present flag when it spans the
+// whole domain (so unfiltered dimensions stay cheap to execute).
+func normRange(min, max int64) Range {
+	return Range{Min: min, Max: max, Present: min != NegInf || max != PosInf}
+}
+
+// Disjoint decomposes a union of hyper-rectangles into pairwise-disjoint
+// rectangles with the same union. Empty inputs are dropped. The output size
+// is bounded by O(len(queries)^2 * d) rectangles in the worst case; typical
+// OR clauses over distinct value ranges produce no growth at all.
+func Disjoint(queries []Query) []Query {
+	var out []Query
+	for _, q := range queries {
+		if q.Empty() {
+			continue
+		}
+		pending := []Query{cloneQuery(q)}
+		for _, existing := range out {
+			var next []Query
+			for _, p := range pending {
+				next = append(next, subtract(p, existing)...)
+			}
+			pending = next
+			if len(pending) == 0 {
+				break
+			}
+		}
+		out = append(out, pending...)
+	}
+	return out
+}
+
+// ExecuteDisjunction evaluates an OR of conjunctive queries against idx,
+// accumulating every matching row into agg exactly once, and returns the
+// combined execution stats.
+func ExecuteDisjunction(idx Index, queries []Query, agg Aggregator) Stats {
+	var total Stats
+	for _, q := range Disjoint(queries) {
+		total.Add(idx.Execute(q, agg))
+	}
+	return total
+}

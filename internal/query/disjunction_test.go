@@ -1,0 +1,186 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flood/internal/colstore"
+)
+
+func inUnion(queries []Query, p []int64) bool {
+	for _, q := range queries {
+		if q.Matches(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func randomRect(rng *rand.Rand, d int, span int64) Query {
+	q := NewQuery(d)
+	for dim := 0; dim < d; dim++ {
+		if rng.Intn(3) == 0 {
+			continue // leave unfiltered
+		}
+		lo := rng.Int63n(span)
+		hi := lo + rng.Int63n(span/4+1)
+		q = q.WithRange(dim, lo, hi)
+	}
+	return q
+}
+
+func TestDisjointCoversUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + rng.Intn(3)
+		var rects []Query
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			rects = append(rects, randomRect(rng, d, 40))
+		}
+		disjoint := Disjoint(rects)
+		// Probe lattice points: membership in the union must equal
+		// membership in exactly zero-or-one disjoint piece.
+		p := make([]int64, d)
+		var probe func(dim int)
+		probe = func(dim int) {
+			if dim == d {
+				hits := 0
+				for _, q := range disjoint {
+					if q.Matches(p) {
+						hits++
+					}
+				}
+				if inUnion(rects, p) {
+					if hits != 1 {
+						t.Fatalf("point %v covered %d times, want 1 (rects %v)", p, hits, rects)
+					}
+				} else if hits != 0 {
+					t.Fatalf("point %v outside union but covered %d times", p, hits)
+				}
+				return
+			}
+			for v := int64(0); v < 50; v += 3 {
+				p[dim] = v
+				probe(dim + 1)
+			}
+		}
+		probe(0)
+	}
+}
+
+func TestDisjointDropsEmptyInputs(t *testing.T) {
+	q := NewQuery(2).WithRange(0, 10, 5) // inverted
+	if got := Disjoint([]Query{q}); len(got) != 0 {
+		t.Fatalf("empty rect should be dropped, got %d", len(got))
+	}
+	if got := Disjoint(nil); got != nil {
+		t.Fatal("nil input should produce nil")
+	}
+}
+
+func TestDisjointIdenticalRects(t *testing.T) {
+	q := NewQuery(2).WithRange(0, 1, 10).WithRange(1, 1, 10)
+	got := Disjoint([]Query{q, q, q})
+	if len(got) != 1 {
+		t.Fatalf("identical rects should collapse to 1, got %d", len(got))
+	}
+}
+
+func TestDisjointNonOverlapping(t *testing.T) {
+	a := NewQuery(1).WithRange(0, 0, 10)
+	b := NewQuery(1).WithRange(0, 20, 30)
+	got := Disjoint([]Query{a, b})
+	if len(got) != 2 {
+		t.Fatalf("non-overlapping rects should stay as 2, got %d", len(got))
+	}
+}
+
+func TestSubtractExtremes(t *testing.T) {
+	// Subtraction near the int64 domain edges must not overflow.
+	a := NewQuery(1) // full domain
+	b := NewQuery(1).WithRange(0, 0, 100)
+	pieces := subtract(a, b)
+	p := []int64{NegInf}
+	if !inUnion(pieces, p) {
+		t.Fatal("NegInf should survive subtraction of [0, 100]")
+	}
+	p[0] = PosInf
+	if !inUnion(pieces, p) {
+		t.Fatal("PosInf should survive subtraction of [0, 100]")
+	}
+	p[0] = 50
+	if inUnion(pieces, p) {
+		t.Fatal("50 should be removed")
+	}
+}
+
+func TestExecuteDisjunctionNoDoubleCount(t *testing.T) {
+	tbl, data := buildTestTable(t, 2000, 63)
+	idx := &scanIndex{t: tbl}
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 30; trial++ {
+		var rects []Query
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			rects = append(rects, randomRect(rng, 3, 100))
+		}
+		agg := NewCount()
+		ExecuteDisjunction(idx, rects, agg)
+		var want int64
+		p := make([]int64, 3)
+		for r := 0; r < 2000; r++ {
+			for c := range data {
+				p[c] = data[c][r]
+			}
+			if inUnion(rects, p) {
+				want++
+			}
+		}
+		if agg.Result() != want {
+			t.Fatalf("disjunction count = %d, want %d", agg.Result(), want)
+		}
+	}
+}
+
+// scanIndex is a minimal Index for disjunction tests.
+type scanIndex struct{ t *colstore.Table }
+
+func (s *scanIndex) Name() string     { return "scan" }
+func (s *scanIndex) SizeBytes() int64 { return 0 }
+func (s *scanIndex) Execute(q Query, agg Aggregator) Stats {
+	sc := NewScanner(s.t)
+	scanned, matched := sc.ScanRange(q, q.FilteredDims(), 0, s.t.NumRows(), agg)
+	return Stats{Scanned: scanned, Matched: matched}
+}
+
+func TestDisjunctionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rects []Query
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			rects = append(rects, randomRect(rng, 2, 30))
+		}
+		disjoint := Disjoint(rects)
+		// Pairwise disjointness by rejection sampling.
+		p := make([]int64, 2)
+		for probe := 0; probe < 200; probe++ {
+			p[0], p[1] = rng.Int63n(40), rng.Int63n(40)
+			hits := 0
+			for _, q := range disjoint {
+				if q.Matches(p) {
+					hits++
+				}
+			}
+			if hits > 1 {
+				return false
+			}
+			if inUnion(rects, p) != (hits == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package query
+
+// Mergeable is implemented by aggregators whose partial results can be
+// combined, enabling the parallel scan execution sketched in §8
+// ("Concurrency and parallelism"): each worker accumulates into its own
+// clone and the clones merge at the end.
+type Mergeable interface {
+	Aggregator
+	// CloneEmpty returns a fresh aggregator of the same kind and target.
+	CloneEmpty() Mergeable
+	// Merge folds another clone's partial result into this one.
+	Merge(other Mergeable)
+}
+
+// CloneEmpty implements Mergeable.
+func (c *Count) CloneEmpty() Mergeable { return NewCount() }
+
+// Merge implements Mergeable.
+func (c *Count) Merge(other Mergeable) { c.n += other.(*Count).n }
+
+// CloneEmpty implements Mergeable.
+func (s *Sum) CloneEmpty() Mergeable { return NewSum(s.col) }
+
+// Merge implements Mergeable.
+func (s *Sum) Merge(other Mergeable) { s.s += other.(*Sum).s }
+
+// CloneEmpty implements Mergeable.
+func (m *Min) CloneEmpty() Mergeable { return NewMin(m.col) }
+
+// Merge implements Mergeable.
+func (m *Min) Merge(other Mergeable) {
+	o := other.(*Min)
+	if o.any && o.m < m.m {
+		m.m = o.m
+	}
+	m.any = m.any || o.any
+}

@@ -1,0 +1,97 @@
+// Package query defines the predicate, aggregation, statistics, and index
+// abstractions shared by Flood and every baseline index.
+//
+// A query is a conjunction of per-dimension ranges (a hyper-rectangle, §3.2).
+// Indexes execute a query against their privately ordered copy of the table
+// and feed matching rows to an Aggregator. Execution returns Stats that carry
+// the instrumentation behind Table 2 of the paper (scan overhead, time per
+// scanned point, scan/index/total time).
+package query
+
+import "math"
+
+// Unbounded endpoints: a dimension not present in a query filter spans
+// [NegInf, PosInf] (§3.2.1).
+const (
+	NegInf = math.MinInt64
+	PosInf = math.MaxInt64
+)
+
+// Range is an inclusive filter interval over one dimension.
+type Range struct {
+	Min, Max int64
+	Present  bool // whether the query filters this dimension at all
+}
+
+// Contains reports whether v lies inside the range.
+func (r Range) Contains(v int64) bool { return v >= r.Min && v <= r.Max }
+
+// Query is a conjunction of ranges, one per table dimension. Missing filters
+// are represented by Present=false (equivalent to [NegInf, PosInf]).
+type Query struct {
+	Ranges []Range
+}
+
+// NewQuery returns a query over nDims dimensions with no filters.
+func NewQuery(nDims int) Query {
+	r := make([]Range, nDims)
+	for i := range r {
+		r[i] = Range{Min: NegInf, Max: PosInf}
+	}
+	return Query{Ranges: r}
+}
+
+// WithRange returns a copy of q with an added range filter on dim.
+func (q Query) WithRange(dim int, min, max int64) Query {
+	nr := append([]Range(nil), q.Ranges...)
+	nr[dim] = Range{Min: min, Max: max, Present: true}
+	return Query{Ranges: nr}
+}
+
+// WithEquals returns a copy of q with an equality filter on dim, rewritten as
+// the degenerate range [v, v] (§3).
+func (q Query) WithEquals(dim int, v int64) Query { return q.WithRange(dim, v, v) }
+
+// FilteredDims returns the indexes of dimensions with a filter present.
+func (q Query) FilteredDims() []int {
+	var dims []int
+	for i, r := range q.Ranges {
+		if r.Present {
+			dims = append(dims, i)
+		}
+	}
+	return dims
+}
+
+// NumFiltered returns the number of filtered dimensions.
+func (q Query) NumFiltered() int {
+	n := 0
+	for _, r := range q.Ranges {
+		if r.Present {
+			n++
+		}
+	}
+	return n
+}
+
+// Matches reports whether a point (one value per dimension) satisfies every
+// filter in the query.
+func (q Query) Matches(point []int64) bool {
+	for i, r := range q.Ranges {
+		if r.Present && (point[i] < r.Min || point[i] > r.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether any filter is inverted (Min > Max), making the query
+// unsatisfiable.
+func (q Query) Empty() bool {
+	for _, r := range q.Ranges {
+		if r.Present && r.Min > r.Max {
+			return true
+		}
+	}
+	return false
+}

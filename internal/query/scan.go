@@ -1,0 +1,75 @@
+package query
+
+import "flood/internal/colstore"
+
+// Scanner executes the scan-and-filter phase shared by every index. It scans
+// physical row ranges of a table, decoding only the columns present in the
+// query filter (§7.2: "only the columns present in the query filter are
+// accessed"), and feeds matching rows to the aggregator.
+//
+// A Scanner is not safe for concurrent use; indexes create one per Execute.
+type Scanner struct {
+	t    *colstore.Table
+	bufs [][colstore.BlockSize]int64
+}
+
+// NewScanner returns a scanner over t.
+func NewScanner(t *colstore.Table) *Scanner {
+	return &Scanner{t: t, bufs: make([][colstore.BlockSize]int64, t.NumCols())}
+}
+
+// ScanRange scans rows [start, end), filter-checking the dims listed in
+// filterDims against q, and returns (scanned, matched). filterDims must list
+// only dims with q.Ranges[dim].Present. Matching rows go to agg.
+func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggregator) (scanned, matched int64) {
+	if start >= end {
+		return 0, 0
+	}
+	if len(filterDims) == 0 {
+		// Everything in the range matches: treat as exact.
+		agg.AddExactRange(s.t, start, end)
+		n := int64(end - start)
+		return n, n
+	}
+	firstBlock := start / colstore.BlockSize
+	lastBlock := (end - 1) / colstore.BlockSize
+	for b := firstBlock; b <= lastBlock; b++ {
+		blockLo := b * colstore.BlockSize
+		var cnt int
+		for _, d := range filterDims {
+			cnt = s.t.Column(d).DecodeBlock(b, s.bufs[d][:])
+		}
+		i0, i1 := 0, cnt
+		if blockLo < start {
+			i0 = start - blockLo
+		}
+		if blockLo+cnt > end {
+			i1 = end - blockLo
+		}
+	rows:
+		for i := i0; i < i1; i++ {
+			for _, d := range filterDims {
+				v := s.bufs[d][i]
+				r := q.Ranges[d]
+				if v < r.Min || v > r.Max {
+					continue rows
+				}
+			}
+			agg.Add(s.t, blockLo+i)
+			matched++
+		}
+		scanned += int64(i1 - i0)
+	}
+	return scanned, matched
+}
+
+// ScanExactRange accumulates rows [start, end) that are all known to match
+// (an exact sub-range, §7.1): no per-row filter checks are performed.
+func (s *Scanner) ScanExactRange(start, end int, agg Aggregator) (scanned, matched int64) {
+	if start >= end {
+		return 0, 0
+	}
+	agg.AddExactRange(s.t, start, end)
+	n := int64(end - start)
+	return n, n
+}

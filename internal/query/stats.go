@@ -1,0 +1,65 @@
+package query
+
+import "time"
+
+// Stats instruments one query execution. The fields follow the performance
+// breakdown of Table 2 in the paper.
+type Stats struct {
+	Scanned       int64 // points visited during the scan phase
+	Matched       int64 // points satisfying the full predicate (result size)
+	ExactMatched  int64 // matched points that lay in exact sub-ranges (§7.1)
+	CellsVisited  int64 // cells/pages whose physical ranges were processed
+	RangesRefined int64 // cells on which sort-dimension refinement ran
+
+	IndexTime   time.Duration // projection + refinement (IT)
+	ProjectTime time.Duration // projection only (subset of IndexTime; Flood only)
+	RefineTime  time.Duration // refinement only (subset of IndexTime; Flood only)
+	ScanTime    time.Duration // scan + filter (ST)
+	Total       time.Duration // end-to-end (TT)
+}
+
+// ScanOverhead is the ratio of points scanned to points matched (SO in
+// Table 2). Returns +Inf-like large value when nothing matched but points
+// were scanned; 1 when the scan was perfectly tight; 0 for empty scans.
+func (s Stats) ScanOverhead() float64 {
+	if s.Matched == 0 {
+		if s.Scanned == 0 {
+			return 0
+		}
+		return float64(s.Scanned)
+	}
+	return float64(s.Scanned) / float64(s.Matched)
+}
+
+// TimePerScan is the average scan time per scanned point in nanoseconds (TPS
+// in Table 2).
+func (s Stats) TimePerScan() float64 {
+	if s.Scanned == 0 {
+		return 0
+	}
+	return float64(s.ScanTime.Nanoseconds()) / float64(s.Scanned)
+}
+
+// Add accumulates another execution's stats into s (for workload averages).
+func (s *Stats) Add(o Stats) {
+	s.Scanned += o.Scanned
+	s.Matched += o.Matched
+	s.ExactMatched += o.ExactMatched
+	s.CellsVisited += o.CellsVisited
+	s.RangesRefined += o.RangesRefined
+	s.IndexTime += o.IndexTime
+	s.ProjectTime += o.ProjectTime
+	s.RefineTime += o.RefineTime
+	s.ScanTime += o.ScanTime
+	s.Total += o.Total
+}
+
+// Index is the contract satisfied by Flood and every baseline: execute a
+// hyper-rectangle predicate, feeding matching rows to agg, and report
+// instrumentation. SizeBytes covers index metadata only (not the stored
+// data), matching the index-size axis of Fig. 8.
+type Index interface {
+	Name() string
+	Execute(q Query, agg Aggregator) Stats
+	SizeBytes() int64
+}

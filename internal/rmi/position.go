@@ -1,0 +1,139 @@
+package rmi
+
+import "sort"
+
+type posLeaf struct {
+	model          linear
+	minErr, maxErr int32 // bounds of (true - predicted) over the leaf's keys
+}
+
+// PositionIndex is a learned index over a sorted array: Lookup(v) returns the
+// index of the first element >= v by predicting a position and then binary
+// searching within the leaf's guaranteed error window. This is the RMI-based
+// replacement for a B-tree used by the clustered single-dimensional baseline
+// (Appendix A) and the RMI contender of Fig. 17.
+type PositionIndex struct {
+	root   linear
+	leaves []posLeaf
+	keys   []int64 // the sorted array being indexed (not owned)
+	n      int
+}
+
+// TrainPosition builds a position index over sorted (ascending). The slice is
+// retained and must not be mutated. numLeaves is clamped to [1, len(sorted)].
+func TrainPosition(sorted []int64, numLeaves int) *PositionIndex {
+	n := len(sorted)
+	idx := &PositionIndex{keys: sorted, n: n}
+	if n == 0 {
+		idx.root = linear{}
+		idx.leaves = []posLeaf{{}}
+		return idx
+	}
+	if numLeaves < 1 {
+		numLeaves = 1
+	}
+	if numLeaves > n {
+		numLeaves = n
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, v := range sorted {
+		xs[i] = float64(v)
+		ys[i] = float64(i)
+	}
+	// Root routes keys to leaves through a monotone linear model over
+	// normalized positions.
+	rootFit := fitMonotone(xs, ys)
+	idx.root = linear{slope: rootFit.slope / float64(n), intercept: rootFit.intercept / float64(n)}
+	idx.leaves = make([]posLeaf, numLeaves)
+	start := 0
+	for leaf := 0; leaf < numLeaves; leaf++ {
+		end := start
+		for end < n && idx.leafFor(sorted[end]) == leaf {
+			end++
+		}
+		if start == end {
+			// Empty leaf: predict the boundary position exactly.
+			idx.leaves[leaf] = posLeaf{model: linear{0, float64(start)}}
+			continue
+		}
+		lm := fitLinear(xs[start:end], ys[start:end])
+		minE, maxE := int32(0), int32(0)
+		for i := start; i < end; i++ {
+			e := i - clampInt(int(lm.at(xs[i])), 0, n-1)
+			if int32(e) < minE {
+				minE = int32(e)
+			}
+			if int32(e) > maxE {
+				maxE = int32(e)
+			}
+		}
+		idx.leaves[leaf] = posLeaf{model: lm, minErr: minE, maxErr: maxE}
+		start = end
+	}
+	return idx
+}
+
+func (p *PositionIndex) leafFor(v int64) int {
+	return clampInt(int(p.root.at(float64(v))*float64(len(p.leaves))), 0, len(p.leaves)-1)
+}
+
+// Lookup returns the index of the first element >= v (sort.SearchInt64s
+// semantics) in O(log windowSize) after an O(1) prediction.
+func (p *PositionIndex) Lookup(v int64) int {
+	return p.LookupAt(func(i int) int64 { return p.keys[i] }, v)
+}
+
+// LookupAt is Lookup with values reached through an accessor (e.g. a
+// compressed column holding the same sorted data the index was trained on).
+// Combined with DropKeys it lets callers avoid retaining a decoded copy of
+// the keys.
+func (p *PositionIndex) LookupAt(at func(int) int64, v int64) int {
+	if p.n == 0 {
+		return 0
+	}
+	lf := p.leaves[p.leafFor(v)]
+	pred := clampInt(int(lf.model.at(float64(v))), 0, p.n-1)
+	lo := clampInt(pred+int(lf.minErr), 0, p.n)
+	hi := clampInt(pred+int(lf.maxErr)+1, 0, p.n)
+	// The error bounds hold for keys the leaf saw at training time; for
+	// unseen keys, exponentially widen until the window brackets the
+	// answer: keys[lo] < v (or lo == 0) and keys[hi-1] >= v (or hi == n).
+	width := 1
+	for lo > 0 && at(lo) >= v {
+		lo -= width
+		width <<= 1
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	width = 1
+	for hi < p.n && at(hi-1) < v {
+		hi += width
+		width <<= 1
+		if hi > p.n {
+			hi = p.n
+		}
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return at(lo+i) >= v })
+}
+
+// DropKeys releases the index's reference to the training array. After this
+// only LookupAt may be used.
+func (p *PositionIndex) DropKeys() { p.keys = nil }
+
+// SizeBytes reports the model footprint (excluding the indexed keys, which
+// belong to the data).
+func (p *PositionIndex) SizeBytes() int64 {
+	return int64(16 + len(p.leaves)*24)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

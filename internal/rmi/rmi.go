@@ -1,0 +1,176 @@
+// Package rmi implements Recursive Model Indexes (Kraska et al., SIGMOD'18)
+// as used by Flood: monotone per-dimension CDF models that drive grid
+// flattening (§5.1), and position indexes with error bounds that implement
+// the learned clustered single-dimensional baseline (§7.2, Appendix A).
+//
+// Models are two-layer: a linear root routes a key to one of L leaves, and
+// each leaf is a linear regression over the keys it owns. For CDF models the
+// leaves are slope-clamped and range-clamped so the model is monotone
+// non-decreasing — the property §6 requires for partitioning points into
+// columns.
+package rmi
+
+import "sort"
+
+type linear struct {
+	slope, intercept float64
+}
+
+func (l linear) at(v float64) float64 { return l.slope*v + l.intercept }
+
+// fitLinear least-squares fits y = a*x + b over the given points. A
+// degenerate x-range yields a flat line through the mean y.
+func fitLinear(xs, ys []float64) linear {
+	n := float64(len(xs))
+	if len(xs) == 0 {
+		return linear{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return linear{slope: 0, intercept: sy / n}
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	return linear{slope: a, intercept: b}
+}
+
+// fitMonotone fits a linear model but clamps the slope to be non-negative,
+// preserving monotonicity for CDF use.
+func fitMonotone(xs, ys []float64) linear {
+	l := fitLinear(xs, ys)
+	if l.slope < 0 {
+		var sy float64
+		for _, y := range ys {
+			sy += y
+		}
+		return linear{slope: 0, intercept: sy / float64(len(ys))}
+	}
+	return l
+}
+
+type cdfLeaf struct {
+	model  linear
+	lo, hi float64 // clamp range: the true CDF span of this leaf
+}
+
+// CDF is a monotone model of a single attribute's cumulative distribution.
+// At(v) approximates P(X <= v) in [0, 1].
+type CDF struct {
+	root   linear
+	leaves []cdfLeaf
+	minV   int64
+	maxV   int64
+}
+
+// TrainCDF fits a CDF model to values (need not be sorted; a sorted copy is
+// made). numLeaves controls model capacity; it is clamped to [1, len(values)].
+func TrainCDF(values []int64, numLeaves int) *CDF {
+	if len(values) == 0 {
+		return &CDF{leaves: []cdfLeaf{{model: linear{}, lo: 0, hi: 1}}}
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if numLeaves < 1 {
+		numLeaves = 1
+	}
+	if numLeaves > len(sorted) {
+		numLeaves = len(sorted)
+	}
+	n := len(sorted)
+	// Empirical CDF points: (v_i, (i+1)/n). Using the upper rank makes
+	// At(max) ~ 1.
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, v := range sorted {
+		xs[i] = float64(v)
+		ys[i] = float64(i+1) / float64(n)
+	}
+	m := &CDF{
+		root:   fitMonotone(xs, ys),
+		leaves: make([]cdfLeaf, numLeaves),
+		minV:   sorted[0],
+		maxV:   sorted[n-1],
+	}
+	// Route every point through the root to its leaf, then fit leaves.
+	start := 0
+	assign := make([]int, n)
+	for i, v := range sorted {
+		assign[i] = m.leafFor(v)
+	}
+	// assign is non-decreasing because root is monotone and input sorted.
+	prevHi := 0.0
+	for leaf := 0; leaf < numLeaves; leaf++ {
+		end := start
+		for end < n && assign[end] == leaf {
+			end++
+		}
+		if start == end {
+			// Empty leaf: constant at the boundary CDF value.
+			m.leaves[leaf] = cdfLeaf{model: linear{0, prevHi}, lo: prevHi, hi: prevHi}
+			continue
+		}
+		lm := fitMonotone(xs[start:end], ys[start:end])
+		// Clamp to [prevHi, hi]: the true CDF span this leaf is
+		// responsible for. Monotone leaves with non-overlapping clamp
+		// ranges keep the whole model monotone.
+		hi := ys[end-1]
+		m.leaves[leaf] = cdfLeaf{model: lm, lo: prevHi, hi: hi}
+		prevHi = hi
+		start = end
+	}
+	return m
+}
+
+func (m *CDF) leafFor(v int64) int {
+	p := m.root.at(float64(v))
+	leaf := int(p * float64(len(m.leaves)))
+	if leaf < 0 {
+		leaf = 0
+	}
+	if leaf >= len(m.leaves) {
+		leaf = len(m.leaves) - 1
+	}
+	return leaf
+}
+
+// At evaluates the model: an approximation of the fraction of points <= v,
+// clamped to [0, 1] and monotone non-decreasing in v.
+func (m *CDF) At(v int64) float64 {
+	lf := m.leaves[m.leafFor(v)]
+	p := lf.model.at(float64(v))
+	if p < lf.lo {
+		p = lf.lo
+	}
+	if p > lf.hi {
+		p = lf.hi
+	}
+	return p
+}
+
+// Bucket maps v into one of n equi-CDF buckets: ⌊CDF(v)·n⌋ clamped to
+// [0, n-1] (§5.1).
+func (m *CDF) Bucket(v int64, n int) int {
+	b := int(m.At(v) * float64(n))
+	if b < 0 {
+		b = 0
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+// SizeBytes reports the model footprint.
+func (m *CDF) SizeBytes() int64 {
+	return int64(16 + len(m.leaves)*32 + 16)
+}
+
+// NumLeaves returns the number of leaf models.
+func (m *CDF) NumLeaves() int { return len(m.leaves) }

@@ -1,0 +1,204 @@
+package rmi
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func skewedValues(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-normal-ish skew.
+		vals[i] = int64(math.Exp(rng.NormFloat64()*2+8)) + rng.Int63n(10)
+	}
+	return vals
+}
+
+func TestCDFMonotone(t *testing.T) {
+	vals := skewedValues(5000, 1)
+	m := TrainCDF(vals, 64)
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	prev := -1.0
+	for _, v := range sorted {
+		p := m.At(v)
+		if p < prev {
+			t.Fatalf("CDF not monotone: At(%d) = %f < %f", v, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("CDF out of range: At(%d) = %f", v, p)
+		}
+		prev = p
+	}
+	// Also monotone across arbitrary probes, including unseen values.
+	prev = -1
+	for v := sorted[0] - 10; v < sorted[len(sorted)-1]+10; v += (sorted[len(sorted)-1] - sorted[0]) / 500 {
+		p := m.At(v)
+		if p < prev {
+			t.Fatalf("CDF not monotone at probe %d: %f < %f", v, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []int64, probes []int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		m := TrainCDF(raw, 8)
+		sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+		prev := -1.0
+		for _, v := range probes {
+			p := m.At(v)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAccuracy(t *testing.T) {
+	vals := skewedValues(20000, 2)
+	m := TrainCDF(vals, 256)
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(len(sorted))
+	var maxErr float64
+	for i, v := range sorted {
+		trueCDF := float64(i+1) / n
+		if e := math.Abs(m.At(v) - trueCDF); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.15 {
+		t.Fatalf("CDF max error %.3f too large for 256 leaves on 20k points", maxErr)
+	}
+}
+
+func TestCDFBucketBalance(t *testing.T) {
+	// Flattening exists to even out bucket sizes on skewed data (§5.1).
+	vals := skewedValues(30000, 3)
+	m := TrainCDF(vals, 256)
+	const nb = 16
+	counts := make([]int, nb)
+	for _, v := range vals {
+		counts[m.Bucket(v, nb)]++
+	}
+	want := len(vals) / nb
+	for b, c := range counts {
+		if c > want*3 {
+			t.Fatalf("bucket %d holds %d points, want <= %d (3x ideal)", b, c, want*3)
+		}
+	}
+}
+
+func TestCDFDegenerateInputs(t *testing.T) {
+	m := TrainCDF(nil, 4)
+	if p := m.At(42); p < 0 || p > 1 {
+		t.Fatalf("empty-model At out of range: %f", p)
+	}
+	m = TrainCDF([]int64{7}, 4)
+	if m.Bucket(7, 10) < 0 || m.Bucket(7, 10) > 9 {
+		t.Fatal("single-value bucket out of range")
+	}
+	m = TrainCDF([]int64{5, 5, 5, 5}, 4)
+	if b := m.Bucket(5, 8); b < 0 || b > 7 {
+		t.Fatalf("constant-column bucket out of range: %d", b)
+	}
+	if m.At(4) > m.At(5) || m.At(5) > m.At(6) {
+		t.Fatal("constant column not monotone around the value")
+	}
+}
+
+func TestPositionLookupExact(t *testing.T) {
+	for _, numLeaves := range []int{1, 8, 100} {
+		vals := skewedValues(8000, 4)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		idx := TrainPosition(vals, numLeaves)
+		probes := append([]int64{vals[0] - 1, vals[len(vals)-1] + 1}, vals[:200]...)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			probes = append(probes, vals[rng.Intn(len(vals))]+rng.Int63n(7)-3)
+		}
+		for _, v := range probes {
+			want := sort.Search(len(vals), func(i int) bool { return vals[i] >= v })
+			if got := idx.Lookup(v); got != want {
+				t.Fatalf("leaves=%d: Lookup(%d) = %d, want %d", numLeaves, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPositionLookupProperty(t *testing.T) {
+	f := func(raw []int64, probes []int64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		idx := TrainPosition(raw, 4)
+		for _, v := range probes {
+			want := sort.Search(len(raw), func(i int) bool { return raw[i] >= v })
+			if idx.Lookup(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionEmptyAndDuplicates(t *testing.T) {
+	idx := TrainPosition(nil, 4)
+	if idx.Lookup(5) != 0 {
+		t.Fatal("empty index Lookup != 0")
+	}
+	dup := []int64{3, 3, 3, 3, 3, 3, 7, 7, 7}
+	idx = TrainPosition(dup, 3)
+	if idx.Lookup(3) != 0 || idx.Lookup(4) != 6 || idx.Lookup(7) != 6 || idx.Lookup(8) != 9 {
+		t.Fatalf("duplicate lookups wrong: %d %d %d %d",
+			idx.Lookup(3), idx.Lookup(4), idx.Lookup(7), idx.Lookup(8))
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	vals := skewedValues(1000, 6)
+	if TrainCDF(vals, 16).SizeBytes() <= 0 {
+		t.Fatal("CDF SizeBytes must be positive")
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if TrainPosition(vals, 16).SizeBytes() <= 0 {
+		t.Fatal("PositionIndex SizeBytes must be positive")
+	}
+}
+
+func BenchmarkCDFAt(b *testing.B) {
+	vals := skewedValues(100000, 7)
+	m := TrainCDF(vals, 256)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.At(vals[i%len(vals)])
+	}
+	_ = sink
+}
+
+func BenchmarkPositionLookup(b *testing.B) {
+	vals := skewedValues(100000, 8)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := TrainPosition(vals, 316)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += idx.Lookup(vals[i%len(vals)])
+	}
+	_ = sink
+}

@@ -1,0 +1,345 @@
+// Package wire implements the little-endian binary encoding used to persist
+// built indexes (layouts, models, and compressed columns). Writers and
+// readers are sticky-error: callers chain field operations and check the
+// final error once.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer serializes primitive fields to an underlying stream.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriterSize(w, 1<<16)} }
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int64 { return w.n }
+
+// Flush drains buffered output and returns the sticky error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+func (w *Writer) write(buf []byte) {
+	if w.err != nil {
+		return
+	}
+	k, err := w.w.Write(buf)
+	w.n += int64(k)
+	w.err = err
+}
+
+// U64 writes a fixed 8-byte unsigned integer.
+func (w *Writer) U64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.write(buf[:])
+}
+
+// I64 writes a fixed 8-byte signed integer.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as 8 bytes.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+// U32 writes a fixed 4-byte unsigned integer.
+func (w *Writer) U32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.write(buf[:])
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// Bool writes one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 writes a float64 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.Int(len(s))
+	w.write([]byte(s))
+}
+
+// I64s writes a length-prefixed int64 slice.
+func (w *Writer) I64s(vs []int64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.I64(v)
+	}
+}
+
+// U64s writes a length-prefixed uint64 slice.
+func (w *Writer) U64s(vs []uint64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// U32s writes a length-prefixed uint32 slice.
+func (w *Writer) U32s(vs []uint32) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.U32(v)
+	}
+}
+
+// I32s writes a length-prefixed int32 slice.
+func (w *Writer) I32s(vs []int32) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.U32(uint32(v))
+	}
+}
+
+// U8s writes a length-prefixed byte slice.
+func (w *Writer) U8s(vs []uint8) {
+	w.Int(len(vs))
+	w.write(vs)
+}
+
+// Ints writes a length-prefixed int slice.
+func (w *Writer) Ints(vs []int) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// F64s writes a length-prefixed float64 slice.
+func (w *Writer) F64s(vs []float64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// Strs writes a length-prefixed string slice.
+func (w *Writer) Strs(vs []string) {
+	w.Int(len(vs))
+	for _, s := range vs {
+		w.Str(s)
+	}
+}
+
+// maxLen bounds length prefixes against corrupt or hostile inputs.
+const maxLen = 1 << 31
+
+// Reader deserializes fields written by Writer.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1<<16)} }
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) read(buf []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, buf)
+}
+
+// U64 reads a fixed 8-byte unsigned integer.
+func (r *Reader) U64() uint64 {
+	var buf [8]byte
+	r.read(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// I64 reads a fixed 8-byte signed integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// U32 reads a fixed 4-byte unsigned integer.
+func (r *Reader) U32() uint32 {
+	var buf [4]byte
+	r.read(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	var buf [1]byte
+	r.read(buf[:])
+	return buf[0]
+}
+
+// Bool reads one byte.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+func (r *Reader) length() int {
+	n := r.Int()
+	if r.err == nil && (n < 0 || n > maxLen) {
+		r.err = fmt.Errorf("wire: invalid length %d", n)
+		return 0
+	}
+	return n
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.length()
+	if r.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	r.read(buf)
+	return string(buf)
+}
+
+// I64s reads a length-prefixed int64 slice.
+func (r *Reader) I64s() []int64 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.I64()
+	}
+	return out
+}
+
+// U64s reads a length-prefixed uint64 slice.
+func (r *Reader) U64s() []uint64 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// U32s reads a length-prefixed uint32 slice.
+func (r *Reader) U32s() []uint32 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.U32()
+	}
+	return out
+}
+
+// I32s reads a length-prefixed int32 slice.
+func (r *Reader) I32s() []int32 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.U32())
+	}
+	return out
+}
+
+// U8s reads a length-prefixed byte slice.
+func (r *Reader) U8s() []uint8 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint8, n)
+	r.read(out)
+	return out
+}
+
+// Ints reads a length-prefixed int slice.
+func (r *Reader) Ints() []int {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (r *Reader) F64s() []float64 {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Strs reads a length-prefixed string slice.
+func (r *Reader) Strs() []string {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.Str()
+	}
+	return out
+}
+
+// Expect fails the reader when the next bytes do not match tag.
+func (r *Reader) Expect(tag string) {
+	got := make([]byte, len(tag))
+	r.read(got)
+	if r.err == nil && string(got) != tag {
+		r.err = fmt.Errorf("wire: expected tag %q, found %q", tag, got)
+	}
+}
+
+// Tag writes a raw, unprefixed tag.
+func (w *Writer) Tag(tag string) { w.write([]byte(tag)) }

@@ -1,0 +1,82 @@
+package flood
+
+import "time"
+
+// Monitor implements the workload-shift detection sketched in §8 ("Shifting
+// workloads"): it tracks query cost over a sliding window and signals when
+// the current layout has drifted far enough from its expected performance
+// that relearning is worthwhile. The reference cost is the cost model's
+// prediction when available (Build), otherwise the first full window
+// observed after construction.
+//
+// Typical use:
+//
+//	mon := flood.NewMonitor(idx, 64, 3.0)
+//	for q := range queries {
+//	    st := idx.Execute(q, agg)
+//	    if mon.Record(st) {
+//	        idx, _ = flood.Build(tbl, recentQueries, opts) // relearn
+//	        mon = flood.NewMonitor(idx, 64, 3.0)
+//	    }
+//	}
+type Monitor struct {
+	window    []time.Duration
+	next      int
+	filled    bool
+	reference float64 // ns
+	factor    float64
+}
+
+// NewMonitor tracks idx over a sliding window of windowSize queries; Record
+// returns true once the window's average query time exceeds factor times
+// the reference cost.
+func NewMonitor(idx *Flood, windowSize int, factor float64) *Monitor {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	m := &Monitor{window: make([]time.Duration, windowSize), factor: factor}
+	if idx != nil && idx.PredictedCost() > 0 {
+		m.reference = idx.PredictedCost()
+	}
+	return m
+}
+
+// Record adds one query's stats and reports whether the layout should be
+// relearned. It never fires before a full window has been observed.
+func (m *Monitor) Record(st Stats) bool {
+	m.window[m.next] = st.Total
+	m.next++
+	if m.next == len(m.window) {
+		m.next = 0
+		if !m.filled {
+			m.filled = true
+			if m.reference == 0 {
+				m.reference = m.windowAvg()
+				return false
+			}
+		}
+	}
+	if !m.filled || m.reference == 0 {
+		return false
+	}
+	return m.windowAvg() > m.factor*m.reference
+}
+
+// Reference returns the baseline average query time in nanoseconds (0 until
+// established).
+func (m *Monitor) Reference() float64 { return m.reference }
+
+// WindowAverage returns the current window's average query time in
+// nanoseconds (only meaningful once a full window has been recorded).
+func (m *Monitor) WindowAverage() float64 { return m.windowAvg() }
+
+func (m *Monitor) windowAvg() float64 {
+	var sum time.Duration
+	for _, d := range m.window {
+		sum += d
+	}
+	return float64(sum.Nanoseconds()) / float64(len(m.window))
+}

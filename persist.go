@@ -1,0 +1,23 @@
+package flood
+
+import (
+	"io"
+
+	"flood/internal/core"
+	"flood/internal/optimizer"
+)
+
+// Save serializes the built index (layout, reordered data, and all learned
+// models) to w. The cost model and predicted cost are not persisted: a
+// loaded index answers queries immediately, but relearning needs a model
+// (see Calibrate).
+func (f *Flood) Save(w io.Writer) error { return f.idx.Save(w) }
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Flood, error) {
+	idx, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Flood{idx: idx, result: optimizer.Result{Layout: idx.Layout()}}, nil
+}
