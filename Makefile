@@ -1,0 +1,32 @@
+# Flood — learned multi-dimensional index (reproduction of "Learning
+# Multi-Dimensional Indexes", SIGMOD 2020).
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-full clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the scan-kernel and build benchmarks that gate perf PRs and
+# records them in BENCH_scan.json so the trajectory is diffable in git.
+bench:
+	$(GO) test ./internal/core -run '^$$' \
+		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation' \
+		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
+
+# bench-full additionally covers the colstore micro-benchmarks.
+bench-full: bench
+	$(GO) test ./internal/colstore -run '^$$' -bench . -benchmem -benchtime=1s
+
+clean:
+	rm -f /tmp/bench_scan.txt

@@ -1,0 +1,3 @@
+module flood
+
+go 1.24

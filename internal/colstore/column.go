@@ -5,9 +5,11 @@
 // block-delta compression: values are divided into consecutive blocks of 128
 // entries and each value is encoded as the bit-packed delta to the minimum
 // value in its block. The encoding supports constant-time random access and
-// fast block-at-a-time decoding for scans. Columns may optionally carry a
-// cumulative-aggregate companion (prefix sums) that lets exact sub-range
-// aggregations complete in O(1) without touching the underlying data.
+// fast block-at-a-time decoding for scans. Every block additionally carries
+// its min/max (a zone map) so scans can skip or exact-accept whole blocks
+// without decoding them. Columns may optionally carry a cumulative-aggregate
+// companion (prefix sums) that lets exact sub-range aggregations complete in
+// O(1) without touching the underlying data.
 package colstore
 
 import "math/bits"
@@ -18,7 +20,8 @@ const BlockSize = 128
 // Column is an immutable, block-delta-compressed vector of int64 values.
 type Column struct {
 	n       int
-	mins    []int64  // per-block minimum value
+	mins    []int64  // per-block minimum value (also the zone-map lower bound)
+	maxs    []int64  // per-block maximum value (zone-map upper bound)
 	widths  []uint8  // per-block delta bit width (0..64)
 	offsets []uint32 // per-block starting word index into words
 	words   []uint64 // packed deltas
@@ -31,6 +34,7 @@ func NewColumn(values []int64) *Column {
 	c := &Column{
 		n:       n,
 		mins:    make([]int64, nBlocks),
+		maxs:    make([]int64, nBlocks),
 		widths:  make([]uint8, nBlocks),
 		offsets: make([]uint32, nBlocks),
 	}
@@ -53,6 +57,7 @@ func NewColumn(values []int64) *Column {
 		}
 		w := bits.Len64(uint64(maxV) - uint64(minV))
 		c.mins[b] = minV
+		c.maxs[b] = maxV
 		c.widths[b] = uint8(w)
 		c.offsets[b] = uint32(totalWords)
 		totalWords += (len(blk)*w + 63) / 64
@@ -87,6 +92,14 @@ func NewColumn(values []int64) *Column {
 // Len returns the number of values in the column.
 func (c *Column) Len() int { return c.n }
 
+// NumBlocks returns the number of compression blocks.
+func (c *Column) NumBlocks() int { return len(c.mins) }
+
+// BlockBounds returns the zone map of block b: the minimum and maximum value
+// stored in it. Scans use it to skip blocks disjoint from a predicate and to
+// exact-accept blocks fully contained in one, without decoding either way.
+func (c *Column) BlockBounds(b int) (min, max int64) { return c.mins[b], c.maxs[b] }
+
 // Get returns the value at row i in constant time.
 func (c *Column) Get(i int) int64 {
 	b := i / BlockSize
@@ -108,7 +121,8 @@ func (c *Column) Get(i int) int64 {
 
 // DecodeBlock decodes block b into out and returns the number of valid
 // values (BlockSize for all but possibly the last block). out must have
-// room for BlockSize values.
+// room for BlockSize values. Common bit widths (0/8/16/32/64) take
+// specialized word-at-a-time loops.
 func (c *Column) DecodeBlock(b int, out []int64) int {
 	lo := b * BlockSize
 	cnt := c.n - lo
@@ -123,19 +137,56 @@ func (c *Column) DecodeBlock(b int, out []int64) int {
 		}
 		return cnt
 	}
-	base := uint(c.offsets[b]) * 64
-	m := mask(w)
-	for i := 0; i < cnt; i++ {
-		pos := base + uint(i)*w
-		wi := pos >> 6
-		off := pos & 63
-		delta := c.words[wi] >> off
-		if off+w > 64 {
-			delta |= c.words[wi+1] << (64 - off)
+	words := c.words[c.offsets[b]:]
+	out = out[:cnt]
+	switch w {
+	case 8:
+		decodeFixed(words, out, minV, 8)
+	case 16:
+		decodeFixed(words, out, minV, 16)
+	case 32:
+		decodeFixed(words, out, minV, 32)
+	case 64:
+		for i := range out {
+			out[i] = minV + int64(words[i])
 		}
-		out[i] = minV + int64(delta&m)
+	default:
+		m := mask(w)
+		pos := uint(0)
+		for i := range out {
+			wi := pos >> 6
+			off := pos & 63
+			delta := words[wi] >> off
+			if off+w > 64 {
+				delta |= words[wi+1] << (64 - off)
+			}
+			out[i] = minV + int64(delta&m)
+			pos += w
+		}
 	}
 	return cnt
+}
+
+// decodeFixed unpacks deltas of a width that evenly divides 64 (8, 16, or
+// 32 bits), so every value lies inside a single word and words unpack with
+// shifts only — no cross-word carries and no per-value division.
+func decodeFixed(words []uint64, out []int64, minV int64, w uint) {
+	per := 64 / w
+	m := mask(w)
+	i := 0
+	for ; i+int(per) <= len(out); i += int(per) {
+		wd := words[uint(i)/per]
+		for k := uint(0); k < per; k++ {
+			out[i+int(k)] = minV + int64((wd>>(k*w))&m)
+		}
+	}
+	if i < len(out) {
+		wd := words[uint(i)/per]
+		for sh := uint(0); i < len(out); i++ {
+			out[i] = minV + int64((wd>>sh)&m)
+			sh += w
+		}
+	}
 }
 
 // Decode materializes the whole column into a fresh slice.
@@ -150,14 +201,97 @@ func (c *Column) Decode() []int64 {
 	return out
 }
 
+// LowerBound returns the smallest index i in [start, end) with Get(i) >= v,
+// or end if no such index exists. The rows [start, end) must be sorted
+// ascending. The search runs at row granularity until the remaining window
+// fits inside one compression block, which is then decoded once and finished
+// in-cache — cheaper than repeated bit-unpacking probes.
+func (c *Column) LowerBound(start, end int, v int64) int {
+	lo, hi := start, end
+	for lo < hi && lo/BlockSize != (hi-1)/BlockSize {
+		mid := int(uint(lo+hi) >> 1)
+		if c.Get(mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= hi {
+		return lo
+	}
+	b := lo / BlockSize
+	base := b * BlockSize
+	var buf [BlockSize]int64
+	c.DecodeBlock(b, buf[:])
+	i, j := lo-base, hi-base
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if buf[mid] < v {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	return base + i
+}
+
+// LowerBoundHint is LowerBound seeded with a predicted position (e.g. from a
+// learned model): an exponential search brackets the answer around hint, then
+// the block-decoded binary search finishes inside the bracket. hint is
+// clamped into [start, end].
+func (c *Column) LowerBoundHint(start, end, hint int, v int64) int {
+	if hint < start {
+		hint = start
+	}
+	if hint > end {
+		hint = end
+	}
+	lo, hi := hint, hint
+	width := 1
+	for lo > start && c.Get(lo-1) >= v {
+		lo -= width
+		width <<= 1
+		if lo < start {
+			lo = start
+		}
+	}
+	width = 1
+	for hi < end && c.Get(hi) < v {
+		hi += width
+		width <<= 1
+		if hi > end {
+			hi = end
+		}
+	}
+	return c.LowerBound(lo, hi, v)
+}
+
 // SizeBytes reports the in-memory footprint of the compressed column.
 func (c *Column) SizeBytes() int64 {
-	return int64(len(c.mins)*8 + len(c.widths) + len(c.offsets)*4 + len(c.words)*8)
+	return int64(len(c.mins)*8 + len(c.maxs)*8 + len(c.widths) + len(c.offsets)*4 + len(c.words)*8)
 }
 
 // UncompressedSizeBytes reports the footprint the column would occupy as a
 // plain []int64.
 func (c *Column) UncompressedSizeBytes() int64 { return int64(c.n) * 8 }
+
+// computeMaxs rebuilds the per-block maxima from the packed data. Decoded
+// (persisted) columns call this because the wire format predates zone maps
+// and carries only per-block minima.
+func (c *Column) computeMaxs() {
+	c.maxs = make([]int64, len(c.mins))
+	var buf [BlockSize]int64
+	for b := range c.mins {
+		cnt := c.DecodeBlock(b, buf[:])
+		maxV := buf[0]
+		for _, v := range buf[1:cnt] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		c.maxs[b] = maxV
+	}
+}
 
 func mask(w uint) uint64 {
 	if w >= 64 {

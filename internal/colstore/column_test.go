@@ -154,3 +154,188 @@ func BenchmarkColumnDecodeBlock(b *testing.B) {
 		c.DecodeBlock(i&(1<<13-1), buf[:])
 	}
 }
+
+func TestColumnEmpty(t *testing.T) {
+	c := NewColumn(nil)
+	if c.Len() != 0 || c.NumBlocks() != 0 {
+		t.Fatalf("empty column: Len=%d NumBlocks=%d", c.Len(), c.NumBlocks())
+	}
+	if got := c.Decode(); len(got) != 0 {
+		t.Fatalf("Decode of empty column returned %d values", len(got))
+	}
+	if c.SizeBytes() < 0 || c.UncompressedSizeBytes() != 0 {
+		t.Fatalf("empty column sizes: %d / %d", c.SizeBytes(), c.UncompressedSizeBytes())
+	}
+	if got := c.LowerBound(0, 0, 42); got != 0 {
+		t.Fatalf("LowerBound on empty column = %d, want 0", got)
+	}
+}
+
+func TestColumnSingleBlockTail(t *testing.T) {
+	// A column smaller than one block: the only block is a tail block.
+	for _, n := range []int{1, 2, BlockSize / 2, BlockSize - 1} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i*i - 50)
+		}
+		c := NewColumn(vals)
+		if c.NumBlocks() != 1 {
+			t.Fatalf("n=%d: NumBlocks = %d, want 1", n, c.NumBlocks())
+		}
+		var buf [BlockSize]int64
+		if cnt := c.DecodeBlock(0, buf[:]); cnt != n {
+			t.Fatalf("n=%d: DecodeBlock count = %d", n, cnt)
+		}
+		for i := range vals {
+			if buf[i] != vals[i] || c.Get(i) != vals[i] {
+				t.Fatalf("n=%d: value %d mismatch", n, i)
+			}
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if bmin, bmax := c.BlockBounds(0); bmin != lo || bmax != hi {
+			t.Fatalf("n=%d: BlockBounds = (%d, %d), want (%d, %d)", n, bmin, bmax, lo, hi)
+		}
+	}
+}
+
+func TestColumnWidth64Deltas(t *testing.T) {
+	// Min/max spanning the full int64 range forces 64-bit deltas; the
+	// specialized width-64 decode loop and the zone map must both survive
+	// the unsigned wraparound.
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int64, 2*BlockSize+13)
+	for i := range vals {
+		vals[i] = int64(rng.Uint64())
+	}
+	vals[0] = math.MinInt64
+	vals[1] = math.MaxInt64
+	vals[2*BlockSize] = math.MaxInt64 // tail block extreme
+	c := NewColumn(vals)
+	var buf [BlockSize]int64
+	for b := 0; b < c.NumBlocks(); b++ {
+		cnt := c.DecodeBlock(b, buf[:])
+		lo, hi := buf[0], buf[0]
+		for i := 0; i < cnt; i++ {
+			if want := vals[b*BlockSize+i]; buf[i] != want {
+				t.Fatalf("block %d value %d = %d, want %d", b, i, buf[i], want)
+			}
+			if buf[i] < lo {
+				lo = buf[i]
+			}
+			if buf[i] > hi {
+				hi = buf[i]
+			}
+		}
+		bmin, bmax := c.BlockBounds(b)
+		if bmin != lo || bmax != hi {
+			t.Fatalf("block %d bounds = (%d, %d), want (%d, %d)", b, bmin, bmax, lo, hi)
+		}
+	}
+}
+
+// TestColumnDecodeBlockAgreesWithGet is the DecodeBlock-vs-Get property
+// test: for random columns of every width class, block decoding and random
+// access must agree on every row, and zone maps must be exact.
+func TestColumnDecodeBlockAgreesWithGet(t *testing.T) {
+	f := func(seed int64, nBlocks uint8, tail uint8, widthClass uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nBlocks%5)*BlockSize + int(tail)%BlockSize
+		if n == 0 {
+			n = 1
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			switch widthClass % 6 {
+			case 0:
+				vals[i] = 77 // width 0
+			case 1:
+				vals[i] = rng.Int63n(200) // width 8
+			case 2:
+				vals[i] = -1000 + rng.Int63n(1<<16) // width 16
+			case 3:
+				vals[i] = rng.Int63n(1 << 32) // width 32
+			case 4:
+				vals[i] = int64(rng.Uint64()) // width 64
+			default:
+				vals[i] = rng.Int63n(1 << 21) // generic width
+			}
+		}
+		c := NewColumn(vals)
+		var buf [BlockSize]int64
+		for b := 0; b < c.NumBlocks(); b++ {
+			cnt := c.DecodeBlock(b, buf[:])
+			lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+			for i := 0; i < cnt; i++ {
+				row := b*BlockSize + i
+				if buf[i] != c.Get(row) || buf[i] != vals[row] {
+					return false
+				}
+				if buf[i] < lo {
+					lo = buf[i]
+				}
+				if buf[i] > hi {
+					hi = buf[i]
+				}
+			}
+			if bmin, bmax := c.BlockBounds(b); bmin != lo || bmax != hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5*BlockSize + 31
+	vals := make([]int64, n)
+	v := int64(-4000)
+	for i := range vals {
+		v += rng.Int63n(7) // sorted with duplicates
+		vals[i] = v
+	}
+	c := NewColumn(vals)
+	check := func(start, end int, target int64) {
+		t.Helper()
+		want := start
+		for want < end && vals[want] < target {
+			want++
+		}
+		if got := c.LowerBound(start, end, target); got != want {
+			t.Fatalf("LowerBound(%d, %d, %d) = %d, want %d", start, end, target, got, want)
+		}
+		for _, hint := range []int{start, end, (start + end) / 2, want} {
+			if got := c.LowerBoundHint(start, end, hint, target); got != want {
+				t.Fatalf("LowerBoundHint(%d, %d, hint=%d, %d) = %d, want %d",
+					start, end, hint, target, got, want)
+			}
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		start := rng.Intn(n)
+		end := start + rng.Intn(n-start+1)
+		var target int64
+		switch trial % 3 {
+		case 0:
+			target = vals[rng.Intn(n)]
+		case 1:
+			target = vals[rng.Intn(n)] + 1
+		default:
+			target = -5000 + rng.Int63n(12000)
+		}
+		check(start, end, target)
+	}
+	check(0, n, math.MinInt64)
+	check(0, n, math.MaxInt64)
+}

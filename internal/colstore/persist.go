@@ -53,6 +53,7 @@ func DecodeTable(r *wire.Reader) (*Table, error) {
 		if c.n != n {
 			return nil, fmt.Errorf("colstore: column %d has %d rows, table has %d", i, c.n, n)
 		}
+		c.computeMaxs()
 		t.cols[i] = c
 	}
 	for i := range t.prefixes {

@@ -1,6 +1,10 @@
 package colstore
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Table is a read-only collection of equally sized named columns. Indexes
 // reorder rows at build time by constructing a new Table with Reorder; the
@@ -79,7 +83,8 @@ func (t *Table) Raw(i int) []int64 { return t.cols[i].Decode() }
 
 // Reorder returns a new table whose row r holds the original row perm[r].
 // perm must be a permutation of [0, NumRows). Aggregate columns are rebuilt
-// for the same set of columns that had them.
+// for the same set of columns that had them. Columns are independent, so
+// they decode, permute, and recompress in parallel.
 func (t *Table) Reorder(perm []int) *Table {
 	nt := &Table{
 		names:    append([]string(nil), t.names...),
@@ -87,17 +92,29 @@ func (t *Table) Reorder(perm []int) *Table {
 		prefixes: make([][]int64, len(t.cols)),
 		n:        t.n,
 	}
-	buf := make([]int64, t.n)
-	for c := range t.cols {
-		raw := t.cols[c].Decode()
-		for r, p := range perm {
-			buf[r] = raw[p]
-		}
-		nt.cols[c] = NewColumn(buf)
-		if t.prefixes[c] != nil {
-			nt.buildPrefix(c, buf)
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(t.cols) {
+		workers = len(t.cols)
 	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]int64, t.n)
+			for c := w; c < len(t.cols); c += workers {
+				raw := t.cols[c].Decode()
+				for r, p := range perm {
+					buf[r] = raw[p]
+				}
+				nt.cols[c] = NewColumn(buf)
+				if t.prefixes[c] != nil {
+					nt.buildPrefix(c, buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 	return nt
 }
 

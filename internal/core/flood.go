@@ -1,9 +1,13 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"flood/internal/colstore"
@@ -39,6 +43,30 @@ type scanRange struct {
 	mask       uint64 // residual filter dims needing per-row checks
 }
 
+// execScratch holds the per-query working set of Execute — projection
+// coordinates and the scan-range list — so the steady-state query path
+// allocates nothing. Scratch is pooled package-wide; slices grow to each
+// index's dimensionality once and are reused.
+type execScratch struct {
+	ranges  []scanRange
+	los     []int
+	his     []int
+	coords  []int
+	present []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(execScratch) }}
+
+func (es *execScratch) grids(g int) (los, his, coords []int, present []bool) {
+	if cap(es.los) < g {
+		es.los = make([]int, g)
+		es.his = make([]int, g)
+		es.coords = make([]int, g)
+		es.present = make([]bool, g)
+	}
+	return es.los[:g], es.his[:g], es.coords[:g], es.present[:g]
+}
+
 // Build constructs a Flood index over t with the given layout. The input
 // table is not modified; the index holds a reordered copy.
 func Build(t *colstore.Table, layout Layout, opts Options) (*Flood, error) {
@@ -65,85 +93,165 @@ func Build(t *colstore.Table, layout Layout, opts Options) (*Flood, error) {
 		stride *= layout.GridCols[i]
 	}
 
-	// Train per-dimension bucketers and assign each row to a cell.
+	// Train per-dimension bucketers (independent: one goroutine per grid
+	// dim; each decoded column is dropped as soon as its model is fit),
+	// then assign each row to a cell in parallel row chunks, decoding grid
+	// columns block-at-a-time so no full raw column stays resident.
 	f.buckets = make([]bucketer, g)
+	parallelFor(g, func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			raw := t.Raw(layout.GridDims[gi])
+			if layout.Flatten {
+				leaves := opts.CDFLeaves
+				if leaves <= 0 {
+					leaves = defaultCDFLeaves(n)
+				}
+				f.buckets[gi] = cdfBucketer{cdf: rmi.TrainCDF(raw, leaves)}
+			} else {
+				var minV, maxV int64
+				if len(raw) > 0 {
+					minV, maxV = raw[0], raw[0]
+					for _, v := range raw[1:] {
+						if v < minV {
+							minV = v
+						}
+						if v > maxV {
+							maxV = v
+						}
+					}
+				}
+				f.buckets[gi] = newLinearBucketer(minV, maxV)
+			}
+		}
+	})
 	cells := make([]int32, n)
-	for gi, dim := range layout.GridDims {
-		raw := t.Raw(dim)
-		if layout.Flatten {
-			leaves := opts.CDFLeaves
-			if leaves <= 0 {
-				leaves = defaultCDFLeaves(n)
-			}
-			f.buckets[gi] = cdfBucketer{cdf: rmi.TrainCDF(raw, leaves)}
-		} else {
-			minV, maxV := raw[0], raw[0]
-			for _, v := range raw[1:] {
-				if v < minV {
-					minV = v
+	parallelFor(n, func(lo, hi int) {
+		var buf [colstore.BlockSize]int64
+		for gi := 0; gi < g; gi++ {
+			col := t.Column(layout.GridDims[gi])
+			b := f.buckets[gi]
+			cols := layout.GridCols[gi]
+			str := int32(f.strides[gi])
+			for i := lo; i < hi; {
+				blk := i / colstore.BlockSize
+				blockLo := blk * colstore.BlockSize
+				j1 := col.DecodeBlock(blk, buf[:])
+				if blockLo+j1 > hi {
+					j1 = hi - blockLo
 				}
-				if v > maxV {
-					maxV = v
+				for j := i - blockLo; j < j1; j++ {
+					cells[blockLo+j] += int32(b.bucket(buf[j], cols)) * str
 				}
+				i = blockLo + j1
 			}
-			f.buckets[gi] = newLinearBucketer(minV, maxV)
 		}
-		b := f.buckets[gi]
-		cols := layout.GridCols[gi]
-		str := int32(f.strides[gi])
-		for i, v := range raw {
-			cells[i] += int32(b.bucket(v, cols)) * str
-		}
-	}
+	})
 	if n == 0 {
 		f.t = t
 		f.cellStart = make([]int32, f.numCells+1)
 		return f, nil
 	}
 
-	// Order rows by (cell, sort value): a depth-first traversal of the
-	// grid with per-cell sorting (§3.1).
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
-	if layout.SortDim >= 0 {
-		sortVals := t.Raw(layout.SortDim)
-		sort.Slice(perm, func(a, b int) bool {
-			pa, pb := perm[a], perm[b]
-			if cells[pa] != cells[pb] {
-				return cells[pa] < cells[pb]
-			}
-			return sortVals[pa] < sortVals[pb]
-		})
-	} else {
-		sort.Slice(perm, func(a, b int) bool { return cells[perm[a]] < cells[perm[b]] })
-	}
-	f.t = t.Reorder(perm)
-
-	// Cell table: physical start index of each cell (§3.2.1).
+	// Order rows by (cell, sort value): a depth-first traversal of the grid
+	// with per-cell sorting (§3.1). Cell order comes from an O(n) counting
+	// sort — the cell histogram doubles as the cell table (§3.2.1) — and
+	// only the sort dimension is comparison-sorted, cell by cell, in
+	// parallel cell chunks.
 	f.cellStart = make([]int32, f.numCells+1)
-	for _, i := range perm {
-		f.cellStart[cells[i]+1]++
+	for _, c := range cells {
+		f.cellStart[c+1]++
 	}
 	for c := 0; c < f.numCells; c++ {
 		f.cellStart[c+1] += f.cellStart[c]
 	}
+	perm := make([]int, n)
+	next := make([]int32, f.numCells)
+	copy(next, f.cellStart[:f.numCells])
+	for i := 0; i < n; i++ {
+		c := cells[i]
+		perm[next[c]] = i
+		next[c]++
+	}
+	if layout.SortDim >= 0 {
+		// Sort (value, row) pairs rather than rows through an indirection:
+		// the keys travel with the swaps, halving cache misses.
+		sortVals := t.Raw(layout.SortDim)
+		pairs := make([]sortPair, n)
+		for i, p := range perm {
+			pairs[i] = sortPair{v: sortVals[p], row: int32(p)}
+		}
+		parallelFor(f.numCells, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				cs, ce := f.cellStart[c], f.cellStart[c+1]
+				if ce-cs > 1 {
+					slices.SortFunc(pairs[cs:ce], func(a, b sortPair) int {
+						return cmp.Compare(a.v, b.v)
+					})
+				}
+			}
+		})
+		for i, p := range pairs {
+			perm[i] = int(p.row)
+		}
+	}
+	f.t = t.Reorder(perm)
 
 	// Per-cell refinement models over the sort dimension (§5.2).
 	if layout.SortDim >= 0 && opts.Refinement == RefineModel {
 		sorted := f.t.Raw(layout.SortDim)
 		f.models = make([]*plm.Model, f.numCells)
-		for c := 0; c < f.numCells; c++ {
-			cs, ce := f.cellStart[c], f.cellStart[c+1]
-			if cs == ce {
-				continue
+		parallelFor(f.numCells, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				cs, ce := f.cellStart[c], f.cellStart[c+1]
+				if cs == ce {
+					continue
+				}
+				f.models[c] = plm.Train(sorted[cs:ce], opts.Delta)
 			}
-			f.models[c] = plm.Train(sorted[cs:ce], opts.Delta)
-		}
+		})
 	}
 	f.computeCellStats()
 	return f, nil
+}
+
+// sortPair carries a sort-dimension key together with its original row so
+// per-cell sorts touch one contiguous array.
+type sortPair struct {
+	v   int64
+	row int32
+}
+
+// parallelFor splits [0, n) into one contiguous chunk per worker and runs fn
+// on each concurrently. Used by Build for the embarrassingly parallel stages
+// (§8: different cells can be processed simultaneously); results are
+// identical to a sequential run.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 func defaultCDFLeaves(n int) int {
@@ -217,7 +325,10 @@ func (f *Flood) SizeBytes() int64 {
 	return s
 }
 
-// Execute implements query.Index: projection, refinement, scan (§3.2).
+// Execute implements query.Index: projection, refinement, scan (§3.2). The
+// steady-state path performs zero heap allocations: projection scratch and
+// scan ranges come from a pool, and the scanner reuses per-dimension decode
+// buffers.
 func (f *Flood) Execute(q query.Query, agg query.Aggregator) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
@@ -225,19 +336,19 @@ func (f *Flood) Execute(q query.Query, agg query.Aggregator) query.Stats {
 		st.Total = time.Since(t0)
 		return st
 	}
-	ranges, projSt := f.project(q)
-	st.CellsVisited = projSt.CellsVisited
+	es := scratchPool.Get().(*execScratch)
+	ranges := f.project(q, es, &st)
 	t1 := time.Now()
 	st.ProjectTime = t1.Sub(t0)
 
-	refSt := f.refine(q, ranges)
-	st.RangesRefined = refSt.RangesRefined
+	f.refine(q, ranges, &st)
 	t2 := time.Now()
 	st.RefineTime = t2.Sub(t1)
 	st.IndexTime = st.ProjectTime + st.RefineTime
 
-	scanSt := f.scan(q, ranges, agg)
-	st.Scanned, st.Matched, st.ExactMatched = scanSt.Scanned, scanSt.Matched, scanSt.ExactMatched
+	f.scan(q, ranges, agg, &st)
+	es.ranges = ranges[:0]
+	scratchPool.Put(es)
 	t3 := time.Now()
 	st.ScanTime = t3.Sub(t2)
 	st.Total = t3.Sub(t0)
@@ -250,15 +361,21 @@ func (f *Flood) refines(q query.Query) bool {
 		f.opts.Refinement != RefineNone
 }
 
-// project implements §3.2.1: identify the cells intersecting the query
-// rectangle and their physical ranges, tagging each with the residual
+// project implements §3.2.1: identify the non-empty cells intersecting the
+// query rectangle and their physical ranges, tagging each with the residual
 // filter dimensions that must be row-checked during the scan.
-func (f *Flood) project(q query.Query) ([]scanRange, query.Stats) {
-	var st query.Stats
+//
+// Cells are visited in increasing cell-number order, so physically adjacent
+// ranges with identical residual masks are coalesced as they are emitted
+// (the innermost grid dimension has stride 1: runs of cells along it map to
+// one contiguous physical range). A large query rectangle therefore produces
+// O(perimeter) scan ranges instead of O(volume). Coalescing is disabled when
+// sort-dimension refinement applies, since refinement relies on per-cell
+// sort order. CellsVisited counts only non-empty cells, matching
+// NonEmptyCells accounting.
+func (f *Flood) project(q query.Query, es *execScratch, st *query.Stats) []scanRange {
 	g := len(f.layout.GridDims)
-	los := make([]int, g)
-	his := make([]int, g)
-	present := make([]bool, g)
+	los, his, coords, present := es.grids(g)
 	for gi, dim := range f.layout.GridDims {
 		r := q.Ranges[dim]
 		cols := f.layout.GridCols[gi]
@@ -268,13 +385,17 @@ func (f *Flood) project(q query.Query) ([]scanRange, query.Stats) {
 			present[gi] = true
 		} else {
 			los[gi], his[gi] = 0, cols-1
+			present[gi] = false
 		}
 	}
 	// Residual filters that must be checked per row: filtered dims that
 	// are neither grid dims nor a refined sort dim.
 	var baseMask uint64
 	refine := f.refines(q)
-	for _, d := range q.FilteredDims() {
+	for d, r := range q.Ranges {
+		if !r.Present {
+			continue
+		}
 		if d == f.layout.SortDim && refine {
 			continue
 		}
@@ -284,8 +405,9 @@ func (f *Flood) project(q query.Query) ([]scanRange, query.Stats) {
 		baseMask |= 1 << uint(d)
 	}
 
-	ranges := make([]scanRange, 0, 64)
-	coords := append([]int(nil), los...)
+	coalesce := !refine
+	ranges := es.ranges[:0]
+	copy(coords, los)
 	for {
 		cell := 0
 		mask := baseMask
@@ -295,11 +417,18 @@ func (f *Flood) project(q query.Query) ([]scanRange, query.Stats) {
 				mask |= 1 << uint(f.layout.GridDims[gi])
 			}
 		}
-		st.CellsVisited++
 		cs, ce := f.cellStart[cell], f.cellStart[cell+1]
 		if cs != ce {
+			st.CellsVisited++
+			if coalesce && len(ranges) > 0 {
+				if last := &ranges[len(ranges)-1]; last.mask == mask && last.end == cs {
+					last.end = ce
+					goto next
+				}
+			}
 			ranges = append(ranges, scanRange{cell: int32(cell), start: cs, end: ce, mask: mask})
 		}
+	next:
 		// Odometer over the query rectangle's cells.
 		gi := g - 1
 		for ; gi >= 0; gi-- {
@@ -313,62 +442,61 @@ func (f *Flood) project(q query.Query) ([]scanRange, query.Stats) {
 			break
 		}
 	}
-	return ranges, st
+	es.ranges = ranges
+	st.ScanRanges = int64(len(ranges))
+	return ranges
 }
 
 // refine implements §3.2.2 / §5.2: narrow each range along the sort
-// dimension using per-cell models (or binary search), mutating ranges in
-// place.
-func (f *Flood) refine(q query.Query, ranges []scanRange) query.Stats {
-	var st query.Stats
-	if f.refines(q) {
-		r := q.Ranges[f.layout.SortDim]
-		col := f.t.Column(f.layout.SortDim)
-		for i := range ranges {
-			rg := &ranges[i]
-			st.RangesRefined++
-			cellLen := int(rg.end - rg.start)
-			base := int(rg.start)
-			at := func(j int) int64 { return col.Get(base + j) }
-			var i1, i2 int
-			if f.opts.Refinement == RefineModel && f.models != nil && f.models[rg.cell] != nil {
-				m := f.models[rg.cell]
-				if r.Min == query.NegInf {
-					i1 = 0
-				} else {
-					i1 = m.LowerBoundAt(cellLen, at, r.Min)
-				}
-				if r.Max == query.PosInf {
-					i2 = cellLen
-				} else {
-					i2 = m.LowerBoundAt(cellLen, at, r.Max+1)
-				}
-			} else {
-				if r.Min == query.NegInf {
-					i1 = 0
-				} else {
-					i1 = sort.Search(cellLen, func(j int) bool { return at(j) >= r.Min })
-				}
-				if r.Max == query.PosInf {
-					i2 = cellLen
-				} else {
-					i2 = sort.Search(cellLen, func(j int) bool { return at(j) > r.Max })
-				}
-			}
-			rg.start, rg.end = int32(base+i1), int32(base+i2)
-		}
+// dimension, mutating ranges in place. Model predictions (or plain binary
+// search) are rectified through the column's block-decoded lower-bound
+// search — no per-probe accessor closures.
+func (f *Flood) refine(q query.Query, ranges []scanRange, st *query.Stats) {
+	if !f.refines(q) {
+		return
 	}
-	return st
+	r := q.Ranges[f.layout.SortDim]
+	col := f.t.Column(f.layout.SortDim)
+	useModel := f.opts.Refinement == RefineModel && f.models != nil
+	for i := range ranges {
+		rg := &ranges[i]
+		st.RangesRefined++
+		base, end := int(rg.start), int(rg.end)
+		var i1, i2 int
+		if useModel && f.models[rg.cell] != nil {
+			m := f.models[rg.cell]
+			if r.Min == query.NegInf {
+				i1 = base
+			} else {
+				i1 = col.LowerBoundHint(base, end, base+m.Predict(r.Min), r.Min)
+			}
+			if r.Max == query.PosInf {
+				i2 = end
+			} else {
+				i2 = col.LowerBoundHint(base, end, base+m.Predict(r.Max+1), r.Max+1)
+			}
+		} else {
+			if r.Min == query.NegInf {
+				i1 = base
+			} else {
+				i1 = col.LowerBound(base, end, r.Min)
+			}
+			if r.Max == query.PosInf {
+				i2 = end
+			} else {
+				i2 = col.LowerBound(base, end, r.Max+1)
+			}
+		}
+		rg.start, rg.end = int32(i1), int32(i2)
+	}
 }
 
 // scan implements §3.2 step 3: visit every refined physical range, using
 // exact-range fast paths when no residual filters remain.
-func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator) query.Stats {
-	var st query.Stats
-
-	// ---- Scan (§3.2 step 3) ----
-	sc := query.NewScanner(f.t)
-	var dims []int
+func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st *query.Stats) {
+	sc := query.GetScanner(f.t)
+	var dimsBuf [64]int
+	dims := dimsBuf[:0]
 	var lastMask uint64 = ^uint64(0)
 	for _, rg := range ranges {
 		if rg.start >= rg.end {
@@ -394,7 +522,7 @@ func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator) qu
 		st.Scanned += s
 		st.Matched += m
 	}
-	return st
+	sc.Release()
 }
 
 func (f *Flood) gridIndexOf(dim int) int {

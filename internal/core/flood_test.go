@@ -273,14 +273,17 @@ func TestFloodEmptyTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{4}, SortDim: 1, Flatten: true}, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	agg := query.NewCount()
-	idx.Execute(query.NewQuery(2).WithRange(0, 0, 10), agg)
-	if agg.Result() != 0 {
-		t.Fatal("empty table should match nothing")
+	// Equi-width bucketing must not choke on an empty column either.
+	for _, flatten := range []bool{true, false} {
+		idx, err := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{4}, SortDim: 1, Flatten: flatten}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := query.NewCount()
+		idx.Execute(query.NewQuery(2).WithRange(0, 0, 10), agg)
+		if agg.Result() != 0 {
+			t.Fatalf("flatten=%v: empty table should match nothing", flatten)
+		}
 	}
 }
 

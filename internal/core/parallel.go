@@ -31,22 +31,24 @@ func (f *Flood) ExecuteParallel(q query.Query, agg query.Mergeable, workers int)
 		st.Total = time.Since(t0)
 		return st
 	}
-	ranges, projSt := f.project(q)
-	st.CellsVisited = projSt.CellsVisited
+	es := scratchPool.Get().(*execScratch)
+	ranges := f.project(q, es, &st)
 	t1 := time.Now()
 	st.ProjectTime = t1.Sub(t0)
-	refSt := f.refine(q, ranges)
-	st.RangesRefined = refSt.RangesRefined
+	f.refine(q, ranges, &st)
 	t2 := time.Now()
 	st.RefineTime = t2.Sub(t1)
 	st.IndexTime = st.ProjectTime + st.RefineTime
+	defer func() {
+		es.ranges = es.ranges[:0]
+		scratchPool.Put(es)
+	}()
 
 	if len(ranges) < 2*workers {
 		workers = 1
 	}
 	if workers == 1 {
-		scanSt := f.scan(q, ranges, agg)
-		st.Scanned, st.Matched, st.ExactMatched = scanSt.Scanned, scanSt.Matched, scanSt.ExactMatched
+		f.scan(q, ranges, agg, &st)
 		t3 := time.Now()
 		st.ScanTime = t3.Sub(t2)
 		st.Total = t3.Sub(t0)
@@ -70,7 +72,7 @@ func (f *Flood) ExecuteParallel(q query.Query, agg query.Mergeable, workers int)
 		partAggs[w] = agg.CloneEmpty()
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			partStats[w] = f.scan(q, ranges[lo:hi], partAggs[w])
+			f.scan(q, ranges[lo:hi], partAggs[w], &partStats[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()

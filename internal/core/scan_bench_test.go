@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// Benchmarks for the vectorized scan kernel and the O(n) grid build. These
+// back the perf table in README.md; `make bench` records them in
+// BENCH_scan.json. Run with:
+//
+//	go test ./internal/core -bench 'Residual|Build1M|SteadyState' -benchmem
+//
+// residualBenchIndex builds a 5-dim table where dims 3 and 4 are correlated
+// with the grid dims (dim3 ~ dim0, dim4 ~ dim1), the common case where
+// residual-filter zone maps can prune blocks: after the grid reorder, rows
+// in a cell share a narrow dim0 band and therefore a narrow dim3 band.
+func residualBenchIndex(b *testing.B, n int) (*Flood, []query.Query) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]int64, 5)
+	for d := range data {
+		data[d] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		data[0][i] = rng.Int63n(1 << 20)
+		data[1][i] = rng.Int63n(1 << 20)
+		data[2][i] = rng.Int63n(1 << 20)
+		data[3][i] = data[0][i] + rng.Int63n(1<<12)
+		data[4][i] = data[1][i] + rng.Int63n(1<<12)
+	}
+	tbl, err := colstore.NewTable([]string{"a", "b", "c", "d", "e"}, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := Layout{GridDims: []int{0, 1}, GridCols: []int{16, 16}, SortDim: 2, Flatten: true}
+	idx, err := Build(tbl, layout, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var queries []query.Query
+	for i := 0; i < 64; i++ {
+		lo0 := rng.Int63n(1 << 19)
+		lo1 := rng.Int63n(1 << 19)
+		q := query.NewQuery(5).
+			WithRange(0, lo0, lo0+1<<18).
+			WithRange(1, lo1, lo1+1<<18).
+			WithRange(3, lo0, lo0+1<<17).
+			WithRange(4, lo1, lo1+1<<17)
+		queries = append(queries, q)
+	}
+	return idx, queries
+}
+
+// BenchmarkResidualFilterScan measures range queries whose predicate keeps
+// residual (non-grid, non-sort) dimensions that must be filter-checked
+// during the scan — the path the selection-vector + zone-map kernel targets.
+func BenchmarkResidualFilterScan(b *testing.B) {
+	idx, queries := residualBenchIndex(b, 200_000)
+	agg := query.NewCount()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Reset()
+		idx.Execute(queries[i%len(queries)], agg)
+	}
+}
+
+// BenchmarkWideRectScan measures a query rectangle covering many grid cells
+// with only grid-dim filters: the range-coalescing path (O(perimeter) scan
+// ranges instead of O(volume)).
+func BenchmarkWideRectScan(b *testing.B) {
+	idx, queries := residualBenchIndex(b, 200_000)
+	wide := make([]query.Query, len(queries))
+	for i, q := range queries {
+		w := query.NewQuery(5)
+		w.Ranges[0] = q.Ranges[0]
+		w.Ranges[1] = q.Ranges[1]
+		wide[i] = w
+	}
+	agg := query.NewCount()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Reset()
+		idx.Execute(wide[i%len(wide)], agg)
+	}
+}
+
+// BenchmarkSteadyStateExecute measures the fully warmed Execute path (the
+// one that must run with zero allocations per query).
+func BenchmarkSteadyStateExecute(b *testing.B) {
+	idx, queries := residualBenchIndex(b, 200_000)
+	agg := query.NewCount()
+	// Warm pools/buffers.
+	for _, q := range queries {
+		idx.Execute(q, agg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Reset()
+		idx.Execute(queries[i%len(queries)], agg)
+	}
+}
+
+// BenchmarkBuild1M measures index construction at 1M rows x 4 dims.
+func BenchmarkBuild1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1_000_000
+	data := make([][]int64, 4)
+	for d := range data {
+		data[d] = make([]int64, n)
+		for i := range data[d] {
+			data[d][i] = rng.Int63n(1 << 30)
+		}
+	}
+	tbl, err := colstore.NewTable([]string{"a", "b", "c", "d"}, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := Layout{GridDims: []int{0, 1}, GridCols: []int{32, 16}, SortDim: 2, Flatten: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(tbl, layout, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -202,3 +202,15 @@ func TestStatsDerived(t *testing.T) {
 		t.Fatal("Stats.Add broken")
 	}
 }
+
+func TestScannerInvertedRangeMatchesNothing(t *testing.T) {
+	// Direct ScanRange callers may pass inverted ranges; the branchless
+	// unsigned compares must not wrap them into match-everything.
+	tbl, _ := buildTestTable(t, 300, 37)
+	q := NewQuery(3).WithRange(1, 60, 40)
+	sc := NewScanner(tbl)
+	agg := NewCount()
+	if s, m := sc.ScanRange(q, q.FilteredDims(), 0, 300, agg); s != 0 || m != 0 || agg.Result() != 0 {
+		t.Fatalf("inverted range: scanned=%d matched=%d agg=%d, want all 0", s, m, agg.Result())
+	}
+}

@@ -1,26 +1,89 @@
 package query
 
-import "flood/internal/colstore"
+import (
+	"sync"
+
+	"flood/internal/colstore"
+)
 
 // Scanner executes the scan-and-filter phase shared by every index. It scans
-// physical row ranges of a table, decoding only the columns present in the
-// query filter (§7.2: "only the columns present in the query filter are
-// accessed"), and feeds matching rows to the aggregator.
+// physical row ranges of a table block-at-a-time, decoding only the columns
+// present in the query filter (§7.2: "only the columns present in the query
+// filter are accessed"), and feeds matching rows to the aggregator.
 //
-// A Scanner is not safe for concurrent use; indexes create one per Execute.
+// Per block, the scanner first consults each filtered column's zone map
+// (per-block min/max): blocks disjoint from a predicate are skipped without
+// decoding, and predicates that contain a block's whole value range need no
+// per-row check there. Only the remaining dimensions are decoded, each
+// refining a selection vector of surviving row offsets; survivors reach the
+// aggregator as contiguous runs so run-length fast paths (COUNT arithmetic,
+// SUM prefix lookups) apply.
+//
+// Decode buffers are allocated lazily, one per dimension actually filtered,
+// and retained across calls: a reused or pooled Scanner performs zero
+// allocations in steady state.
+//
+// A Scanner is not safe for concurrent use.
 type Scanner struct {
-	t    *colstore.Table
-	bufs [][colstore.BlockSize]int64
+	t      *colstore.Table
+	bufs   [][]int64 // lazily allocated per-dim decode buffers (BlockSize each)
+	active []int     // scratch: dims needing per-row checks in the current block
+	sel    [colstore.BlockSize]int32
 }
 
 // NewScanner returns a scanner over t.
 func NewScanner(t *colstore.Table) *Scanner {
-	return &Scanner{t: t, bufs: make([][colstore.BlockSize]int64, t.NumCols())}
+	s := &Scanner{}
+	s.Reset(t)
+	return s
+}
+
+// Reset points the scanner at t, retaining decode buffers when possible so a
+// long-lived Scanner can serve many tables and queries without reallocating.
+func (s *Scanner) Reset(t *colstore.Table) {
+	s.t = t
+	if n := t.NumCols(); n > len(s.bufs) {
+		bufs := make([][]int64, n)
+		copy(bufs, s.bufs)
+		s.bufs = bufs
+	}
+}
+
+// minExactRun is the shortest survivor run delivered through AddExactRange;
+// shorter runs use per-row Add (see the run-emission loop in ScanRange).
+const minExactRun = 16
+
+var scannerPool = sync.Pool{New: func() any { return &Scanner{} }}
+
+// GetScanner returns a pooled scanner reset to t. Callers pass it back with
+// Release once the query's scan phase is done; paired Get/Release keeps the
+// steady-state query path allocation-free.
+func GetScanner(t *colstore.Table) *Scanner {
+	s := scannerPool.Get().(*Scanner)
+	s.Reset(t)
+	return s
+}
+
+// Release returns the scanner to the pool. The caller must not use s after.
+// The table reference is dropped so a pooled scanner does not pin column
+// data beyond the query that used it.
+func (s *Scanner) Release() {
+	s.t = nil
+	scannerPool.Put(s)
+}
+
+func (s *Scanner) buf(d int) []int64 {
+	if s.bufs[d] == nil {
+		s.bufs[d] = make([]int64, colstore.BlockSize)
+	}
+	return s.bufs[d]
 }
 
 // ScanRange scans rows [start, end), filter-checking the dims listed in
 // filterDims against q, and returns (scanned, matched). filterDims must list
-// only dims with q.Ranges[dim].Present. Matching rows go to agg.
+// only dims with q.Ranges[dim].Present. Matching rows go to agg. Rows inside
+// blocks that a zone map proves disjoint from the predicate are pruned
+// without being decoded and do not count as scanned.
 func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggregator) (scanned, matched int64) {
 	if start >= end {
 		return 0, 0
@@ -31,34 +94,112 @@ func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggre
 		n := int64(end - start)
 		return n, n
 	}
+	for _, d := range filterDims {
+		// An inverted range matches nothing. Checked up front because the
+		// branchless block compares below assume Min <= Max (the unsigned
+		// span would wrap to almost-always-true).
+		if r := q.Ranges[d]; r.Min > r.Max {
+			return 0, 0
+		}
+	}
+	t := s.t
 	firstBlock := start / colstore.BlockSize
 	lastBlock := (end - 1) / colstore.BlockSize
 	for b := firstBlock; b <= lastBlock; b++ {
 		blockLo := b * colstore.BlockSize
-		var cnt int
-		for _, d := range filterDims {
-			cnt = s.t.Column(d).DecodeBlock(b, s.bufs[d][:])
-		}
-		i0, i1 := 0, cnt
+		i0 := 0
 		if blockLo < start {
 			i0 = start - blockLo
 		}
-		if blockLo+cnt > end {
-			i1 = end - blockLo
+		i1 := end - blockLo
+		if i1 > colstore.BlockSize {
+			i1 = colstore.BlockSize
 		}
-	rows:
+
+		// Zone-map pass: prune or exact-accept per dimension.
+		active := s.active[:0]
+		skip := false
+		for _, d := range filterDims {
+			bmin, bmax := t.Column(d).BlockBounds(b)
+			r := q.Ranges[d]
+			if bmin > r.Max || bmax < r.Min {
+				skip = true
+				break
+			}
+			if bmin >= r.Min && bmax <= r.Max {
+				continue // whole block inside the predicate: no row checks
+			}
+			active = append(active, d)
+		}
+		s.active = active
+		if skip {
+			continue
+		}
+		if len(active) == 0 {
+			agg.AddExactRange(t, blockLo+i0, blockLo+i1)
+			n := int64(i1 - i0)
+			scanned += n
+			matched += n
+			continue
+		}
+
+		// Build the selection vector from the first undecided dimension,
+		// then refine it in place with each remaining one. The membership
+		// test is branchless: v ∈ [Min, Max] becomes one unsigned compare
+		// (u64(v-Min) <= u64(Max-Min), wrap-safe for unbounded ranges), and
+		// the unconditional store + conditional increment compiles to a
+		// predicated instruction instead of a mispredicting branch.
+		d0 := active[0]
+		buf := s.buf(d0)
+		t.Column(d0).DecodeBlock(b, buf)
+		r := q.Ranges[d0]
+		rmin, span := uint64(r.Min), uint64(r.Max)-uint64(r.Min)
+		sel := s.sel[:]
+		nsel := 0
 		for i := i0; i < i1; i++ {
-			for _, d := range filterDims {
-				v := s.bufs[d][i]
-				r := q.Ranges[d]
-				if v < r.Min || v > r.Max {
-					continue rows
+			sel[nsel] = int32(i)
+			if uint64(buf[i])-rmin <= span {
+				nsel++
+			}
+		}
+		for _, d := range active[1:] {
+			if nsel == 0 {
+				break
+			}
+			buf = s.buf(d)
+			t.Column(d).DecodeBlock(b, buf)
+			r = q.Ranges[d]
+			rmin, span = uint64(r.Min), uint64(r.Max)-uint64(r.Min)
+			k := 0
+			for _, i := range sel[:nsel] {
+				sel[k] = i
+				if uint64(buf[i])-rmin <= span {
+					k++
 				}
 			}
-			agg.Add(s.t, blockLo+i)
-			matched++
+			nsel = k
 		}
 		scanned += int64(i1 - i0)
+		matched += int64(nsel)
+
+		// Feed survivors to the aggregator in contiguous runs. Short runs
+		// go through per-row Add: an AddExactRange implementation may pay a
+		// fixed block-decode cost (e.g. SUM without a prefix aggregate)
+		// that only amortizes over longer runs.
+		for i := 0; i < nsel; {
+			j := i + 1
+			for j < nsel && sel[j] == sel[j-1]+1 {
+				j++
+			}
+			if j-i < minExactRun {
+				for k := i; k < j; k++ {
+					agg.Add(t, blockLo+int(sel[k]))
+				}
+			} else {
+				agg.AddExactRange(t, blockLo+int(sel[i]), blockLo+int(sel[j-1])+1)
+			}
+			i = j
+		}
 	}
 	return scanned, matched
 }

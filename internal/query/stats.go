@@ -8,8 +8,9 @@ type Stats struct {
 	Scanned       int64 // points visited during the scan phase
 	Matched       int64 // points satisfying the full predicate (result size)
 	ExactMatched  int64 // matched points that lay in exact sub-ranges (§7.1)
-	CellsVisited  int64 // cells/pages whose physical ranges were processed
+	CellsVisited  int64 // non-empty cells/pages whose physical ranges were processed
 	RangesRefined int64 // cells on which sort-dimension refinement ran
+	ScanRanges    int64 // physical ranges handed to the scan phase (post-coalescing)
 
 	IndexTime   time.Duration // projection + refinement (IT)
 	ProjectTime time.Duration // projection only (subset of IndexTime; Flood only)
@@ -47,6 +48,7 @@ func (s *Stats) Add(o Stats) {
 	s.ExactMatched += o.ExactMatched
 	s.CellsVisited += o.CellsVisited
 	s.RangesRefined += o.RangesRefined
+	s.ScanRanges += o.ScanRanges
 	s.IndexTime += o.IndexTime
 	s.ProjectTime += o.ProjectTime
 	s.RefineTime += o.RefineTime

@@ -10,7 +10,7 @@
 // columns.
 package rmi
 
-import "sort"
+import "slices"
 
 type linear struct {
 	slope, intercept float64
@@ -76,7 +76,7 @@ func TrainCDF(values []int64, numLeaves int) *CDF {
 		return &CDF{leaves: []cdfLeaf{{model: linear{}, lo: 0, hi: 1}}}
 	}
 	sorted := append([]int64(nil), values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	if numLeaves < 1 {
 		numLeaves = 1
 	}
