@@ -16,11 +16,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# bench runs the scan-kernel and build benchmarks that gate perf PRs and
-# records them in BENCH_scan.json so the trajectory is diffable in git.
+# bench runs the scan-kernel, build, and parallel-execution benchmarks that
+# gate perf PRs and records them in BENCH_scan.json so the trajectory is
+# diffable in git.
 bench:
 	$(GO) test ./internal/core -run '^$$' \
-		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation' \
+		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch' \
 		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
 

@@ -1,0 +1,196 @@
+package flood
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFloodExecuteBatchMatchesExecute pins the public batched serving path:
+// same results and per-query scan stats as one-at-a-time execution.
+func TestFloodExecuteBatchMatchesExecute(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	idx, _, queries := buildSmall(t)
+	batchAggs := make([]Aggregator, len(queries))
+	for i := range batchAggs {
+		batchAggs[i] = NewCount()
+	}
+	batchStats := idx.ExecuteBatch(queries, batchAggs)
+	for i, q := range queries {
+		agg := NewCount()
+		st := idx.Execute(q, agg)
+		if batchAggs[i].Result() != agg.Result() {
+			t.Fatalf("query %d: batch count %d != sequential %d", i, batchAggs[i].Result(), agg.Result())
+		}
+		if batchStats[i].Scanned != st.Scanned || batchStats[i].Matched != st.Matched {
+			t.Fatalf("query %d: batch stats (scanned=%d matched=%d) != sequential (scanned=%d matched=%d)",
+				i, batchStats[i].Scanned, batchStats[i].Matched, st.Scanned, st.Matched)
+		}
+	}
+}
+
+// TestDeltaIndexExecuteBatchWithPending checks the batched path through the
+// delta index while rows are buffered: base + pending must both be visible,
+// identically to sequential Execute.
+func TestDeltaIndexExecuteBatchWithPending(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	idx, ds, queries := buildSmall(t)
+	d := NewDeltaIndex(idx, 0)
+	rng := rand.New(rand.NewSource(401))
+	for i := 0; i < 500; i++ {
+		src := rng.Intn(6000)
+		row := make([]int64, ds.Table.NumCols())
+		for c := range row {
+			row[c] = ds.Cols[c][src]
+		}
+		if err := d.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Pending() != 500 {
+		t.Fatalf("pending = %d, want 500", d.Pending())
+	}
+	batchAggs := make([]Aggregator, len(queries))
+	for i := range batchAggs {
+		batchAggs[i] = NewCount()
+	}
+	batchStats := d.ExecuteBatch(queries, batchAggs)
+	for i, q := range queries {
+		agg := NewCount()
+		st := d.Execute(q, agg)
+		if batchAggs[i].Result() != agg.Result() {
+			t.Fatalf("query %d: delta batch count %d != sequential %d", i, batchAggs[i].Result(), agg.Result())
+		}
+		if batchStats[i].Scanned != st.Scanned || batchStats[i].Matched != st.Matched {
+			t.Fatalf("query %d: delta batch stats (scanned=%d matched=%d) != sequential (scanned=%d matched=%d)",
+				i, batchStats[i].Scanned, batchStats[i].Matched, st.Scanned, st.Matched)
+		}
+	}
+	// After merging, the batched path still agrees.
+	if err := d.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	post := make([]Aggregator, len(queries))
+	for i := range post {
+		post[i] = NewCount()
+	}
+	d.ExecuteBatch(queries, post)
+	for i := range queries {
+		if post[i].Result() != batchAggs[i].Result() {
+			t.Fatalf("query %d: post-merge batch count %d != pre-merge %d",
+				i, post[i].Result(), batchAggs[i].Result())
+		}
+	}
+}
+
+// TestDeltaIndexConcurrentReads pins the lazily-built delta table's
+// construction guard: many goroutines executing against a DeltaIndex with
+// pending rows (the documented read contract) must build the buffer view
+// exactly once and agree on results; the race detector covers the rest.
+func TestDeltaIndexConcurrentReads(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	idx, ds, queries := buildSmall(t)
+	d := NewDeltaIndex(idx, 0)
+	row := make([]int64, ds.Table.NumCols())
+	for c := range row {
+		row[c] = ds.Cols[c][0]
+	}
+	for i := 0; i < 50; i++ {
+		if err := d.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := queries[0]
+	want := NewCount()
+	d.Execute(q, want)
+	d = func() *DeltaIndex { // fresh index so the delta table is unbuilt
+		nd := NewDeltaIndex(idx, 0)
+		for i := 0; i < 50; i++ {
+			if err := nd.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nd
+	}()
+	var wg sync.WaitGroup
+	results := make([]int64, 8)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			agg := NewCount()
+			d.Execute(q, agg)
+			results[g] = agg.Result()
+		}(g)
+	}
+	wg.Wait()
+	for g, r := range results {
+		if r != want.Result() {
+			t.Fatalf("goroutine %d: count %d != %d", g, r, want.Result())
+		}
+	}
+}
+
+// TestExecuteOrBatchedMatchesSequentialIndex runs the same disjunction
+// through Flood (a BatchIndex, so the pieces run as one batch) and through a
+// wrapper that hides the batched path; both must agree.
+func TestExecuteOrBatchedMatchesSequentialIndex(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	idx, ds, _ := buildSmall(t)
+	rng := rand.New(rand.NewSource(402))
+	nd := ds.Table.NumCols()
+	for trial := 0; trial < 10; trial++ {
+		var rects []Query
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			d := rng.Intn(nd)
+			lo := ds.Cols[d][rng.Intn(len(ds.Cols[d]))]
+			hi := ds.Cols[d][rng.Intn(len(ds.Cols[d]))]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			rects = append(rects, NewQuery(nd).WithRange(d, lo, hi))
+		}
+		batched, plain := NewCount(), NewCount()
+		ExecuteOr(idx, rects, batched)
+		ExecuteOr(indexOnly{idx}, rects, plain)
+		if batched.Result() != plain.Result() {
+			t.Fatalf("trial %d: batched ExecuteOr %d != sequential %d", trial, batched.Result(), plain.Result())
+		}
+	}
+}
+
+// indexOnly hides Flood's ExecuteBatch so ExecuteOr takes the sequential
+// route.
+type indexOnly struct{ idx *Flood }
+
+func (w indexOnly) Name() string                          { return w.idx.Name() }
+func (w indexOnly) SizeBytes() int64                      { return w.idx.SizeBytes() }
+func (w indexOnly) Execute(q Query, agg Aggregator) Stats { return w.idx.Execute(q, agg) }
+
+// TestMonitorConcurrentRecord hammers Record from many goroutines — the
+// situation batched serving creates — and relies on the race detector (CI
+// runs this package under -race) to catch unsynchronized window access.
+func TestMonitorConcurrentRecord(t *testing.T) {
+	mon := NewMonitor(nil, 32, 2.0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				mon.Record(Stats{Total: time.Duration(1+g) * time.Microsecond})
+				_ = mon.WindowAverage()
+				_ = mon.Reference()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if mon.Reference() == 0 {
+		t.Fatal("reference should be established after 4000 records")
+	}
+	if avg := mon.WindowAverage(); avg < float64(time.Microsecond) || avg > float64(9*time.Microsecond) {
+		t.Fatalf("window average %v outside recorded range", time.Duration(avg))
+	}
+}

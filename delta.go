@@ -2,6 +2,7 @@ package flood
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"flood/internal/colstore"
@@ -16,14 +17,22 @@ import (
 // reused on merge — relearning remains an explicit, separate decision (see
 // Monitor).
 //
-// A DeltaIndex is not safe for concurrent use.
+// A DeltaIndex is not safe for concurrent mutation: Insert and Merge must
+// not run while any Execute or ExecuteBatch call is in flight. Reads are
+// internally parallel (ExecuteBatch fans out over the shared worker pool).
 type DeltaIndex struct {
-	base       *core.Flood
-	layout     Layout
-	opts       Options
-	buffer     [][]int64 // column-major pending rows
-	pending    int
-	deltaTable *Table // lazily built view of the buffer
+	base     *core.Flood
+	layout   Layout
+	coreOpts core.Options
+	buffer   [][]int64 // column-major pending rows
+	pending  int
+
+	// deltaTable is the lazily built view of the buffer; mu guards its
+	// construction so concurrent reads (Execute from several goroutines,
+	// or batch workers) build it exactly once. Insert and Merge clear it
+	// under the single-writer contract, so no lock is needed there.
+	mu         sync.Mutex
+	deltaTable *Table
 	// MergeThreshold triggers an automatic Merge once this many rows are
 	// buffered (0 disables auto-merging).
 	MergeThreshold int
@@ -34,6 +43,7 @@ func NewDeltaIndex(base *Flood, mergeThreshold int) *DeltaIndex {
 	d := &DeltaIndex{
 		base:           base.idx,
 		layout:         base.Layout(),
+		coreOpts:       base.idx.Options(),
 		buffer:         make([][]int64, base.Table().NumCols()),
 		MergeThreshold: mergeThreshold,
 	}
@@ -72,24 +82,67 @@ func (d *DeltaIndex) Insert(row []int64) error {
 }
 
 // Execute runs q against the base index and the delta buffer, combining
-// results. Buffered rows are filtered with a plain scan (the delta is small
-// by construction).
+// results. Buffered rows are filtered with a plain scan through a pooled
+// scanner (the delta is small by construction).
 func (d *DeltaIndex) Execute(q Query, agg Aggregator) Stats {
 	st := d.base.Execute(q, agg)
 	if d.pending == 0 {
 		return st
 	}
-	t0 := time.Now()
+	st.Add(d.scanDelta(d.ensureDeltaTable(), q, agg))
+	return st
+}
+
+// ensureDeltaTable builds the buffer view exactly once between mutations and
+// returns it; safe to call from concurrent readers.
+func (d *DeltaIndex) ensureDeltaTable() *Table {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.deltaTable == nil {
 		d.deltaTable = colstore.MustNewTable(d.base.Table().Names(), d.buffer)
 	}
-	sc := query.NewScanner(d.deltaTable)
-	s, m := sc.ScanRange(q, q.FilteredDims(), 0, d.pending, agg)
-	st.Scanned += s
-	st.Matched += m
-	st.ScanTime += time.Since(t0)
-	st.Total += time.Since(t0)
+	return d.deltaTable
+}
+
+// scanDelta filters the buffered rows against q. The delta table is
+// immutable once built, so concurrent calls (one per batched query) are
+// safe; the scan bound comes from the table itself, not the live pending
+// counter, so a batch stays self-consistent.
+func (d *DeltaIndex) scanDelta(delta *Table, q Query, agg Aggregator) Stats {
+	var st Stats
+	t0 := time.Now()
+	sc := query.GetScanner(delta)
+	s, m := sc.ScanRange(q, q.FilteredDims(), 0, delta.NumRows(), agg)
+	sc.Release()
+	st.Scanned = s
+	st.Matched = m
+	st.ScanTime = time.Since(t0)
+	st.Total = st.ScanTime
 	return st
+}
+
+// ExecuteBatch executes queries[i] into aggs[i], fanning the batch out over
+// the worker pool shared with the base index: each query scans the base and
+// then the pending-row buffer sequentially, and the batch supplies the
+// parallelism. len(queries) must equal len(aggs). No Insert or Merge may run
+// concurrently (the usual single-writer contract).
+func (d *DeltaIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
+	if len(queries) != len(aggs) {
+		panic(fmt.Sprintf("flood: ExecuteBatch got %d queries but %d aggregators", len(queries), len(aggs)))
+	}
+	pending := d.pending
+	var delta *Table
+	if pending > 0 {
+		delta = d.ensureDeltaTable()
+	}
+	stats := make([]Stats, len(queries))
+	core.RunBatch(len(queries), func(i int) {
+		stats[i] = d.base.ExecuteSequential(queries[i], aggs[i])
+		if pending > 0 {
+			stats[i].Add(d.scanDelta(delta, queries[i], aggs[i]))
+		}
+	})
+	return stats
 }
 
 // Merge folds the buffered rows into a rebuilt base index with the same
@@ -115,7 +168,7 @@ func (d *DeltaIndex) Merge() error {
 			merged.EnableAggregate(c)
 		}
 	}
-	base, err := core.Build(merged, d.layout, core.Options{Delta: d.opts.Delta})
+	base, err := core.Build(merged, d.layout, d.coreOpts)
 	if err != nil {
 		return fmt.Errorf("flood: rebuilding base: %w", err)
 	}
@@ -128,7 +181,10 @@ func (d *DeltaIndex) Merge() error {
 	return nil
 }
 
-var _ Index = (*DeltaIndex)(nil)
+var (
+	_ Index            = (*DeltaIndex)(nil)
+	_ query.BatchIndex = (*DeltaIndex)(nil)
+)
 
 // Neighbor is one k-nearest-neighbor result: a physical row in the index's
 // reordered table and its squared distance in flattened grid coordinates.

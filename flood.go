@@ -82,9 +82,14 @@ func NewSum(col int) Aggregator { return query.NewSum(col) }
 // NewMin returns a MIN(col) aggregator.
 func NewMin(col int) Aggregator { return query.NewMin(col) }
 
+// NewMax returns a MAX(col) aggregator.
+func NewMax(col int) Aggregator { return query.NewMax(col) }
+
 // ExecuteOr evaluates a disjunction (OR) of conjunctive queries against any
 // index, decomposing the rectangles into disjoint pieces first so every
-// matching row is accumulated exactly once (§3).
+// matching row is accumulated exactly once (§3). Against an index with a
+// batched path (Flood, DeltaIndex) and a mergeable aggregator, the pieces
+// execute as one batch over the shared worker pool.
 func ExecuteOr(idx Index, queries []Query, agg Aggregator) Stats {
 	return query.ExecuteDisjunction(idx, queries, agg)
 }
@@ -107,8 +112,17 @@ type Options struct {
 	// Delta is the per-cell refinement model error budget (§7.8,
 	// default 50).
 	Delta float64
+	// ParallelCutoverRows is the estimated scanned-row count at or above
+	// which Execute switches from the zero-allocation sequential scan to
+	// the morsel-driven parallel engine. 0 picks the default (32K rows);
+	// negative keeps every query sequential.
+	ParallelCutoverRows int
 	// Seed makes builds reproducible.
 	Seed int64
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{Delta: o.Delta, ParallelCutover: o.ParallelCutoverRows}
 }
 
 func (o *Options) orDefault() Options {
@@ -152,7 +166,7 @@ func Build(tbl *Table, train []Query, opts *Options) (*Flood, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flood: optimizing layout: %w", err)
 	}
-	idx, err := core.Build(tbl, res.Layout, core.Options{Delta: o.Delta})
+	idx, err := core.Build(tbl, res.Layout, o.coreOptions())
 	if err != nil {
 		return nil, fmt.Errorf("flood: building layout: %w", err)
 	}
@@ -173,7 +187,7 @@ func Calibrate(tbl *Table, queries []Query, opts *Options) (*CostModel, error) {
 // learning. Useful for ablations and tests.
 func BuildWithLayout(tbl *Table, layout Layout, opts *Options) (*Flood, error) {
 	o := opts.orDefault()
-	idx, err := core.Build(tbl, layout, core.Options{Delta: o.Delta})
+	idx, err := core.Build(tbl, layout, o.coreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +196,21 @@ func BuildWithLayout(tbl *Table, layout Layout, opts *Options) (*Flood, error) {
 
 // Execute runs q through projection, refinement, and scan, feeding matching
 // rows to agg. The aggregator is not reset: callers reset it between
-// queries.
+// queries. Small queries run a zero-allocation sequential scan; queries
+// whose refined ranges clear Options.ParallelCutoverRows fan out over a
+// process-wide worker pool when the aggregator supports merging (all
+// built-in aggregators do). The index is read-only after Build, so Execute
+// may be called from any number of goroutines.
 func (f *Flood) Execute(q Query, agg Aggregator) Stats { return f.idx.Execute(q, agg) }
+
+// ExecuteBatch executes queries[i] into aggs[i] and returns per-query stats.
+// The batch shares one worker pool across queries — each runs its zero-alloc
+// sequential path while the batch fans out across cores — which is the
+// highest-throughput arrangement for serving many concurrent queries.
+// len(queries) must equal len(aggs); aggregators are not reset.
+func (f *Flood) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
+	return f.idx.ExecuteBatch(queries, aggs)
+}
 
 // Name implements Index.
 func (f *Flood) Name() string { return f.idx.Name() }
@@ -206,4 +233,7 @@ func (f *Flood) PredictedCost() float64 { return f.result.PredictedCost }
 // Table returns the index's reordered copy of the data.
 func (f *Flood) Table() *Table { return f.idx.Table() }
 
-var _ Index = (*Flood)(nil)
+var (
+	_ Index            = (*Flood)(nil)
+	_ query.BatchIndex = (*Flood)(nil)
+)

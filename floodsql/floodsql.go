@@ -8,7 +8,7 @@
 // and disjunctive range predicates over integer-valued columns:
 //
 //	stmt   := SELECT agg FROM ident [WHERE pred]
-//	agg    := COUNT(*) | SUM(col) | MIN(col)
+//	agg    := COUNT(*) | SUM(col) | MIN(col) | MAX(col)
 //	pred   := or
 //	or     := and (OR and)*
 //	and    := atom (AND atom)*
@@ -31,7 +31,7 @@ import (
 
 // Statement is a parsed, table-resolved aggregation query.
 type Statement struct {
-	// Agg is "count", "sum", or "min".
+	// Agg is "count", "sum", "min", or "max".
 	Agg string
 	// AggCol is the aggregated column index (-1 for COUNT(*)).
 	AggCol int
@@ -65,6 +65,8 @@ func (s *Statement) Run(idx flood.Index) (int64, flood.Stats, error) {
 		agg = flood.NewSum(s.AggCol)
 	case "min":
 		agg = flood.NewMin(s.AggCol)
+	case "max":
+		agg = flood.NewMax(s.AggCol)
 	default:
 		return 0, flood.Stats{}, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
 	}
@@ -165,8 +167,8 @@ func (p *parser) statement() (*Statement, error) {
 		return nil, err
 	}
 	st.Agg = strings.ToLower(aggName)
-	if st.Agg != "count" && st.Agg != "sum" && st.Agg != "min" {
-		return nil, fmt.Errorf("unsupported aggregate %q (want COUNT, SUM, or MIN)", aggName)
+	if st.Agg != "count" && st.Agg != "sum" && st.Agg != "min" && st.Agg != "max" {
+		return nil, fmt.Errorf("unsupported aggregate %q (want COUNT, SUM, MIN, or MAX)", aggName)
 	}
 	if err := p.symbol("("); err != nil {
 		return nil, err

@@ -94,6 +94,21 @@ func TestSelectMinNoWhere(t *testing.T) {
 	}
 }
 
+func TestSelectMaxWhere(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	got := mustRun(t, idx, tbl, "SELECT MAX(price) FROM t WHERE qty <= 400 OR day > 900")
+	want := int64(-1 << 63)
+	for i := range cols[0] {
+		if (cols[1][i] <= 400 || cols[2][i] > 900) && cols[0][i] > want {
+			want = cols[0][i]
+		}
+	}
+	if got != want {
+		t.Fatalf("max = %d, want %d", got, want)
+	}
+}
+
 func TestDisjunction(t *testing.T) {
 	tbl, cols := testTable(t)
 	idx := testIndex(t, tbl)

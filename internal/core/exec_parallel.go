@@ -1,0 +1,369 @@
+// Morsel-driven parallel query execution (§8 "Concurrency and parallelism":
+// different cells can be refined and scanned simultaneously).
+//
+// The scan work of one query is chopped into fixed-size, block-aligned
+// morsels (~64K rows) that workers claim off a shared atomic cursor, so load
+// balances even when refined ranges are wildly uneven. Workers come from a
+// process-wide persistent pool shared by every index and by batched serving;
+// the goroutine that issued the query always participates, so a query never
+// waits for a pool slot and nesting (a parallel scan issued from inside a
+// batch task) cannot deadlock: nobody ever blocks waiting for a queued task
+// to be *scheduled*, only for claimed morsels to be *finished*.
+//
+// Each worker scans with its own pooled query.Scanner into its own
+// aggregator clone (query.Mergeable) and accumulates private Stats; partial
+// results merge under a lock once the worker's claim loop drains. Results
+// and the Scanned/Matched/ExactMatched counters are therefore identical to a
+// sequential run.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// MorselRows is the largest morsel handed to a worker: big enough to
+// amortize the claim (one atomic add) and the final merge, small enough that
+// a skewed range still splits across cores. It is a multiple of
+// colstore.BlockSize so interior morsel boundaries align with storage blocks.
+const MorselRows = 64 * 1024
+
+// minMorselRows bounds how finely a small parallel scan is chopped; below
+// this, per-morsel overhead would eat the parallel win.
+const minMorselRows = 8 * 1024
+
+// defaultParallelCutover is the default estimated scanned-row count at which
+// Execute leaves the zero-alloc sequential path for the morsel engine: the
+// point where the scan kernel's per-row cost (a few ns) clearly exceeds the
+// fixed cost of dispatching helpers and merging clones (a few µs).
+const defaultParallelCutover = 32 * 1024
+
+// --- persistent worker pool ---
+
+// workerPool is a process-wide set of goroutines fed by a task queue. Tasks
+// are *helpers*: claim loops that drain a job's shared cursor and exit.
+// Submission never blocks (a full queue just means fewer helpers), and a
+// helper scheduled after its job drained returns without touching the job's
+// data, so queued helpers can safely outlive the query that submitted them.
+type workerPool struct {
+	tasks   chan func()
+	mu      sync.Mutex
+	spawned int
+}
+
+var execPool = &workerPool{tasks: make(chan func(), 1024)}
+
+// maxWorkers is the concurrency target, re-read on every query so tests and
+// servers that adjust GOMAXPROCS see the change without restarting the pool.
+func maxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ensure tops the pool up to n resident goroutines.
+func (p *workerPool) ensure(n int) {
+	p.mu.Lock()
+	for p.spawned < n {
+		p.spawned++
+		go p.worker()
+	}
+	p.mu.Unlock()
+}
+
+func (p *workerPool) worker() {
+	for fn := range p.tasks {
+		fn()
+	}
+}
+
+// fanOut offers up to helpers copies of run to the pool, then runs one claim
+// loop on the calling goroutine. run must be safe to execute concurrently
+// and must be a no-op once its job's cursor is exhausted. Helpers are capped
+// at GOMAXPROCS-1 — beyond that they add no parallelism, and the cap keeps a
+// caller-supplied worker count from permanently growing the resident pool.
+func (p *workerPool) fanOut(helpers int, run func()) {
+	if max := maxWorkers() - 1; helpers > max {
+		helpers = max
+	}
+	if helpers > 0 {
+		p.ensure(helpers)
+		for i := 0; i < helpers; i++ {
+			select {
+			case p.tasks <- run:
+			default:
+				// Queue full: the work still completes via the
+				// participating caller and whichever helpers got in.
+				i = helpers
+			}
+		}
+	}
+	run()
+}
+
+// poolFor runs fn over [0, n) in grain-sized chunks claimed from a shared
+// cursor by pool workers plus the calling goroutine. It returns once every
+// chunk has finished.
+func poolFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks == 1 {
+		fn(0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	run := func() {
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	helpers := maxWorkers() - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	execPool.fanOut(helpers, run)
+	wg.Wait()
+}
+
+// parallelFor splits [0, n) into one contiguous chunk per available worker
+// and runs fn on each concurrently through the persistent pool. Used by
+// Build for the embarrassingly parallel stages; results are identical to a
+// sequential run.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := maxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	poolFor(n, (n+workers-1)/workers, fn)
+}
+
+// RunBatch runs fn(i) for every i in [0, n) across the shared worker pool
+// and returns when all calls complete. The calling goroutine participates,
+// so RunBatch makes progress even when the pool is saturated, and calls
+// issued from inside another batch cannot deadlock. Exported for sibling
+// packages (the delta index) that batch work over the same pool.
+func RunBatch(n int, fn func(i int)) {
+	poolFor(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// --- morsel scan engine ---
+
+// morsel is one unit of claimable scan work: a physical row range plus the
+// residual-filter mask inherited from the scan range it was cut from.
+type morsel struct {
+	start, end int32
+	mask       uint64
+}
+
+// morselTarget picks a morsel size for a scan of est rows across workers:
+// roughly four morsels per worker for load balance, clamped to
+// [minMorselRows, MorselRows] and rounded to a block multiple.
+func morselTarget(est, workers int) int {
+	t := est / (4 * workers)
+	if t > MorselRows {
+		t = MorselRows
+	}
+	if t < minMorselRows {
+		t = minMorselRows
+	}
+	return t - t%colstore.BlockSize
+}
+
+// appendMorsels chops refined scan ranges into morsels of about target rows.
+// Interior split points sit at absolute multiples of target, so they align
+// with storage blocks and the per-block scan kernel visits exactly the same
+// blocks as a sequential scan (Scanned/Matched stay bit-identical).
+func appendMorsels(dst []morsel, ranges []scanRange, target int) []morsel {
+	for _, rg := range ranges {
+		s, e := int(rg.start), int(rg.end)
+		for s < e {
+			next := (s/target + 1) * target
+			if next > e {
+				next = e
+			}
+			dst = append(dst, morsel{start: int32(s), end: int32(next), mask: rg.mask})
+			s = next
+		}
+	}
+	return dst
+}
+
+// maskDims expands a residual-filter bitmask into dimension indexes.
+func maskDims(mask uint64, buf []int) []int {
+	buf = buf[:0]
+	for mask != 0 {
+		buf = append(buf, bits.TrailingZeros64(mask))
+		mask &= mask - 1
+	}
+	return buf
+}
+
+// morselJob is the shared state of one parallel scan: the morsel list, the
+// claim cursor, and the merge point. wg counts morsels, not helpers — a
+// worker releases its claimed morsels only after folding its partial
+// aggregate and stats into the job, so wg.Wait() implies the merge is done.
+type morselJob struct {
+	f                       *Flood
+	q                       query.Query
+	morsels                 []morsel
+	cursor                  atomic.Int64
+	wg                      sync.WaitGroup
+	mu                      sync.Mutex
+	agg                     query.Mergeable
+	scanned, matched, exact int64
+}
+
+// run is one worker's claim loop; it executes on the issuing goroutine and
+// on any pool helpers the job attracted. The scanner and aggregator clone
+// are acquired lazily so a helper that arrives after the job drained (or
+// loses every claim race) allocates nothing and never touches j.q.
+func (j *morselJob) run() {
+	if int(j.cursor.Load()) >= len(j.morsels) {
+		return
+	}
+	var (
+		sc       *query.Scanner
+		agg      query.Mergeable
+		st       query.Stats
+		dimsBuf  [64]int
+		dims     []int
+		lastMask uint64
+		haveDims bool
+		done     int
+	)
+	for {
+		i := int(j.cursor.Add(1)) - 1
+		if i >= len(j.morsels) {
+			break
+		}
+		if sc == nil {
+			sc = query.GetScanner(j.f.t)
+			// Clone under the job lock: another worker may be Merge-ing
+			// into j.agg right now, and a user-supplied Mergeable is free
+			// to read state in CloneEmpty that Merge mutates.
+			j.mu.Lock()
+			agg = j.agg.CloneEmpty()
+			j.mu.Unlock()
+		}
+		m := j.morsels[i]
+		if m.mask == 0 {
+			s, mt := sc.ScanExactRange(int(m.start), int(m.end), agg)
+			st.Scanned += s
+			st.Matched += mt
+			st.ExactMatched += mt
+		} else {
+			if !haveDims || m.mask != lastMask {
+				dims = maskDims(m.mask, dimsBuf[:0])
+				lastMask, haveDims = m.mask, true
+			}
+			s, mt := sc.ScanRange(j.q, dims, int(m.start), int(m.end), agg)
+			st.Scanned += s
+			st.Matched += mt
+		}
+		done++
+	}
+	if sc == nil {
+		return
+	}
+	sc.Release()
+	j.mu.Lock()
+	j.agg.Merge(agg)
+	j.scanned += st.Scanned
+	j.matched += st.Matched
+	j.exact += st.ExactMatched
+	j.mu.Unlock()
+	j.wg.Add(-done)
+}
+
+// scanParallel runs the scan phase of q over ranges on the morsel engine,
+// merging worker partials into agg and the scan counters into st. est is the
+// exact row count of ranges (already computed by the caller); workers <= 0
+// uses GOMAXPROCS. Falls back to the sequential kernel when the work does
+// not split.
+func (f *Flood) scanParallel(q query.Query, ranges []scanRange, agg query.Mergeable, st *query.Stats, workers, est int, es *execScratch) {
+	if workers <= 0 {
+		workers = maxWorkers()
+	}
+	es.morsels = appendMorsels(es.morsels[:0], ranges, morselTarget(est, workers))
+	if len(es.morsels) <= 1 || workers == 1 {
+		f.scan(q, ranges, agg, st)
+		return
+	}
+	j := &morselJob{f: f, q: q, morsels: es.morsels, agg: agg}
+	j.wg.Add(len(j.morsels))
+	helpers := workers - 1
+	if helpers > len(j.morsels)-1 {
+		helpers = len(j.morsels) - 1
+	}
+	execPool.fanOut(helpers, j.run)
+	j.wg.Wait()
+	st.Scanned += j.scanned
+	st.Matched += j.matched
+	st.ExactMatched += j.exact
+}
+
+// ExecuteParallel is Execute with the scan phase forced onto the morsel
+// engine regardless of the cost-based cutover: projection and refinement run
+// as usual, then up to workers goroutines (the caller plus pool helpers)
+// claim morsels. workers <= 0 uses GOMAXPROCS; workers == 1 is the
+// sequential path; counts above GOMAXPROCS are capped to it (extra helpers
+// add no parallelism). Results and scan counters are identical to Execute.
+//
+// Most callers should use Execute, which picks this path automatically for
+// mergeable aggregators once the estimated scan volume clears the cutover.
+func (f *Flood) ExecuteParallel(q query.Query, agg query.Mergeable, workers int) query.Stats {
+	if workers <= 0 {
+		workers = maxWorkers()
+	}
+	return f.execute(q, agg, workers)
+}
+
+// ExecuteSequential is Execute pinned to the sequential scan path, whatever
+// the cutover or aggregator would choose. It is the per-query building block
+// of the batched serving paths (this package's ExecuteBatch and the delta
+// index's), which supply parallelism across queries instead of within them.
+func (f *Flood) ExecuteSequential(q query.Query, agg query.Aggregator) query.Stats {
+	return f.execute(q, agg, 1)
+}
+
+// ExecuteBatch executes queries[i] into aggs[i] and returns per-query stats.
+// The batch shares the persistent worker pool across queries: each query
+// runs the zero-alloc sequential path while the batch itself fans out across
+// cores (inter-query parallelism), the arrangement that maximizes throughput
+// for high-QPS serving. len(queries) must equal len(aggs); aggregators are
+// not reset. The index is read-only, so any number of ExecuteBatch and
+// Execute calls may run concurrently.
+func (f *Flood) ExecuteBatch(queries []query.Query, aggs []query.Aggregator) []query.Stats {
+	if len(queries) != len(aggs) {
+		panic(fmt.Sprintf("core: ExecuteBatch got %d queries but %d aggregators", len(queries), len(aggs)))
+	}
+	stats := make([]query.Stats, len(queries))
+	RunBatch(len(queries), func(i int) {
+		stats[i] = f.execute(queries[i], aggs[i], 1)
+	})
+	return stats
+}

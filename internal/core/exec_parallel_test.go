@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// sequentialOnly hides an aggregator's Mergeable methods so Execute is
+// forced onto the sequential scan path, whatever the cutover says.
+type sequentialOnly struct{ query.Aggregator }
+
+// withGOMAXPROCS runs fn under the given GOMAXPROCS setting, restoring the
+// previous value afterwards. The worker pool re-reads GOMAXPROCS on every
+// query, so the setting takes effect immediately.
+func withGOMAXPROCS(t *testing.T, procs int, fn func(t *testing.T)) {
+	t.Run(fmt.Sprintf("gomaxprocs%d", procs), func(t *testing.T) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		fn(t)
+	})
+}
+
+// assertScanStatsEqual compares the scan-phase counters that must be
+// bit-identical between sequential and parallel execution.
+func assertScanStatsEqual(t *testing.T, label string, seq, par query.Stats) {
+	t.Helper()
+	if par.Scanned != seq.Scanned || par.Matched != seq.Matched || par.ExactMatched != seq.ExactMatched {
+		t.Fatalf("%s: parallel stats (scanned=%d matched=%d exact=%d) != sequential (scanned=%d matched=%d exact=%d)",
+			label, par.Scanned, par.Matched, par.ExactMatched, seq.Scanned, seq.Matched, seq.ExactMatched)
+	}
+	if par.CellsVisited != seq.CellsVisited || par.ScanRanges != seq.ScanRanges || par.RangesRefined != seq.RangesRefined {
+		t.Fatalf("%s: parallel index stats (cells=%d ranges=%d refined=%d) != sequential (cells=%d ranges=%d refined=%d)",
+			label, par.CellsVisited, par.ScanRanges, par.RangesRefined, seq.CellsVisited, seq.ScanRanges, seq.RangesRefined)
+	}
+}
+
+// TestAdaptiveParallelEquivalence pins the tentpole invariant: with the
+// cutover forced to 1 row, every query takes the morsel-driven path (when
+// more than one worker is available) and must produce exactly the results
+// and scan counters of the sequential path.
+func TestAdaptiveParallelEquivalence(t *testing.T) {
+	tbl, data := makeData(t, 30000, 4, 301)
+	layout := Layout{GridDims: []int{0, 1}, GridCols: []int{16, 8}, SortDim: 2, Flatten: true}
+	idx, err := Build(tbl, layout, Options{ParallelCutover: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(t, procs, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(302))
+			for trial := 0; trial < 30; trial++ {
+				q := randomQuery(rng, data, 4)
+				seq := query.NewCount()
+				seqSt := idx.Execute(q, sequentialOnly{seq})
+				par := query.NewCount()
+				parSt := idx.Execute(q, par)
+				if par.Result() != seq.Result() {
+					t.Fatalf("trial %d: adaptive count %d != sequential %d", trial, par.Result(), seq.Result())
+				}
+				if want := bruteCount(data, q); par.Result() != want {
+					t.Fatalf("trial %d: count %d != brute force %d", trial, par.Result(), want)
+				}
+				assertScanStatsEqual(t, fmt.Sprintf("trial %d", trial), seqSt, parSt)
+			}
+		})
+	}
+}
+
+// TestParallelAllAggregators runs every mergeable aggregator through the
+// forced-parallel path against its sequential result.
+func TestParallelAllAggregators(t *testing.T) {
+	tbl, data := makeData(t, 20000, 4, 303)
+	tbl.EnableAggregate(3)
+	layout := Layout{GridDims: []int{0, 1}, GridCols: []int{8, 8}, SortDim: 2, Flatten: true}
+	idx, err := Build(tbl, layout, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(304))
+	mk := func() []query.Mergeable {
+		return []query.Mergeable{query.NewCount(), query.NewSum(3), query.NewMin(3), query.NewMax(3)}
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randomQuery(rng, data, 3)
+		seqs, pars := mk(), mk()
+		for i := range seqs {
+			idx.Execute(q, sequentialOnly{seqs[i]})
+			idx.ExecuteParallel(q, pars[i], 5)
+			if pars[i].Result() != seqs[i].Result() {
+				t.Fatalf("trial %d agg %d: parallel %d != sequential %d",
+					trial, i, pars[i].Result(), seqs[i].Result())
+			}
+		}
+	}
+}
+
+// randomLayout builds a valid random layout over nDims dimensions.
+func randomLayout(rng *rand.Rand, nDims int) Layout {
+	perm := rng.Perm(nDims)
+	g := 1 + rng.Intn(nDims-1)
+	l := Layout{
+		GridDims: perm[:g],
+		GridCols: make([]int, g),
+		SortDim:  -1,
+		Flatten:  rng.Intn(2) == 0,
+	}
+	for i := range l.GridCols {
+		l.GridCols[i] = 1 + rng.Intn(8)
+	}
+	if rng.Intn(4) > 0 {
+		l.SortDim = perm[g]
+	}
+	return l
+}
+
+// TestParallelRandomLayoutsProperty is the property test over random
+// layouts: whatever grid shape, sort dimension, and refinement mode are in
+// play, sequential, adaptive-parallel, forced-parallel, and batched
+// execution all agree with brute force.
+func TestParallelRandomLayoutsProperty(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	tbl, data := makeData(t, 8000, 5, 305)
+	rng := rand.New(rand.NewSource(306))
+	for trial := 0; trial < 12; trial++ {
+		layout := randomLayout(rng, 5)
+		mode := RefinementMode(rng.Intn(3))
+		idx, err := Build(tbl, layout, Options{Refinement: mode, ParallelCutover: 1})
+		if err != nil {
+			t.Fatalf("layout %s: %v", layout, err)
+		}
+		queries := make([]query.Query, 8)
+		aggs := make([]query.Aggregator, len(queries))
+		for i := range queries {
+			queries[i] = randomQuery(rng, data, 5)
+			aggs[i] = query.NewCount()
+		}
+		batchStats := idx.ExecuteBatch(queries, aggs)
+		for i, q := range queries {
+			want := bruteCount(data, q)
+			if got := aggs[i].(*query.Count).Result(); got != want {
+				t.Fatalf("layout %s mode %d: batch count %d != brute %d", layout, mode, got, want)
+			}
+			seq := query.NewCount()
+			seqSt := idx.Execute(q, sequentialOnly{seq})
+			par := query.NewCount()
+			parSt := idx.ExecuteParallel(q, par, 3)
+			if par.Result() != want || seq.Result() != want {
+				t.Fatalf("layout %s mode %d: parallel %d / sequential %d != brute %d",
+					layout, mode, par.Result(), seq.Result(), want)
+			}
+			assertScanStatsEqual(t, layout.String(), seqSt, parSt)
+			if batchStats[i].Scanned != seqSt.Scanned || batchStats[i].Matched != seqSt.Matched {
+				t.Fatalf("layout %s: batch stats (scanned=%d matched=%d) != sequential (scanned=%d matched=%d)",
+					layout, batchStats[i].Scanned, batchStats[i].Matched, seqSt.Scanned, seqSt.Matched)
+			}
+		}
+	}
+}
+
+// TestRefineParallelEquivalence drives a query across enough cells to cross
+// refineParallelRanges, so refinement probes fan out over the pool, and
+// checks the refined results against GOMAXPROCS=1.
+func TestRefineParallelEquivalence(t *testing.T) {
+	tbl, data := makeData(t, 40000, 3, 307)
+	layout := Layout{GridDims: []int{0}, GridCols: []int{256}, SortDim: 1, Flatten: true}
+	idx, err := Build(tbl, layout, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(3).WithRange(0, 0, 1000).WithRange(1, 0, 800)
+	var want int64
+	var wantSt query.Stats
+	withGOMAXPROCS(t, 1, func(t *testing.T) {
+		agg := query.NewCount()
+		wantSt = idx.Execute(q, agg)
+		want = agg.Result()
+		if wantSt.RangesRefined < refineParallelRanges {
+			t.Fatalf("query refines %d ranges, need >= %d to exercise the parallel path",
+				wantSt.RangesRefined, refineParallelRanges)
+		}
+	})
+	withGOMAXPROCS(t, 4, func(t *testing.T) {
+		agg := query.NewCount()
+		st := idx.Execute(q, agg)
+		if agg.Result() != want {
+			t.Fatalf("parallel refine: count %d != %d", agg.Result(), want)
+		}
+		assertScanStatsEqual(t, "refine", wantSt, st)
+		if bc := bruteCount(data, q); want != bc {
+			t.Fatalf("count %d != brute force %d", want, bc)
+		}
+	})
+}
+
+// TestExecuteBatchMatchesSequential checks the batched serving path against
+// one-at-a-time execution, including the per-query stats.
+func TestExecuteBatchMatchesSequential(t *testing.T) {
+	tbl, data := makeData(t, 15000, 4, 308)
+	tbl.EnableAggregate(3)
+	idx, err := Build(tbl, Layout{GridDims: []int{0, 1}, GridCols: []int{8, 4}, SortDim: 2, Flatten: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(t, procs, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(309))
+			queries := make([]query.Query, 40)
+			batchAggs := make([]query.Aggregator, len(queries))
+			seqAggs := make([]query.Aggregator, len(queries))
+			for i := range queries {
+				queries[i] = randomQuery(rng, data, 4)
+				switch i % 4 {
+				case 0:
+					batchAggs[i], seqAggs[i] = query.NewCount(), query.NewCount()
+				case 1:
+					batchAggs[i], seqAggs[i] = query.NewSum(3), query.NewSum(3)
+				case 2:
+					batchAggs[i], seqAggs[i] = query.NewMin(3), query.NewMin(3)
+				default:
+					batchAggs[i], seqAggs[i] = query.NewMax(3), query.NewMax(3)
+				}
+			}
+			batchStats := idx.ExecuteBatch(queries, batchAggs)
+			for i := range queries {
+				seqSt := idx.Execute(queries[i], sequentialOnly{seqAggs[i]})
+				if batchAggs[i].Result() != seqAggs[i].Result() {
+					t.Fatalf("query %d: batch result %d != sequential %d",
+						i, batchAggs[i].Result(), seqAggs[i].Result())
+				}
+				assertScanStatsEqual(t, fmt.Sprintf("query %d", i), seqSt, batchStats[i])
+			}
+		})
+	}
+}
+
+func TestExecuteBatchLenMismatchPanics(t *testing.T) {
+	tbl, _ := makeData(t, 100, 3, 310)
+	idx, _ := Build(tbl, Layout{GridDims: []int{0}, GridCols: []int{4}, SortDim: 1, Flatten: true}, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched queries/aggs lengths must panic")
+		}
+	}()
+	idx.ExecuteBatch(make([]query.Query, 2), make([]query.Aggregator, 1))
+}
+
+// TestAppendMorsels pins the morsel splitter: full coverage, no overlap,
+// block-aligned interior boundaries, masks inherited from the source range.
+func TestAppendMorsels(t *testing.T) {
+	ranges := []scanRange{
+		{start: 100, end: 70000, mask: 0},
+		{start: 70000, end: 70001, mask: 5},
+		{start: 80000, end: 80000, mask: 1}, // empty: dropped
+		{start: 90000, end: 300000, mask: 9},
+	}
+	const target = MorselRows
+	got := appendMorsels(nil, ranges, target)
+	var i int
+	for _, rg := range ranges {
+		s, e := rg.start, rg.end
+		for s < e {
+			if i >= len(got) {
+				t.Fatalf("ran out of morsels covering range [%d, %d)", rg.start, rg.end)
+			}
+			m := got[i]
+			if m.start != s || m.mask != rg.mask {
+				t.Fatalf("morsel %d = %+v, want start %d mask %d", i, m, s, rg.mask)
+			}
+			if m.end != e && m.end%target != 0 {
+				t.Fatalf("morsel %d interior boundary %d not target-aligned", i, m.end)
+			}
+			if m.end <= m.start || m.end > e {
+				t.Fatalf("morsel %d = %+v escapes range [%d, %d)", i, m, rg.start, rg.end)
+			}
+			s = m.end
+			i++
+		}
+	}
+	if i != len(got) {
+		t.Fatalf("%d extra morsels", len(got)-i)
+	}
+}
+
+func TestMorselTargetBounds(t *testing.T) {
+	for _, tc := range []struct{ est, workers, want int }{
+		{100, 8, minMorselRows},      // tiny scans stay coarse
+		{100_000_000, 8, MorselRows}, // huge scans cap at MorselRows
+		{1_000_000, 8, 31232},        // 1M/32 rounded down to a block multiple
+	} {
+		if got := morselTarget(tc.est, tc.workers); got != tc.want {
+			t.Errorf("morselTarget(%d, %d) = %d, want %d", tc.est, tc.workers, got, tc.want)
+		}
+		if got := morselTarget(tc.est, tc.workers); got%colstore.BlockSize != 0 {
+			t.Errorf("morselTarget(%d, %d) = %d not block-aligned", tc.est, tc.workers, got)
+		}
+	}
+}
+
+// --- benchmarks (recorded in BENCH_scan.json via `make bench`) ---
+
+// parallelBenchIndex builds the 1M-row index behind the parallel-vs-
+// sequential headline numbers: two grid dimensions, a sort dimension, and
+// queries at ~2-4% selectivity so the scan volume clears the cutover.
+func parallelBenchIndex(b *testing.B) (*Flood, []query.Query) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	n := 1_000_000
+	data := make([][]int64, 3)
+	for d := range data {
+		data[d] = make([]int64, n)
+		for i := range data[d] {
+			data[d][i] = rng.Int63n(1 << 20)
+		}
+	}
+	tbl, err := colstore.NewTable([]string{"a", "b", "c"}, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := Build(tbl, Layout{GridDims: []int{0, 1}, GridCols: []int{32, 32}, SortDim: 2, Flatten: true}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]query.Query, 64)
+	for i := range queries {
+		lo0 := rng.Int63n(1 << 19)
+		lo1 := rng.Int63n(1 << 19)
+		w := int64(1 << 18) // ~1/4 of the domain per dim -> ~6% of cells
+		queries[i] = query.NewQuery(3).WithRange(0, lo0, lo0+w).WithRange(1, lo1, lo1+w)
+	}
+	return idx, queries
+}
+
+// BenchmarkParallelExecute1M compares the PR 1 sequential scan against the
+// morsel engine on 1M rows. "adaptive" is plain Execute (cost-based
+// cutover); workersN forces the engine width. On a single-core host the
+// parallel variants degenerate to the sequential path plus dispatch cost.
+func BenchmarkParallelExecute1M(b *testing.B) {
+	idx, queries := parallelBenchIndex(b)
+	b.Run("sequential", func(b *testing.B) {
+		agg := query.NewCount()
+		// Hoist the interface conversion so the wrapper struct is boxed
+		// once, not per iteration.
+		var seq query.Aggregator = sequentialOnly{agg}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg.Reset()
+			idx.Execute(queries[i%len(queries)], seq)
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		agg := query.NewCount()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg.Reset()
+			idx.Execute(queries[i%len(queries)], agg)
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			agg := query.NewCount()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg.Reset()
+				idx.ExecuteParallel(queries[i%len(queries)], agg, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkExecuteBatch1M measures the batched serving path: 64 queries per
+// op, one-at-a-time vs fanned out over the shared pool.
+func BenchmarkExecuteBatch1M(b *testing.B) {
+	idx, queries := parallelBenchIndex(b)
+	aggs := make([]query.Aggregator, len(queries))
+	for i := range aggs {
+		aggs[i] = query.NewCount()
+	}
+	reset := func() {
+		for _, a := range aggs {
+			a.Reset()
+		}
+	}
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reset()
+			for j, q := range queries {
+				idx.ExecuteSequential(q, aggs[j])
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reset()
+			idx.ExecuteBatch(queries, aggs)
+		}
+	})
+}

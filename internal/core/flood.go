@@ -4,7 +4,6 @@ import (
 	"cmp"
 	"fmt"
 	"math"
-	"runtime"
 	"slices"
 	"sort"
 	"sync"
@@ -35,6 +34,11 @@ type Flood struct {
 	avgCellSize    float64
 	medianCellSize float64
 	p99CellSize    float64
+
+	// parallelCutover is the estimated scanned-row count at or above which
+	// Execute leaves the zero-alloc sequential scan for the morsel-driven
+	// parallel engine (see exec_parallel.go).
+	parallelCutover int
 }
 
 type scanRange struct {
@@ -44,11 +48,13 @@ type scanRange struct {
 }
 
 // execScratch holds the per-query working set of Execute — projection
-// coordinates and the scan-range list — so the steady-state query path
-// allocates nothing. Scratch is pooled package-wide; slices grow to each
-// index's dimensionality once and are reused.
+// coordinates, the scan-range list, and the parallel path's morsel list — so
+// the steady-state query path allocates nothing. Scratch is pooled
+// package-wide; slices grow to each index's dimensionality once and are
+// reused.
 type execScratch struct {
 	ranges  []scanRange
+	morsels []morsel
 	los     []int
 	his     []int
 	coords  []int
@@ -85,6 +91,7 @@ func Build(t *colstore.Table, layout Layout, opts Options) (*Flood, error) {
 		opts.Delta = plm.DefaultDelta
 	}
 	f := &Flood{layout: layout, opts: opts, numCells: layout.NumCells()}
+	f.computeParallelCutover()
 	g := len(layout.GridDims)
 	f.strides = make([]int, g)
 	stride := 1
@@ -221,39 +228,6 @@ type sortPair struct {
 	row int32
 }
 
-// parallelFor splits [0, n) into one contiguous chunk per worker and runs fn
-// on each concurrently. Used by Build for the embarrassingly parallel stages
-// (§8: different cells can be processed simultaneously); results are
-// identical to a sequential run.
-func parallelFor(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 func defaultCDFLeaves(n int) int {
 	l := n / 64
 	if l < 16 {
@@ -263,6 +237,20 @@ func defaultCDFLeaves(n int) int {
 		l = 1024
 	}
 	return l
+}
+
+// computeParallelCutover resolves Options.ParallelCutover: 0 picks the
+// default (the scan volume where parallel dispatch overhead clearly
+// amortizes), negative disables the parallel path entirely.
+func (f *Flood) computeParallelCutover() {
+	switch {
+	case f.opts.ParallelCutover > 0:
+		f.parallelCutover = f.opts.ParallelCutover
+	case f.opts.ParallelCutover < 0:
+		f.parallelCutover = math.MaxInt
+	default:
+		f.parallelCutover = defaultParallelCutover
+	}
 }
 
 func (f *Flood) computeCellStats() {
@@ -289,6 +277,10 @@ func (f *Flood) Name() string { return "Flood" }
 
 // Layout returns the layout the index was built with.
 func (f *Flood) Layout() Layout { return f.layout }
+
+// Options returns the options the index was built with (so wrappers like the
+// delta index can rebuild with identical settings).
+func (f *Flood) Options() Options { return f.opts }
 
 // Table returns the index's reordered data.
 func (f *Flood) Table() *colstore.Table { return f.t }
@@ -325,11 +317,25 @@ func (f *Flood) SizeBytes() int64 {
 	return s
 }
 
-// Execute implements query.Index: projection, refinement, scan (§3.2). The
-// steady-state path performs zero heap allocations: projection scratch and
-// scan ranges come from a pool, and the scanner reuses per-dimension decode
-// buffers.
+// Execute implements query.Index: projection, refinement, scan (§3.2).
+//
+// Small queries run the sequential path, which performs zero heap
+// allocations in steady state: projection scratch and scan ranges come from
+// a pool, and the scanner reuses per-dimension decode buffers. When the
+// aggregator is mergeable and the refined ranges cover at least the
+// cost-based cutover (Options.ParallelCutover rows, known exactly and for
+// free after refinement), the scan fans out over the morsel-driven worker
+// pool instead (see exec_parallel.go); results and scan counters are
+// identical either way.
 func (f *Flood) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	return f.execute(q, agg, 0)
+}
+
+// execute is the shared body of Execute, ExecuteParallel, and ExecuteBatch.
+// workers selects the scan strategy: 0 is adaptive (sequential below the
+// cutover, GOMAXPROCS workers above it), 1 forces the sequential path, and
+// n > 1 forces the morsel engine with n workers.
+func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
 	if q.Empty() || f.t.NumRows() == 0 {
@@ -341,12 +347,39 @@ func (f *Flood) Execute(q query.Query, agg query.Aggregator) query.Stats {
 	t1 := time.Now()
 	st.ProjectTime = t1.Sub(t0)
 
-	f.refine(q, ranges, &st)
+	// Pre-refinement row count: an upper bound on the scan volume, free to
+	// compute. Refinement probes fan out only when the query is allowed to
+	// parallelize at all (workers != 1) and was big before refinement —
+	// so the sequential cutover path, ExecuteSequential, and batch workers
+	// never touch the pool, stay allocation-free, and skip the estimate
+	// loops entirely.
+	m, mergeable := agg.(query.Mergeable)
+	refineParallel := false
+	if workers != 1 {
+		preEst := 0
+		for i := range ranges {
+			preEst += int(ranges[i].end - ranges[i].start)
+		}
+		refineParallel = preEst >= f.parallelCutover
+	}
+	f.refine(q, ranges, &st, refineParallel)
 	t2 := time.Now()
 	st.RefineTime = t2.Sub(t1)
 	st.IndexTime = st.ProjectTime + st.RefineTime
 
-	f.scan(q, ranges, agg, &st)
+	if workers == 1 || !mergeable {
+		f.scan(q, ranges, agg, &st)
+	} else {
+		est := 0
+		for i := range ranges {
+			est += int(ranges[i].end - ranges[i].start)
+		}
+		if workers == 0 && (est < f.parallelCutover || maxWorkers() <= 1) {
+			f.scan(q, ranges, agg, &st)
+		} else {
+			f.scanParallel(q, ranges, m, &st, workers, est, es)
+		}
+	}
 	es.ranges = ranges[:0]
 	scratchPool.Put(es)
 	t3 := time.Now()
@@ -447,20 +480,38 @@ func (f *Flood) project(q query.Query, es *execScratch, st *query.Stats) []scanR
 	return ranges
 }
 
+// refineParallelRanges is the range count at which refinement probes fan out
+// over the worker pool; below it, the sequential loop stays allocation-free.
+const refineParallelRanges = 128
+
 // refine implements §3.2.2 / §5.2: narrow each range along the sort
 // dimension, mutating ranges in place. Model predictions (or plain binary
 // search) are rectified through the column's block-decoded lower-bound
-// search — no per-probe accessor closures.
-func (f *Flood) refine(q query.Query, ranges []scanRange, st *query.Stats) {
+// search — no per-probe accessor closures. When parallel is set, queries
+// touching many cells spread the probes per-range over the worker pool:
+// ranges are independent, so results match the sequential loop exactly.
+func (f *Flood) refine(q query.Query, ranges []scanRange, st *query.Stats, parallel bool) {
 	if !f.refines(q) {
 		return
 	}
+	st.RangesRefined += int64(len(ranges))
+	if parallel && len(ranges) >= refineParallelRanges && maxWorkers() > 1 {
+		poolFor(len(ranges), 32, func(lo, hi int) {
+			f.refineRanges(q, ranges[lo:hi])
+		})
+		return
+	}
+	f.refineRanges(q, ranges)
+}
+
+// refineRanges narrows one slice of ranges; it is the workhorse shared by
+// the sequential and parallel refinement paths.
+func (f *Flood) refineRanges(q query.Query, ranges []scanRange) {
 	r := q.Ranges[f.layout.SortDim]
 	col := f.t.Column(f.layout.SortDim)
 	useModel := f.opts.Refinement == RefineModel && f.models != nil
 	for i := range ranges {
 		rg := &ranges[i]
-		st.RangesRefined++
 		base, end := int(rg.start), int(rg.end)
 		var i1, i2 int
 		if useModel && f.models[rg.cell] != nil {
@@ -497,7 +548,8 @@ func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st
 	sc := query.GetScanner(f.t)
 	var dimsBuf [64]int
 	dims := dimsBuf[:0]
-	var lastMask uint64 = ^uint64(0)
+	var lastMask uint64
+	haveDims := false // a bool sentinel: every uint64 is a legal 64-dim mask
 	for _, rg := range ranges {
 		if rg.start >= rg.end {
 			continue
@@ -509,14 +561,9 @@ func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st
 			st.ExactMatched += m
 			continue
 		}
-		if rg.mask != lastMask {
-			dims = dims[:0]
-			for d := 0; d < f.t.NumCols(); d++ {
-				if rg.mask&(1<<uint(d)) != 0 {
-					dims = append(dims, d)
-				}
-			}
-			lastMask = rg.mask
+		if !haveDims || rg.mask != lastMask {
+			dims = maskDims(rg.mask, dims)
+			lastMask, haveDims = rg.mask, true
 		}
 		s, m := sc.ScanRange(q, dims, int(rg.start), int(rg.end), agg)
 		st.Scanned += s

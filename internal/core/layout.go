@@ -119,4 +119,9 @@ type Options struct {
 	// CDFLeaves is the leaf count for per-dimension flattening CDFs;
 	// 0 picks a size-based default.
 	CDFLeaves int
+	// ParallelCutover is the estimated scanned-row count at or above which
+	// Execute switches from the zero-alloc sequential scan to the
+	// morsel-driven parallel engine. 0 picks the default; negative keeps
+	// every query on the sequential path.
+	ParallelCutover int
 }

@@ -102,12 +102,96 @@ func (m *Min) Add(t *colstore.Table, row int) {
 	m.any = true
 }
 
-// AddExactRange implements Aggregator.
+// AddExactRange implements Aggregator. Blocks wholly inside the range
+// resolve from the column's zone map (per-block min) without decoding;
+// boundary blocks decode once and scan the decoded values — no per-row Get.
 func (m *Min) AddExactRange(t *colstore.Table, start, end int) {
-	for i := start; i < end; i++ {
-		m.Add(t, i)
+	if start >= end {
+		return
 	}
+	m.any = true
+	m.m = rangeExtremum(t.Column(m.col), start, end, m.m, false)
 }
 
 // Result implements Aggregator.
 func (m *Min) Result() int64 { return m.m }
+
+// rangeExtremum folds rows [start, end) of col into acc with min (wantMax
+// false) or max (wantMax true) — the block walk shared by Min and Max.
+// Blocks wholly inside the range resolve from the zone map without
+// decoding; boundary blocks decode once, with the direction branch hoisted
+// out of the value loop.
+func rangeExtremum(col *colstore.Column, start, end int, acc int64, wantMax bool) int64 {
+	var buf [colstore.BlockSize]int64
+	for b := start / colstore.BlockSize; b*colstore.BlockSize < end; b++ {
+		lo := b * colstore.BlockSize
+		if lo >= start && lo+colstore.BlockSize <= end {
+			bmin, bmax := col.BlockBounds(b)
+			if wantMax {
+				if bmax > acc {
+					acc = bmax
+				}
+			} else if bmin < acc {
+				acc = bmin
+			}
+			continue
+		}
+		cnt := col.DecodeBlock(b, buf[:])
+		i0, i1 := 0, cnt
+		if lo < start {
+			i0 = start - lo
+		}
+		if lo+cnt > end {
+			i1 = end - lo
+		}
+		if wantMax {
+			for _, v := range buf[i0:i1] {
+				if v > acc {
+					acc = v
+				}
+			}
+		} else {
+			for _, v := range buf[i0:i1] {
+				if v < acc {
+					acc = v
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// Max implements SELECT MAX(col) (returns NegInf when nothing matched).
+type Max struct {
+	col int
+	m   int64
+	any bool
+}
+
+// NewMax returns a MAX aggregator over column col.
+func NewMax(col int) *Max { return &Max{col: col, m: NegInf} }
+
+// Reset implements Aggregator.
+func (m *Max) Reset() { m.m, m.any = NegInf, false }
+
+// Add implements Aggregator.
+func (m *Max) Add(t *colstore.Table, row int) {
+	if v := t.Get(m.col, row); v > m.m {
+		m.m = v
+	}
+	m.any = true
+}
+
+// AddExactRange implements Aggregator. Blocks wholly inside the range
+// resolve from the column's zone map (per-block max) without decoding;
+// boundary blocks decode once and scan the decoded values — no per-row Get.
+func (m *Max) AddExactRange(t *colstore.Table, start, end int) {
+	if start >= end {
+		return
+	}
+	m.any = true
+	m.m = rangeExtremum(t.Column(m.col), start, end, m.m, true)
+}
+
+// Result implements Aggregator.
+func (m *Max) Result() int64 { return m.m }

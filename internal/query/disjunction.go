@@ -1,5 +1,10 @@
 package query
 
+import (
+	"runtime"
+	"sync"
+)
+
 // Disjunction support (§3): "Typical selections generally also include
 // disjunctions (i.e. OR clauses). However, these can be decomposed into
 // multiple queries over disjoint attribute ranges." This file implements
@@ -18,37 +23,38 @@ func intersects(a, b Query) bool {
 	return true
 }
 
-// subtract returns a \ b as a list of disjoint rectangles. a and b must
-// have the same dimensionality.
-func subtract(a, b Query) []Query {
+// subtractAppend appends a \ b to dst as disjoint rectangles. a and b must
+// have the same dimensionality; clone supplies fresh Range storage (heap or
+// pooled arena). a's ranges are clobbered in the process, so callers pass
+// pieces they own.
+func subtractAppend(dst []Query, a, b Query, clone func(Query) Query) []Query {
 	if a.Empty() {
-		return nil
+		return dst
 	}
 	if !intersects(a, b) {
-		return []Query{a}
+		return append(dst, a)
 	}
-	var out []Query
 	rem := a
 	for d := range a.Ranges {
 		ra, rb := rem.Ranges[d], b.Ranges[d]
 		// Piece below b along dim d.
 		if ra.Min < rb.Min {
-			piece := cloneQuery(rem)
+			piece := clone(rem)
 			piece.Ranges[d] = normRange(ra.Min, rb.Min-1)
-			out = append(out, piece)
+			dst = append(dst, piece)
 			ra.Min = rb.Min
 		}
 		// Piece above b along dim d.
 		if ra.Max > rb.Max {
-			piece := cloneQuery(rem)
+			piece := clone(rem)
 			piece.Ranges[d] = normRange(rb.Max+1, ra.Max)
-			out = append(out, piece)
+			dst = append(dst, piece)
 			ra.Max = rb.Max
 		}
 		rem.Ranges[d] = normRange(ra.Min, ra.Max)
 	}
 	// rem is now fully inside b: dropped.
-	return out
+	return dst
 }
 
 func cloneQuery(q Query) Query {
@@ -66,33 +72,115 @@ func normRange(min, max int64) Range {
 // is bounded by O(len(queries)^2 * d) rectangles in the worst case; typical
 // OR clauses over distinct value ranges produce no growth at all.
 func Disjoint(queries []Query) []Query {
-	var out []Query
+	var s disjunctionScratch
+	return disjointWith(&s, queries, cloneQuery)
+}
+
+// disjointWith is the decomposition shared by the public Disjoint and the
+// pooled ExecuteDisjunction path; clone supplies Range storage for every
+// emitted piece and s supplies the working rectangle lists.
+func disjointWith(s *disjunctionScratch, queries []Query, clone func(Query) Query) []Query {
+	out := s.pieces[:0]
+	pending, next := s.pending[:0], s.next[:0]
 	for _, q := range queries {
 		if q.Empty() {
 			continue
 		}
-		pending := []Query{cloneQuery(q)}
+		pending = append(pending[:0], clone(q))
 		for _, existing := range out {
-			var next []Query
+			next = next[:0]
 			for _, p := range pending {
-				next = append(next, subtract(p, existing)...)
+				next = subtractAppend(next, p, existing, clone)
 			}
-			pending = next
+			pending, next = next, pending
 			if len(pending) == 0 {
 				break
 			}
 		}
 		out = append(out, pending...)
 	}
+	s.pieces, s.pending, s.next = out, pending, next
 	return out
+}
+
+// disjunctionScratch pools the per-piece allocations of disjunction
+// execution: the rectangle lists built during decomposition, the Range arena
+// backing each decomposed piece, and the per-piece aggregator clones. One
+// scratch serves one ExecuteDisjunction call at a time; pieces handed to the
+// index alias the arena, which is only recycled after the call completes.
+type disjunctionScratch struct {
+	pieces  []Query
+	pending []Query
+	next    []Query
+	arena   []Range
+	clones  []Aggregator
+}
+
+var disjunctionPool = sync.Pool{New: func() any { return new(disjunctionScratch) }}
+
+// clone copies q's ranges into the arena. When the arena runs out a fresh,
+// larger one is started; slices already handed out keep the old backing
+// array alive, so they stay valid.
+func (s *disjunctionScratch) clone(q Query) Query {
+	n := len(q.Ranges)
+	if len(s.arena)+n > cap(s.arena) {
+		c := 2 * cap(s.arena)
+		if c < 16*n {
+			c = 16 * n
+		}
+		s.arena = make([]Range, 0, c)
+	}
+	lo := len(s.arena)
+	s.arena = append(s.arena, q.Ranges...)
+	return Query{Ranges: s.arena[lo : lo+n : lo+n]}
+}
+
+func (s *disjunctionScratch) release() {
+	for i := range s.clones {
+		s.clones[i] = nil // don't pin aggregators across uses
+	}
+	s.clones = s.clones[:0]
+	s.pieces = s.pieces[:0]
+	s.pending = s.pending[:0]
+	s.next = s.next[:0]
+	s.arena = s.arena[:0]
+	disjunctionPool.Put(s)
 }
 
 // ExecuteDisjunction evaluates an OR of conjunctive queries against idx,
 // accumulating every matching row into agg exactly once, and returns the
 // combined execution stats.
+//
+// When the index supports batched execution (BatchIndex), the aggregator is
+// Mergeable, and there are enough disjoint pieces to occupy the cores, the
+// pieces run as one batch over the index's shared worker pool — each piece
+// into its own aggregator clone, merged afterwards. With fewer pieces than
+// cores, each piece instead runs through the index's ordinary Execute, whose
+// intra-query (morsel) parallelism uses the hardware better than a short
+// batch would. Decomposition scratch and the per-piece rectangles come from
+// a pool, so repeated disjunctions allocate only the aggregator clones.
 func ExecuteDisjunction(idx Index, queries []Query, agg Aggregator) Stats {
+	s := disjunctionPool.Get().(*disjunctionScratch)
+	defer s.release()
+	pieces := disjointWith(s, queries, s.clone)
 	var total Stats
-	for _, q := range Disjoint(queries) {
+	bi, batched := idx.(BatchIndex)
+	m, mergeable := agg.(Mergeable)
+	if batched && mergeable && len(pieces) >= runtime.GOMAXPROCS(0) && len(pieces) > 1 {
+		clones := s.clones[:0]
+		for range pieces {
+			clones = append(clones, m.CloneEmpty())
+		}
+		s.clones = clones
+		for _, st := range bi.ExecuteBatch(pieces, clones) {
+			total.Add(st)
+		}
+		for _, c := range clones {
+			m.Merge(c.(Mergeable))
+		}
+		return total
+	}
+	for _, q := range pieces {
 		total.Add(idx.Execute(q, agg))
 	}
 	return total

@@ -35,3 +35,15 @@ func (m *Min) Merge(other Mergeable) {
 	}
 	m.any = m.any || o.any
 }
+
+// CloneEmpty implements Mergeable.
+func (m *Max) CloneEmpty() Mergeable { return NewMax(m.col) }
+
+// Merge implements Mergeable.
+func (m *Max) Merge(other Mergeable) {
+	o := other.(*Max)
+	if o.any && o.m > m.m {
+		m.m = o.m
+	}
+	m.any = m.any || o.any
+}

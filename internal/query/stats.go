@@ -65,3 +65,14 @@ type Index interface {
 	Execute(q Query, agg Aggregator) Stats
 	SizeBytes() int64
 }
+
+// BatchIndex is implemented by indexes that can execute many queries in one
+// call, sharing a worker pool across them (§8). ExecuteBatch runs
+// queries[i] into aggs[i] — len(queries) must equal len(aggs) — and returns
+// per-query stats; results are identical to executing the queries one by
+// one. ExecuteDisjunction routes multi-rectangle queries through this
+// interface when the index offers it.
+type BatchIndex interface {
+	Index
+	ExecuteBatch(queries []Query, aggs []Aggregator) []Stats
+}

@@ -1,6 +1,9 @@
 package flood
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Monitor implements the workload-shift detection sketched in §8 ("Shifting
 // workloads"): it tracks query cost over a sliding window and signals when
@@ -8,6 +11,13 @@ import "time"
 // that relearning is worthwhile. The reference cost is the cost model's
 // prediction when available (Build), otherwise the first full window
 // observed after construction.
+//
+// A Monitor is safe for concurrent use: Record may be called from many
+// goroutines at once (the normal situation when queries are served through
+// ExecuteBatch or from concurrent request handlers). The sliding window is
+// guarded by a mutex, every Record observes a consistent window, and at
+// least one Record in any window-sized burst that pushes the average over
+// the threshold reports true.
 //
 // Typical use:
 //
@@ -20,7 +30,9 @@ import "time"
 //	    }
 //	}
 type Monitor struct {
+	mu        sync.Mutex
 	window    []time.Duration
+	sum       time.Duration // running total of window (O(1) Record)
 	next      int
 	filled    bool
 	reference float64 // ns
@@ -47,6 +59,9 @@ func NewMonitor(idx *Flood, windowSize int, factor float64) *Monitor {
 // Record adds one query's stats and reports whether the layout should be
 // relearned. It never fires before a full window has been observed.
 func (m *Monitor) Record(st Stats) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sum += st.Total - m.window[m.next]
 	m.window[m.next] = st.Total
 	m.next++
 	if m.next == len(m.window) {
@@ -67,16 +82,20 @@ func (m *Monitor) Record(st Stats) bool {
 
 // Reference returns the baseline average query time in nanoseconds (0 until
 // established).
-func (m *Monitor) Reference() float64 { return m.reference }
+func (m *Monitor) Reference() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reference
+}
 
 // WindowAverage returns the current window's average query time in
 // nanoseconds (only meaningful once a full window has been recorded).
-func (m *Monitor) WindowAverage() float64 { return m.windowAvg() }
+func (m *Monitor) WindowAverage() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.windowAvg()
+}
 
 func (m *Monitor) windowAvg() float64 {
-	var sum time.Duration
-	for _, d := range m.window {
-		sum += d
-	}
-	return float64(sum.Nanoseconds()) / float64(len(m.window))
+	return float64(m.sum.Nanoseconds()) / float64(len(m.window))
 }
