@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-full clean
+.PHONY: all build test vet docs bench bench-full clean
 
 all: vet build test
 
@@ -15,6 +15,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# docs gates the documentation: vet plus a lint that fails on undocumented
+# exported identifiers in the public API surface (root package and the
+# internal packages the architecture docs walk through). CI runs this on
+# every push.
+docs: vet
+	$(GO) run ./cmd/doclint . ./internal/core ./internal/query ./internal/colstore
 
 # bench runs the scan-kernel, build, and parallel-execution benchmarks that
 # gate perf PRs and records them in BENCH_scan.json so the trajectory is

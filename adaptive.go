@@ -1,0 +1,666 @@
+package flood
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/core"
+	"flood/internal/query"
+	"flood/internal/workload"
+)
+
+// AdaptiveConfig tunes an AdaptiveIndex. The zero value (or nil) picks
+// defaults suitable for analytical serving; every threshold can be tightened
+// for tests or latency-sensitive deployments.
+type AdaptiveConfig struct {
+	// WindowSize is the drift monitor's sliding window in queries
+	// (default 64). See Monitor.
+	WindowSize int
+	// DriftFactor triggers a relearn when the window's average query time
+	// exceeds this multiple of the reference cost (default 3).
+	DriftFactor float64
+	// SampleSize bounds the reservoir sample of live queries that a
+	// relearn trains on (default 512).
+	SampleSize int
+	// MinRelearnQueries is the minimum number of sampled queries before a
+	// drift signal may start a relearn (default 32). Forced relearns
+	// require only one.
+	MinRelearnQueries int
+	// MergeFraction schedules automatic delta merges: once the pending
+	// insert log exceeds this fraction of the base row count, a background
+	// merge folds it into the base layout. 0 picks the default (0.125);
+	// negative disables auto-merging.
+	MergeFraction float64
+	// Build supplies the options used when relearning a layout. When its
+	// CostModel is nil, the current index's model is reused, so the
+	// expensive calibration step never runs on the serving path.
+	Build *Options
+	// Seed fixes the reservoir's sampling sequence (and, combined with
+	// Build.Seed, makes relearns reproducible).
+	Seed int64
+}
+
+func (c *AdaptiveConfig) withDefaults() AdaptiveConfig {
+	out := AdaptiveConfig{}
+	if c != nil {
+		out = *c
+	}
+	if out.WindowSize <= 0 {
+		out.WindowSize = 64
+	}
+	if out.DriftFactor <= 1 {
+		out.DriftFactor = 3
+	}
+	if out.SampleSize <= 0 {
+		out.SampleSize = 512
+	}
+	if out.MinRelearnQueries <= 0 {
+		out.MinRelearnQueries = 32
+	}
+	if out.MergeFraction == 0 {
+		out.MergeFraction = 0.125
+	}
+	return out
+}
+
+// AdaptiveStats is a point-in-time view of an AdaptiveIndex's lifecycle.
+type AdaptiveStats struct {
+	// Queries is the total number of queries served (batch queries count
+	// individually).
+	Queries int64
+	// BaseRows and PendingRows split the stored data into the learned base
+	// index and the unmerged insert log.
+	BaseRows    int
+	PendingRows int
+	// SampledQueries is the current size of the workload reservoir.
+	SampledQueries int
+	// Relearns and Merges count completed background rebuilds by kind.
+	Relearns int64
+	Merges   int64
+	// Rebuilding reports whether a background rebuild is in flight.
+	Rebuilding bool
+	// LastSwap is the wall time of the most recent index swap (zero before
+	// the first).
+	LastSwap time.Time
+	// LastError is the most recent background rebuild failure, if any.
+	LastError error
+	// Reference and WindowAverage expose the drift monitor's state in
+	// nanoseconds per query (see Monitor).
+	Reference     float64
+	WindowAverage float64
+}
+
+// rebuildKind distinguishes the two background rebuild flavors: a relearn
+// searches for a new layout against the sampled workload, a merge keeps the
+// layout and folds the insert log into the base.
+type rebuildKind int
+
+const (
+	rebuildRelearn rebuildKind = iota
+	rebuildMerge
+)
+
+// adaptiveEpoch is one immutable serving generation: a built index, the
+// append-only insert log layered on top of it, and the drift monitor born
+// with it. Swapping generations is a single atomic pointer store, so readers
+// never take a lock to find the current index.
+type adaptiveEpoch struct {
+	flood *Flood
+	log   *sideLog
+	mon   *Monitor
+}
+
+// AdaptiveIndex is a concurrent serving facade that closes the relearn loop
+// of §8 ("Shifting workloads"): it serves queries and inserts continuously,
+// samples the live workload into a reservoir, watches for drift with a
+// Monitor, and — when the layout has gone stale or the insert log has grown
+// past its merge threshold — rebuilds in the background and publishes the
+// fresh index with an atomic pointer swap. Queries are never blocked: the
+// old generation keeps serving until the instant the new one is visible.
+//
+// Concurrency contract: Execute, ExecuteBatch, Insert, Stats, and the
+// trigger methods may all be called from any number of goroutines. The hot
+// read path takes no locks — it loads the current generation with one atomic
+// pointer read and scans the insert log through an atomically published row
+// count. At most one background rebuild runs at a time; concurrent triggers
+// (drift signals, merge thresholds, forced calls) coalesce into it.
+//
+//	idx, _ := flood.Build(tbl, train, nil)
+//	a := flood.NewAdaptiveIndex(idx, nil)
+//	defer a.Close()
+//	// any number of goroutines:
+//	stats := a.Execute(q, flood.NewCount())
+//	_ = a.Insert(row)
+type AdaptiveIndex struct {
+	cfg    AdaptiveConfig
+	epoch  atomic.Pointer[adaptiveEpoch]
+	sample *workload.Reservoir
+
+	// mu serializes writers: Insert appends under it, and a finishing
+	// rebuild holds it across the swap so the insert-log tail it carries
+	// forward is exact. Readers never touch it.
+	mu sync.Mutex
+
+	// rebuildMu guards the single-rebuild-in-flight state. It is taken
+	// only when a trigger fires or a waiter blocks, never on the query
+	// hot path.
+	rebuildMu     sync.Mutex
+	rebuildActive bool
+	rebuildDone   chan struct{}
+	closed        bool
+	lastErr       error
+
+	queries  atomic.Int64
+	relearns atomic.Int64
+	merges   atomic.Int64
+	lastSwap atomic.Int64 // UnixNano; 0 = never swapped
+
+	// testHookBuilt, when set, runs after a background build finishes but
+	// before the swap — tests use it to hold the rebuilding state open.
+	testHookBuilt func()
+}
+
+// NewAdaptiveIndex wraps a built index in the adaptive serving facade.
+// The index takes ownership of serving: run queries and inserts through it
+// rather than through base directly. Call Close to stop background work.
+func NewAdaptiveIndex(base *Flood, cfg *AdaptiveConfig) *AdaptiveIndex {
+	c := cfg.withDefaults()
+	a := &AdaptiveIndex{
+		cfg:    c,
+		sample: workload.NewReservoir(c.SampleSize, c.Seed),
+	}
+	a.epoch.Store(a.newEpoch(base))
+	return a
+}
+
+func (a *AdaptiveIndex) newEpoch(f *Flood) *adaptiveEpoch {
+	return &adaptiveEpoch{
+		flood: f,
+		log:   newSideLog(f.Table().Names()),
+		mon:   NewMonitor(f, a.cfg.WindowSize, a.cfg.DriftFactor),
+	}
+}
+
+// Execute serves one query against the current generation — learned base
+// plus insert log — records it in the workload sample and drift monitor, and
+// starts a background relearn if drift is detected. Safe for unlimited
+// concurrency; never blocks on rebuilds.
+func (a *AdaptiveIndex) Execute(q Query, agg Aggregator) Stats {
+	ep := a.epoch.Load()
+	st := executeEpoch(ep, q, agg)
+	a.observe(ep, q, st)
+	return st
+}
+
+// executeEpoch runs q against one generation (base index plus insert log)
+// with no lifecycle bookkeeping.
+func executeEpoch(ep *adaptiveEpoch, q Query, agg Aggregator) Stats {
+	st := ep.flood.Execute(q, agg)
+	if n := ep.log.rows(); n > 0 {
+		st.Add(ep.log.scan(q, n, agg))
+	}
+	return st
+}
+
+// ExecuteBatch serves queries[i] into aggs[i] with inter-query parallelism
+// over the shared worker pool (see Flood.ExecuteBatch), all against one
+// consistent generation. len(queries) must equal len(aggs).
+func (a *AdaptiveIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
+	ep := a.epoch.Load()
+	stats := executeBatchEpoch(ep, queries, aggs)
+	for i := range queries {
+		a.observe(ep, queries[i], stats[i])
+	}
+	return stats
+}
+
+// executeBatchEpoch is ExecuteBatch against one generation, minus the
+// lifecycle bookkeeping.
+func executeBatchEpoch(ep *adaptiveEpoch, queries []Query, aggs []Aggregator) []Stats {
+	if len(queries) != len(aggs) {
+		panic(fmt.Sprintf("flood: ExecuteBatch got %d queries but %d aggregators", len(queries), len(aggs)))
+	}
+	n := ep.log.rows()
+	stats := make([]Stats, len(queries))
+	core.RunBatch(len(queries), func(i int) {
+		stats[i] = ep.flood.idx.ExecuteSequential(queries[i], aggs[i])
+		if n > 0 {
+			stats[i].Add(ep.log.scan(queries[i], n, aggs[i]))
+		}
+	})
+	return stats
+}
+
+// ExecuteOr evaluates a disjunction (OR) of conjunctive queries against one
+// consistent generation, decomposing the rectangles into disjoint pieces so
+// every matching row counts exactly once (the package-level ExecuteOr routes
+// here automatically). The disjunction counts as one served query and its
+// conjunctive rectangles feed the workload sample, but the decomposed pieces
+// bypass the drift monitor: per-piece times are fractions of a query and
+// would dilute the window average against the per-query reference cost.
+func (a *AdaptiveIndex) ExecuteOr(queries []Query, agg Aggregator) Stats {
+	st := query.ExecuteDisjunction(adaptiveRaw{a: a, ep: a.epoch.Load()}, queries, agg)
+	a.queries.Add(1)
+	for _, q := range queries {
+		a.sample.Add(q)
+	}
+	return st
+}
+
+// adaptiveRaw exposes bookkeeping-free execution pinned to one generation,
+// so disjunction decomposition runs against a consistent snapshot without
+// polluting the drift monitor or the workload sample.
+type adaptiveRaw struct {
+	a  *AdaptiveIndex
+	ep *adaptiveEpoch
+}
+
+// Name implements query.Index.
+func (r adaptiveRaw) Name() string { return r.a.Name() }
+
+// SizeBytes implements query.Index.
+func (r adaptiveRaw) SizeBytes() int64 { return r.a.SizeBytes() }
+
+// Execute implements query.Index against the pinned generation.
+func (r adaptiveRaw) Execute(q Query, agg Aggregator) Stats {
+	return executeEpoch(r.ep, q, agg)
+}
+
+// ExecuteBatch implements query.BatchIndex against the pinned generation.
+func (r adaptiveRaw) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
+	return executeBatchEpoch(r.ep, queries, aggs)
+}
+
+// observe is the bookkeeping tail of every query: sample it, feed the drift
+// monitor, and kick off a relearn when the monitor signals.
+func (a *AdaptiveIndex) observe(ep *adaptiveEpoch, q Query, st Stats) {
+	a.queries.Add(1)
+	a.sample.Add(q)
+	if ep.mon.Record(st) {
+		a.tryRebuild(rebuildRelearn, a.cfg.MinRelearnQueries)
+	}
+}
+
+// Insert appends one row (one value per dimension). The row is visible to
+// queries as soon as Insert returns. When the insert log exceeds
+// MergeFraction of the base, a background merge is scheduled; Insert itself
+// never blocks on index building.
+func (a *AdaptiveIndex) Insert(row []int64) error {
+	a.mu.Lock()
+	ep := a.epoch.Load()
+	if err := ep.log.append(row); err != nil {
+		a.mu.Unlock()
+		return err
+	}
+	pending := ep.log.rows()
+	a.mu.Unlock()
+	base := ep.flood.Table().NumRows()
+	if a.cfg.MergeFraction > 0 && float64(pending) >= a.cfg.MergeFraction*float64(base) {
+		a.tryRebuild(rebuildMerge, 0)
+	}
+	return nil
+}
+
+// TriggerRelearn forces a background relearn as if drift had been detected,
+// as long as at least one query has been sampled to train on. It reports
+// whether a rebuild was started; false means one was already in flight (the
+// trigger coalesces), the sample is empty, or the index is closed.
+func (a *AdaptiveIndex) TriggerRelearn() bool { return a.tryRebuild(rebuildRelearn, 1) }
+
+// TriggerMerge forces a background merge of the insert log into the base
+// layout. It reports whether a rebuild was started; false means nothing is
+// pending, one was already in flight, or the index is closed.
+func (a *AdaptiveIndex) TriggerMerge() bool {
+	if a.epoch.Load().log.rows() == 0 {
+		return false
+	}
+	return a.tryRebuild(rebuildMerge, 0)
+}
+
+// tryRebuild starts a background rebuild unless one is already running (the
+// backpressure rule: at most one in flight, extra triggers coalesce). For
+// relearns, minSamples gates on the reservoir so there is always a workload
+// to train on.
+func (a *AdaptiveIndex) tryRebuild(kind rebuildKind, minSamples int) bool {
+	if kind == rebuildRelearn && a.sample.Len() < max(minSamples, 1) {
+		return false
+	}
+	a.rebuildMu.Lock()
+	if a.closed || a.rebuildActive {
+		a.rebuildMu.Unlock()
+		return false
+	}
+	a.rebuildActive = true
+	done := make(chan struct{})
+	a.rebuildDone = done
+	a.rebuildMu.Unlock()
+	go a.rebuild(kind, done)
+	return true
+}
+
+// rebuild runs in the background: snapshot base+delta and the sampled
+// workload, build a fresh index (relearned layout or same-layout merge), and
+// swap it in. Serving continues on the old generation throughout; the swap
+// itself is one atomic store under the writer lock.
+func (a *AdaptiveIndex) rebuild(kind rebuildKind, done chan struct{}) {
+	var err error
+	defer func() {
+		a.rebuildMu.Lock()
+		a.rebuildActive = false
+		a.lastErr = err
+		a.rebuildMu.Unlock()
+		close(done)
+	}()
+
+	// Snapshot: rows below the published count are immutable, so the
+	// frozen prefix of the log plus the (immutable) base table is a
+	// consistent image of the data without stopping writers.
+	ep := a.epoch.Load()
+	frozen := ep.log.rows()
+	extra := ep.log.columns(frozen)
+
+	var fresh *Flood
+	switch kind {
+	case rebuildRelearn:
+		train := a.sample.Snapshot()
+		if len(train) == 0 {
+			// The trigger raced with a finishing relearn's sample reset;
+			// there is no workload to train on, so this cycle is a no-op
+			// rather than an error — the next drift signal retries.
+			return
+		}
+		var merged *Table
+		merged, err = core.MergeRows(ep.flood.idx.Table(), extra)
+		if err == nil {
+			opts := a.relearnOptions(ep)
+			fresh, err = Build(merged, train, &opts)
+		}
+	case rebuildMerge:
+		var idx *core.Flood
+		idx, err = ep.flood.idx.Rebuild(extra)
+		if err == nil {
+			// The optimizer's predicted cost described the pre-merge table;
+			// zero it so the new epoch's monitor rebases its reference from
+			// the first observed window instead of flagging honest data
+			// growth as workload drift.
+			res := ep.flood.result
+			res.PredictedCost = 0
+			fresh = &Flood{idx: idx, result: res, model: ep.flood.model}
+		}
+	}
+	if a.testHookBuilt != nil {
+		a.testHookBuilt()
+	}
+	if err != nil {
+		return
+	}
+
+	// Swap: under the writer lock the log cannot grow, so the tail
+	// inserted while we were building is exactly rows [frozen, total).
+	// It seeds the new generation's log column-major in O(dims) pointer
+	// work — the tail slices are immutable, so they are aliased, not
+	// copied, and writers stall only for the swap itself. In-flight
+	// readers of the old generation stay correct — their base+log image
+	// is immutable.
+	a.mu.Lock()
+	cur := a.epoch.Load()
+	next := a.newEpoch(fresh)
+	total := cur.log.rows()
+	next.log.seed(cur.log.columnsRange(frozen, total), total-frozen)
+	a.epoch.Store(next)
+	a.mu.Unlock()
+
+	a.lastSwap.Store(time.Now().UnixNano())
+	if kind == rebuildRelearn {
+		a.relearns.Add(1)
+		// The new layout answers the sampled workload; start sampling
+		// the next era fresh so a future relearn sees current queries.
+		a.sample.Reset()
+	} else {
+		a.merges.Add(1)
+	}
+}
+
+// relearnOptions resolves the build options for a relearn, reusing the
+// serving index's calibrated cost model unless the config supplies one.
+func (a *AdaptiveIndex) relearnOptions(ep *adaptiveEpoch) Options {
+	opts := a.cfg.Build.orDefault()
+	if opts.CostModel == nil {
+		opts.CostModel = ep.flood.Model()
+	}
+	return opts
+}
+
+// Wait blocks until no background rebuild is in flight. Intended for tests
+// and orderly shutdown; serving code never needs it.
+func (a *AdaptiveIndex) Wait() {
+	for {
+		a.rebuildMu.Lock()
+		if !a.rebuildActive {
+			a.rebuildMu.Unlock()
+			return
+		}
+		ch := a.rebuildDone
+		a.rebuildMu.Unlock()
+		<-ch
+	}
+}
+
+// Close stops accepting rebuild triggers and waits for any in-flight rebuild
+// to finish. Queries and inserts remain valid after Close; they just stop
+// adapting.
+func (a *AdaptiveIndex) Close() {
+	a.rebuildMu.Lock()
+	a.closed = true
+	a.rebuildMu.Unlock()
+	a.Wait()
+}
+
+// Stats returns a consistent snapshot of the adaptive lifecycle.
+func (a *AdaptiveIndex) Stats() AdaptiveStats {
+	ep := a.epoch.Load()
+	a.rebuildMu.Lock()
+	rebuilding := a.rebuildActive
+	lastErr := a.lastErr
+	a.rebuildMu.Unlock()
+	st := AdaptiveStats{
+		Queries:        a.queries.Load(),
+		BaseRows:       ep.flood.Table().NumRows(),
+		PendingRows:    int(ep.log.rows()),
+		SampledQueries: a.sample.Len(),
+		Relearns:       a.relearns.Load(),
+		Merges:         a.merges.Load(),
+		Rebuilding:     rebuilding,
+		LastError:      lastErr,
+		Reference:      ep.mon.Reference(),
+		WindowAverage:  ep.mon.WindowAverage(),
+	}
+	if ns := a.lastSwap.Load(); ns != 0 {
+		st.LastSwap = time.Unix(0, ns)
+	}
+	return st
+}
+
+// Name implements Index.
+func (a *AdaptiveIndex) Name() string { return "Flood+Adaptive" }
+
+// SizeBytes implements Index: current base metadata plus the insert log.
+func (a *AdaptiveIndex) SizeBytes() int64 {
+	ep := a.epoch.Load()
+	return ep.flood.SizeBytes() + ep.log.rows()*int64(ep.flood.Table().NumCols())*8
+}
+
+// NumRows returns the total row count (base + pending inserts).
+func (a *AdaptiveIndex) NumRows() int {
+	ep := a.epoch.Load()
+	return ep.flood.Table().NumRows() + int(ep.log.rows())
+}
+
+// Layout returns the currently serving layout (it changes after a relearn).
+func (a *AdaptiveIndex) Layout() Layout { return a.epoch.Load().flood.Layout() }
+
+// Index returns the currently serving Flood index. The returned index is
+// immutable but goes stale at the next swap; use it for inspection, not as
+// a serving handle.
+func (a *AdaptiveIndex) Index() *Flood { return a.epoch.Load().flood }
+
+var (
+	_ Index            = (*AdaptiveIndex)(nil)
+	_ query.BatchIndex = (*AdaptiveIndex)(nil)
+)
+
+// sideLog is the insert side of a generation: an append-only column-major
+// log whose published prefix is immutable. Writers (serialized by the
+// facade's writer lock) append a row and then advance the atomic row count;
+// readers load the count once and may scan any prefix up to it without
+// locking — the count's release/acquire ordering guarantees those rows are
+// fully written. Scans reuse the block-skipping scan kernel by encoding the
+// log into immutable logViewStep-sized segment tables, sealed lazily as the
+// log grows; every row is encoded into a sealed segment exactly once, and
+// only the short unsealed suffix is encoded transiently per scan.
+type sideLog struct {
+	names []string
+	cols  atomic.Pointer[[][]int64] // column-major; rows [0, count) published
+	count atomic.Int64
+	segs  atomic.Pointer[[]*logSegment] // sealed, contiguous from row 0
+}
+
+// logSegment is one sealed, encoded chunk of the log: rows [start, end).
+type logSegment struct {
+	start, end int64
+	t          *colstore.Table
+}
+
+func newSideLog(names []string) *sideLog {
+	l := &sideLog{names: names}
+	cols := make([][]int64, len(names))
+	l.cols.Store(&cols)
+	segs := []*logSegment{}
+	l.segs.Store(&segs)
+	return l
+}
+
+// rows returns the published row count; rows below it are immutable.
+func (l *sideLog) rows() int64 { return l.count.Load() }
+
+// append adds one row. Callers must serialize appends (the facade's writer
+// lock); readers are never blocked. The column headers are republished
+// copy-on-write before the count advances, so a reader that observes count n
+// always observes headers covering at least n rows.
+func (l *sideLog) append(row []int64) error {
+	cur := *l.cols.Load()
+	if len(row) != len(cur) {
+		return fmt.Errorf("flood: row has %d values, table has %d dimensions", len(row), len(cur))
+	}
+	next := make([][]int64, len(cur))
+	for c := range cur {
+		next[c] = append(cur[c], row[c])
+	}
+	l.cols.Store(&next)
+	l.count.Add(1)
+	return nil
+}
+
+// columns returns the column-major slices of the first n rows, aliasing the
+// log's immutable prefix — valid forever, copy-free.
+func (l *sideLog) columns(n int64) [][]int64 { return l.columnsRange(0, n) }
+
+// columnsRange returns the column-major slices of rows [from, to), aliasing
+// the log's immutable prefix with capacity capped at the slice itself, so a
+// successor log seeded from them reallocates on its first append instead of
+// writing into this log's storage.
+func (l *sideLog) columnsRange(from, to int64) [][]int64 {
+	if to <= from {
+		return nil
+	}
+	cols := *l.cols.Load()
+	out := make([][]int64, len(cols))
+	for c := range cols {
+		out[c] = cols[c][from:to:to]
+	}
+	return out
+}
+
+// seed installs n pre-published rows. Only valid before the log's epoch is
+// visible to any other goroutine (the swap holds the writer lock and the
+// epoch pointer is not yet stored).
+func (l *sideLog) seed(cols [][]int64, n int64) {
+	if n == 0 {
+		return
+	}
+	l.cols.Store(&cols)
+	l.count.Store(n)
+}
+
+// logViewStep is the sealed-segment granularity: once that many rows sit
+// past the last sealed segment, a scan seals them into encoded tables. Each
+// row is sealed exactly once — O(1) amortized over inserts — and the
+// transient suffix a scan encodes on the fly stays under one step, so
+// queries never absorb O(pending) encoding work.
+const logViewStep = 2048
+
+// scan filters the log's first n rows against q through the shared scan
+// kernel, accumulating matches into agg and returning delta-scan stats.
+func (l *sideLog) scan(q Query, n int64, agg Aggregator) Stats {
+	var st Stats
+	t0 := time.Now()
+	dims := q.FilteredDims()
+	l.seal(n)
+	covered := int64(0)
+	for _, sg := range *l.segs.Load() {
+		if sg.end > n {
+			break
+		}
+		sc := query.GetScanner(sg.t)
+		s, m := sc.ScanRange(q, dims, 0, int(sg.end-sg.start), agg)
+		sc.Release()
+		st.Scanned += s
+		st.Matched += m
+		covered = sg.end
+	}
+	if n > covered {
+		t := colstore.MustNewTable(l.names, l.columnsRange(covered, n))
+		sc := query.GetScanner(t)
+		s, m := sc.ScanRange(q, dims, 0, int(n-covered), agg)
+		sc.Release()
+		st.Scanned += s
+		st.Matched += m
+	}
+	st.ScanTime = time.Since(t0)
+	st.Total = st.ScanTime
+	return st
+}
+
+// seal encodes any full logViewStep-sized chunks of the first n rows into
+// immutable segment tables. Safe from any goroutine: the segment list is
+// copy-on-write and CAS-published, and concurrent sealers at worst encode
+// the same immutable rows twice. Returns quickly when there is nothing to
+// seal (one atomic load).
+func (l *sideLog) seal(n int64) {
+	for {
+		cur := l.segs.Load()
+		segs := *cur
+		start := int64(0)
+		if len(segs) > 0 {
+			start = segs[len(segs)-1].end
+		}
+		if n-start < logViewStep {
+			return
+		}
+		out := append([]*logSegment{}, segs...)
+		for n-start >= logViewStep {
+			end := start + logViewStep
+			out = append(out, &logSegment{
+				start: start, end: end,
+				t: colstore.MustNewTable(l.names, l.columnsRange(start, end)),
+			})
+			start = end
+		}
+		if l.segs.CompareAndSwap(cur, &out) {
+			return
+		}
+	}
+}

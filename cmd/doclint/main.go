@@ -1,0 +1,183 @@
+// Command doclint fails when a package exports identifiers without doc
+// comments, keeping `go doc flood` coherent as the API grows. It is the lint
+// step behind `make docs` and the CI docs gate.
+//
+// Usage:
+//
+//	go run ./cmd/doclint [package-dir ...]
+//
+// With no arguments the current directory is linted. For every exported
+// top-level type, function, method, constant, and variable, either the
+// declaration or its enclosing declaration group must carry a doc comment;
+// each package must also have a package comment. Test files are ignored.
+// Findings print as file:line: messages and the exit status is 1 when any
+// exist.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos.Filename != findings[j].pos.Filename {
+			return findings[i].pos.Filename < findings[j].pos.Filename
+		}
+		return findings[i].pos.Line < findings[j].pos.Line
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d: %s\n", f.pos.Filename, f.pos.Line, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+// lintDir parses one directory's non-test files and reports undocumented
+// exported identifiers.
+func lintDir(dir string) ([]finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []finding
+	for _, pkg := range pkgs {
+		out = append(out, lintPackage(fset, pkg)...)
+	}
+	return out, nil
+}
+
+func lintPackage(fset *token.FileSet, pkg *ast.Package) []finding {
+	var out []finding
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		// Anchor the finding to the lexically first file for a stable,
+		// clickable location.
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out = append(out, finding{
+			pos: fset.Position(pkg.Files[names[0]].Package),
+			msg: fmt.Sprintf("package %s has no package comment", pkg.Name),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			out = append(out, lintDecl(fset, decl)...)
+		}
+	}
+	return out
+}
+
+func lintDecl(fset *token.FileSet, decl ast.Decl) []finding {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Doc != nil || !d.Name.IsExported() || isExportedMethodOfUnexported(d) {
+			return nil
+		}
+		kind := "function"
+		name := d.Name.Name
+		if d.Recv != nil {
+			kind = "method"
+			name = recvTypeName(d.Recv) + "." + name
+		}
+		return []finding{{fset.Position(d.Pos()), fmt.Sprintf("exported %s %s is undocumented", kind, name)}}
+	case *ast.GenDecl:
+		var out []finding
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					out = append(out, finding{fset.Position(s.Pos()),
+						fmt.Sprintf("exported type %s is undocumented", s.Name.Name)})
+				}
+			case *ast.ValueSpec:
+				// A doc comment on the const/var group covers its members,
+				// matching idiomatic grouped declarations.
+				if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						out = append(out, finding{fset.Position(n.Pos()),
+							fmt.Sprintf("exported %s %s is undocumented", kindOf(d.Tok), n.Name)})
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// isExportedMethodOfUnexported reports whether d is a method on an
+// unexported receiver type; such methods never surface in go doc, so they
+// are exempt.
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil {
+		return false
+	}
+	name := recvTypeName(d.Recv)
+	return name != "" && !ast.IsExported(name)
+}
+
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "constant"
+	}
+	return "variable"
+}

@@ -21,11 +21,9 @@ import (
 // not run while any Execute or ExecuteBatch call is in flight. Reads are
 // internally parallel (ExecuteBatch fans out over the shared worker pool).
 type DeltaIndex struct {
-	base     *core.Flood
-	layout   Layout
-	coreOpts core.Options
-	buffer   [][]int64 // column-major pending rows
-	pending  int
+	base    *core.Flood
+	buffer  [][]int64 // column-major pending rows
+	pending int
 
 	// deltaTable is the lazily built view of the buffer; mu guards its
 	// construction so concurrent reads (Execute from several goroutines,
@@ -42,8 +40,6 @@ type DeltaIndex struct {
 func NewDeltaIndex(base *Flood, mergeThreshold int) *DeltaIndex {
 	d := &DeltaIndex{
 		base:           base.idx,
-		layout:         base.Layout(),
-		coreOpts:       base.idx.Options(),
 		buffer:         make([][]int64, base.Table().NumCols()),
 		MergeThreshold: mergeThreshold,
 	}
@@ -151,26 +147,9 @@ func (d *DeltaIndex) Merge() error {
 	if d.pending == 0 {
 		return nil
 	}
-	old := d.base.Table()
-	n := old.NumRows()
-	cols := make([][]int64, old.NumCols())
-	for c := range cols {
-		cols[c] = make([]int64, 0, n+d.pending)
-		cols[c] = append(cols[c], old.Raw(c)...)
-		cols[c] = append(cols[c], d.buffer[c]...)
-	}
-	merged, err := colstore.NewTable(old.Names(), cols)
+	base, err := d.base.Rebuild(d.buffer)
 	if err != nil {
 		return fmt.Errorf("flood: merging delta: %w", err)
-	}
-	for c := 0; c < old.NumCols(); c++ {
-		if old.HasAggregate(c) {
-			merged.EnableAggregate(c)
-		}
-	}
-	base, err := core.Build(merged, d.layout, d.coreOpts)
-	if err != nil {
-		return fmt.Errorf("flood: rebuilding base: %w", err)
 	}
 	d.base = base
 	for c := range d.buffer {

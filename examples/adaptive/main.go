@@ -1,7 +1,9 @@
-// Command adaptive demonstrates Flood's headline property (§7.4, Fig. 10):
-// when the query workload shifts, relearning the layout restores
-// performance, while static indexes stay tuned for yesterday's queries. The
-// cost model is calibrated once and reused across relearns (§7.6).
+// Command adaptive demonstrates the adaptive index lifecycle (§8, "Shifting
+// workloads"): an AdaptiveIndex serves queries continuously while it samples
+// the live workload, detects drift with its monitor, relearns the layout in
+// the background, and swaps the fresh index in atomically — no query ever
+// blocks on the rebuild. The cost model is calibrated once and reused across
+// every relearn (§7.6).
 package main
 
 import (
@@ -13,57 +15,87 @@ import (
 	"flood/datagen"
 )
 
+const (
+	rows      = 200_000
+	maxPasses = 40
+)
+
+// serve runs one pass of queries through the index and returns the average
+// end-to-end latency.
+func serve(a *flood.AdaptiveIndex, queries []flood.Query) time.Duration {
+	var total time.Duration
+	for _, q := range queries {
+		total += a.Execute(q, flood.NewCount()).Total
+	}
+	return (total / time.Duration(len(queries))).Round(time.Microsecond)
+}
+
+// serveEra keeps serving an era's queries until the adaptive loop relearns
+// (or the pass budget runs out, when a relearn is forced so the demo always
+// completes). It returns the stale-layout latency from the first pass and
+// the fresh-layout latency measured after the swap.
+func serveEra(a *flood.AdaptiveIndex, queries []flood.Query) (stale, fresh time.Duration, passes int, forced bool) {
+	before := a.Stats().Relearns
+	stale = serve(a, queries)
+	for passes = 1; passes < maxPasses && a.Stats().Relearns == before; passes++ {
+		serve(a, queries)
+	}
+	if a.Stats().Relearns == before {
+		forced = a.TriggerRelearn()
+	}
+	a.Wait()
+	fresh = serve(a, queries)
+	return stale, fresh, passes, forced
+}
+
 func main() {
-	const rows = 200_000
 	ds := datagen.TPCH(rows, 31)
 
-	// Calibrate the cost model once (a per-machine cost, reused below).
+	fmt.Println("calibrating cost model (one-time, reused by every relearn)...")
 	calib := datagen.StandardWorkload(ds, 100, 32)
-	fmt.Println("calibrating cost model (one-time)...")
 	model, err := flood.Calibrate(ds.Table, calib, &flood.Options{Seed: 33})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	avgTime := func(idx flood.Index, queries []flood.Query) time.Duration {
-		var total time.Duration
-		for _, q := range queries {
-			agg := flood.NewCount()
-			total += idx.Execute(q, agg).Total
-		}
-		return (total / time.Duration(len(queries))).Round(time.Microsecond)
+	// Era 0: learn an initial layout for the first workload.
+	era0 := datagen.RandomWorkload(ds, 120, 41)
+	train, test := datagen.SplitTrainTest(era0, 0.6, 41)
+	start := time.Now()
+	idx, err := flood.Build(ds.Table, train, &flood.Options{CostModel: model, Seed: 41})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("era 0: built %s in %v\n", idx.Layout(), time.Since(start).Round(time.Millisecond))
 
-	// Three workload "eras", each with different filter dimensions. The
-	// index learned for one era serves the next era's queries until it is
-	// relearned.
-	var current *flood.Flood
-	for era, seed := range []int64{41, 42, 43} {
+	a := flood.NewAdaptiveIndex(idx, &flood.AdaptiveConfig{
+		WindowSize:        32,
+		DriftFactor:       1.5,
+		MinRelearnQueries: 20,
+		Build:             &flood.Options{CostModel: model, Seed: 41},
+	})
+	defer a.Close()
+	fmt.Printf("era 0: serving at %v/query\n", serve(a, test))
+
+	// Eras 1 and 2: the workload shifts to different filter dimensions.
+	// The stale layout slows down, the monitor notices, and a background
+	// relearn swaps in a layout tuned for the new queries — while this
+	// same loop keeps serving without interruption.
+	for era, seed := range []int64{42, 43} {
 		queries := datagen.RandomWorkload(ds, 120, seed)
-		train, test := datagen.SplitTrainTest(queries, 0.6, seed)
-
-		if current == nil {
-			start := time.Now()
-			current, err = flood.Build(ds.Table, train, &flood.Options{CostModel: model, Seed: seed})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("era %d: built %s in %v; avg query %v\n",
-				era, current.Layout(), time.Since(start).Round(time.Millisecond), avgTime(current, test))
-			continue
+		_, test := datagen.SplitTrainTest(queries, 0.6, seed)
+		stale, fresh, passes, forced := serveEra(a, test)
+		trigger := fmt.Sprintf("drift detected after %d pass(es)", passes)
+		if forced {
+			trigger = "relearn forced (drift below threshold on this machine)"
 		}
-
-		staleTime := avgTime(current, test)
-		start := time.Now()
-		fresh, err := flood.Build(ds.Table, train, &flood.Options{CostModel: model, Seed: seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		relearn := time.Since(start).Round(time.Millisecond)
-		freshTime := avgTime(fresh, test)
-		speedup := float64(staleTime) / float64(freshTime)
-		fmt.Printf("era %d: stale layout served %v/query -> relearned %s in %v -> %v/query (%.1fx)\n",
-			era, staleTime, fresh.Layout(), relearn, freshTime, speedup)
-		current = fresh
+		speedup := float64(stale) / float64(fresh)
+		fmt.Printf("era %d: stale layout served %v/query -> %s -> relearned %s in background -> %v/query (%.1fx)\n",
+			era+1, stale, trigger, a.Layout(), fresh, speedup)
 	}
+
+	st := a.Stats()
+	fmt.Printf("lifecycle: %d queries served, %d relearns, %d merges, %d sampled queries, last swap %v ago\n",
+		st.Queries, st.Relearns, st.Merges, st.SampledQueries,
+		time.Since(st.LastSwap).Round(time.Millisecond))
 }

@@ -19,10 +19,18 @@
 //	q := flood.NewQuery(tbl.NumCols()).WithRange(0, lo, hi).WithEquals(3, v)
 //	stats := idx.Execute(q, agg)                    // agg.Result() holds COUNT
 //
+// For production serving, AdaptiveIndex wraps a built index in the adaptive
+// lifecycle of §8: it serves queries and inserts concurrently, samples the
+// live workload, detects drift with a Monitor, relearns the layout in the
+// background, and swaps the fresh index in atomically with zero downtime.
+// DeltaIndex is the single-writer building block for insert buffering, and
+// Save/Load persist a built index.
+//
 // The package also exposes the paper's seven baseline multi-dimensional
 // indexes (see BuildBaseline) on the same column-store substrate, which is
 // what the benchmark harness in cmd/floodbench uses to regenerate the
-// paper's evaluation.
+// paper's evaluation. Architecture and lifecycle documentation lives under
+// docs/ in the repository.
 package flood
 
 import (
@@ -89,8 +97,15 @@ func NewMax(col int) Aggregator { return query.NewMax(col) }
 // index, decomposing the rectangles into disjoint pieces first so every
 // matching row is accumulated exactly once (§3). Against an index with a
 // batched path (Flood, DeltaIndex) and a mergeable aggregator, the pieces
-// execute as one batch over the shared worker pool.
+// execute as one batch over the shared worker pool. Indexes with their own
+// disjunction handling — AdaptiveIndex, whose drift monitoring must not see
+// the decomposed pieces — route through their ExecuteOr method instead.
 func ExecuteOr(idx Index, queries []Query, agg Aggregator) Stats {
+	if oi, ok := idx.(interface {
+		ExecuteOr([]Query, Aggregator) Stats
+	}); ok {
+		return oi.ExecuteOr(queries, agg)
+	}
 	return query.ExecuteDisjunction(idx, queries, agg)
 }
 

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"flood/internal/colstore"
+)
+
+// MergeRows returns a new table holding t's rows followed by the given
+// column-major extra rows, preserving which columns have cumulative
+// aggregates enabled. extra must have one slice per table column, all of
+// equal length; with no extra rows the input table is returned unchanged.
+// Neither input is modified, so callers may pass live (immutable-prefix)
+// buffers without copying them first.
+func MergeRows(t *colstore.Table, extra [][]int64) (*colstore.Table, error) {
+	if len(extra) != 0 && len(extra) != t.NumCols() {
+		return nil, fmt.Errorf("core: merge has %d columns, table has %d", len(extra), t.NumCols())
+	}
+	add := 0
+	if len(extra) > 0 {
+		add = len(extra[0])
+	}
+	if add == 0 {
+		return t, nil
+	}
+	n := t.NumRows()
+	cols := make([][]int64, t.NumCols())
+	for c := range cols {
+		if len(extra[c]) != add {
+			return nil, fmt.Errorf("core: merge column %d has %d rows, column 0 has %d", c, len(extra[c]), add)
+		}
+		cols[c] = make([]int64, 0, n+add)
+		cols[c] = append(cols[c], t.Raw(c)...)
+		cols[c] = append(cols[c], extra[c]...)
+	}
+	merged, err := colstore.NewTable(t.Names(), cols)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < t.NumCols(); c++ {
+		if t.HasAggregate(c) {
+			merged.EnableAggregate(c)
+		}
+	}
+	return merged, nil
+}
+
+// Rebuild constructs a fresh index over f's rows plus the given column-major
+// extra rows, reusing f's layout and options. It is the merge step of the
+// differential-update scheme (§8, "Insertions"): the grid shape is kept and
+// only the physical placement is recomputed, so it is much cheaper than a
+// full relearn. f itself is not modified and remains fully usable — callers
+// swap the returned index in when ready.
+func (f *Flood) Rebuild(extra [][]int64) (*Flood, error) {
+	merged, err := MergeRows(f.t, extra)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild: %w", err)
+	}
+	return Build(merged, f.layout, f.opts)
+}

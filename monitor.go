@@ -19,16 +19,19 @@ import (
 // least one Record in any window-sized burst that pushes the average over
 // the threshold reports true.
 //
-// Typical use:
+// Monitor is the detection half of the adaptive lifecycle; AdaptiveIndex
+// owns the full loop (sample the workload, detect drift, relearn in the
+// background, swap atomically), so serving code rarely constructs one
+// directly:
 //
-//	mon := flood.NewMonitor(idx, 64, 3.0)
+//	a := flood.NewAdaptiveIndex(idx, nil) // monitors, relearns, swaps
+//	defer a.Close()
 //	for q := range queries {
-//	    st := idx.Execute(q, agg)
-//	    if mon.Record(st) {
-//	        idx, _ = flood.Build(tbl, recentQueries, opts) // relearn
-//	        mon = flood.NewMonitor(idx, 64, 3.0)
-//	    }
+//	    st := a.Execute(q, agg) // drift-checked; relearns happen in the background
+//	    _ = st
 //	}
+//
+// Construct a Monitor by hand only to drive a custom relearn policy.
 type Monitor struct {
 	mu        sync.Mutex
 	window    []time.Duration
