@@ -17,19 +17,22 @@ vet:
 	$(GO) vet ./...
 
 # docs gates the documentation: vet plus a lint that fails on undocumented
-# exported identifiers in the public API surface (root package and the
-# internal packages the architecture docs walk through). CI runs this on
-# every push.
+# exported identifiers in the public API surface (root package, the SQL and
+# data-generation packages, and the internal packages the architecture docs
+# walk through). CI runs this on every push.
 docs: vet
-	$(GO) run ./cmd/doclint . ./internal/core ./internal/query ./internal/colstore
+	$(GO) run ./cmd/doclint . ./floodsql ./datagen \
+		./internal/core ./internal/query ./internal/colstore ./internal/encode
 
-# bench runs the scan-kernel, build, and parallel-execution benchmarks that
-# gate perf PRs and records them in BENCH_scan.json so the trajectory is
-# diffable in git.
+# bench runs the scan-kernel, build, parallel-execution, and row-retrieval
+# benchmarks that gate perf PRs and records them in BENCH_scan.json so the
+# trajectory is diffable in git.
 bench:
 	$(GO) test ./internal/core -run '^$$' \
 		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch' \
 		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
+	$(GO) test . -run '^$$' -bench '^BenchmarkSelectRows' \
+		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
 
 # bench-full additionally covers the colstore micro-benchmarks.

@@ -136,6 +136,7 @@ type adaptiveEpoch struct {
 //	_ = a.Insert(row)
 type AdaptiveIndex struct {
 	cfg    AdaptiveConfig
+	schema *Schema // inherited from the wrapped index at construction
 	epoch  atomic.Pointer[adaptiveEpoch]
 	sample *workload.Reservoir
 
@@ -170,6 +171,7 @@ func NewAdaptiveIndex(base *Flood, cfg *AdaptiveConfig) *AdaptiveIndex {
 	c := cfg.withDefaults()
 	a := &AdaptiveIndex{
 		cfg:    c,
+		schema: base.schema,
 		sample: workload.NewReservoir(c.SampleSize, c.Seed),
 	}
 	a.epoch.Store(a.newEpoch(base))
@@ -388,7 +390,7 @@ func (a *AdaptiveIndex) rebuild(kind rebuildKind, done chan struct{}) {
 			// growth as workload drift.
 			res := ep.flood.result
 			res.PredictedCost = 0
-			fresh = &Flood{idx: idx, result: res, model: ep.flood.model}
+			fresh = &Flood{idx: idx, result: res, model: ep.flood.model, schema: ep.flood.schema}
 		}
 	}
 	if a.testHookBuilt != nil {
@@ -430,6 +432,9 @@ func (a *AdaptiveIndex) relearnOptions(ep *adaptiveEpoch) Options {
 	opts := a.cfg.Build.orDefault()
 	if opts.CostModel == nil {
 		opts.CostModel = ep.flood.Model()
+	}
+	if opts.Schema == nil {
+		opts.Schema = ep.flood.schema
 	}
 	return opts
 }

@@ -22,6 +22,7 @@ import (
 // internally parallel (ExecuteBatch fans out over the shared worker pool).
 type DeltaIndex struct {
 	base    *core.Flood
+	schema  *Schema   // inherited from the wrapped index at construction
 	buffer  [][]int64 // column-major pending rows
 	pending int
 
@@ -40,18 +41,30 @@ type DeltaIndex struct {
 func NewDeltaIndex(base *Flood, mergeThreshold int) *DeltaIndex {
 	d := &DeltaIndex{
 		base:           base.idx,
+		schema:         base.schema,
 		buffer:         make([][]int64, base.Table().NumCols()),
 		MergeThreshold: mergeThreshold,
 	}
 	return d
 }
 
+// Base returns the current base index as a Flood handle (it changes after a
+// Merge) — use it to Save the merged index or inspect its layout.
+func (d *DeltaIndex) Base() *Flood { return &Flood{idx: d.base, schema: d.schema} }
+
 // Name implements Index.
 func (d *DeltaIndex) Name() string { return "Flood+Delta" }
 
-// SizeBytes implements Index: base metadata plus the buffered rows.
+// SizeBytes implements Index: base metadata plus the buffered rows. The
+// buffer is charged at slice capacity, not just pending length — append
+// doubling means a large insert burst can reserve nearly twice its row
+// count, and memory reporting must not under-count that.
 func (d *DeltaIndex) SizeBytes() int64 {
-	return d.base.SizeBytes() + int64(d.pending)*int64(len(d.buffer))*8
+	s := d.base.SizeBytes()
+	for _, col := range d.buffer {
+		s += int64(cap(col)) * 8
+	}
+	return s
 }
 
 // Pending returns the number of buffered (unmerged) rows.

@@ -11,13 +11,24 @@
 // by gradient descent over a machine-learned cost model trained on a sample
 // workload.
 //
-// Basic usage:
+// Basic usage — declare a typed schema, load rows, build, and query for
+// aggregates or for the matching rows themselves:
 //
-//	tbl, _ := flood.NewTable(names, columns)        // int64 column-major data
-//	idx, _ := flood.Build(tbl, trainQueries, nil)   // learn layout + build
-//	agg := flood.NewCount()
-//	q := flood.NewQuery(tbl.NumCols()).WithRange(0, lo, hi).WithEquals(3, v)
-//	stats := idx.Execute(q, agg)                    // agg.Result() holds COUNT
+//	s := flood.NewSchema().Int64("ts").Float64("fare", 2).String("city")
+//	b := s.NewTableBuilder()
+//	b.AppendRow(int64(1000), 12.50, "nyc")          // ... one call per row
+//	tbl, _ := b.Build()                             // fits dicts + scalers
+//	idx, _ := flood.Build(tbl, trainQueries, &flood.Options{Schema: s})
+//
+//	q := s.Where().WithStringEquals("city", "nyc").
+//		WithFloatRange("fare", 1.5, 9.99).Query()
+//	stats := idx.Execute(q, flood.NewCount())       // aggregate ...
+//	rows, _ := idx.Select(q, "city", "fare")        // ... or retrieve rows
+//	for rows.Next() { _ = rows.String(0); _ = rows.Float64(1) }
+//	rows.Close()
+//
+// Tables can also be built directly from int64 column-major data with
+// NewTable, skipping the schema; Select then serves raw int64 values.
 //
 // For production serving, AdaptiveIndex wraps a built index in the adaptive
 // lifecycle of §8: it serves queries and inserts concurrently, samples the
@@ -76,6 +87,13 @@ type Layout = core.Layout
 // (§7.6, Table 3).
 type CostModel = costmodel.Model
 
+// Unbounded range endpoints: a one-sided filter spans to NegInf or PosInf
+// (§3.2.1).
+const (
+	NegInf = query.NegInf
+	PosInf = query.PosInf
+)
+
 // NewQuery returns an unfiltered query over nDims dimensions. Add filters
 // with WithRange / WithEquals.
 func NewQuery(nDims int) Query { return query.NewQuery(nDims) }
@@ -132,6 +150,10 @@ type Options struct {
 	// the morsel-driven parallel engine. 0 picks the default (32K rows);
 	// negative keeps every query sequential.
 	ParallelCutoverRows int
+	// Schema attaches the typed schema the table was built with, enabling
+	// typed accessors on Select results. Equivalent to SetSchema after
+	// Build.
+	Schema *Schema
 	// Seed makes builds reproducible.
 	Seed int64
 }
@@ -152,6 +174,7 @@ type Flood struct {
 	idx    *core.Flood
 	result optimizer.Result
 	model  *CostModel
+	schema *Schema // optional: decodes Select results (see SetSchema)
 }
 
 // Build learns a layout for tbl from the sample workload and constructs the
@@ -185,7 +208,7 @@ func Build(tbl *Table, train []Query, opts *Options) (*Flood, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flood: building layout: %w", err)
 	}
-	return &Flood{idx: idx, result: res, model: m}, nil
+	return &Flood{idx: idx, result: res, model: m, schema: o.Schema}, nil
 }
 
 // Calibrate trains a reusable cost model on any dataset and workload
@@ -206,7 +229,7 @@ func BuildWithLayout(tbl *Table, layout Layout, opts *Options) (*Flood, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Flood{idx: idx, result: optimizer.Result{Layout: layout}}, nil
+	return &Flood{idx: idx, result: optimizer.Result{Layout: layout}, schema: o.Schema}, nil
 }
 
 // Execute runs q through projection, refinement, and scan, feeding matching
@@ -247,6 +270,16 @@ func (f *Flood) PredictedCost() float64 { return f.result.PredictedCost }
 
 // Table returns the index's reordered copy of the data.
 func (f *Flood) Table() *Table { return f.idx.Table() }
+
+// SetSchema attaches the typed schema the table was built with, so Select
+// results decode floats, strings, and timestamps. Wrappers constructed from
+// this index (NewDeltaIndex, NewAdaptiveIndex) inherit the schema at
+// construction; set it before wrapping.
+func (f *Flood) SetSchema(s *Schema) { f.schema = s }
+
+// Schema returns the attached typed schema (nil when the index was built
+// from raw int64 columns).
+func (f *Flood) Schema() *Schema { return f.schema }
 
 var (
 	_ Index            = (*Flood)(nil)

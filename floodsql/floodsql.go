@@ -4,21 +4,37 @@
 //	SELECT SUM(R.X) FROM MyTable
 //	WHERE (a <= R.Y AND R.Y <= b) AND (c <= R.Z AND R.Z <= d)
 //
-// The supported grammar covers single-table aggregations with conjunctive
-// and disjunctive range predicates over integer-valued columns:
+// The supported grammar covers single-table aggregations and row-retrieval
+// projections with conjunctive and disjunctive predicates:
 //
-//	stmt   := SELECT agg FROM ident [WHERE pred]
-//	agg    := COUNT(*) | SUM(col) | MIN(col) | MAX(col)
-//	pred   := or
-//	or     := and (OR and)*
-//	and    := atom (AND atom)*
-//	atom   := '(' pred ')' | col op value | col BETWEEN value AND value
-//	op     := = | < | <= | > | >=
+//	stmt    := SELECT target FROM ident [WHERE pred]
+//	target  := agg | proj
+//	agg     := COUNT(*) | SUM(col) | MIN(col) | MAX(col)
+//	proj    := * | col (',' col)*
+//	pred    := or
+//	or      := and (OR and)*
+//	and     := atom (AND atom)*
+//	atom    := '(' pred ')' | col op value | col BETWEEN value AND value
+//	         | col LIKE 'prefix%'
+//	op      := = | < | <= | > | >=
+//	value   := integer | float | 'string'
+//
+// Statements parsed against a raw int64 table (Parse) accept only integer
+// literals and aggregation targets. Statements parsed against a typed schema
+// (ParseTyped) additionally support projections and resolve float and string
+// literals through the schema's encoders — decimal scalers round range
+// endpoints conservatively inward, string comparisons follow lexicographic
+// dictionary order, and LIKE supports prefix patterns.
 //
 // Predicates are normalized to disjunctive normal form; disjuncts execute
 // through flood.ExecuteOr, which decomposes them into disjoint rectangles so
 // rows are never double-counted (§3: OR clauses "can be decomposed into
-// multiple queries over disjoint attribute ranges").
+// multiple queries over disjoint attribute ranges"). Projections return a
+// *flood.Rows cursor via Statement.Select.
+//
+// Parse errors carry the byte offset and the offending token:
+//
+//	floodsql: at byte 34 near "BETWEEEN": expected comparison operator
 package floodsql
 
 import (
@@ -29,25 +45,46 @@ import (
 	flood "flood"
 )
 
-// Statement is a parsed, table-resolved aggregation query.
+// Statement is a parsed, table-resolved query: either an aggregation
+// (Agg = "count", "sum", "min", "max") executed with Run, or a projection
+// (Agg = "select") executed with Select.
 type Statement struct {
-	// Agg is "count", "sum", "min", or "max".
+	// Agg is "count", "sum", "min", "max", or "select" for projections.
 	Agg string
-	// AggCol is the aggregated column index (-1 for COUNT(*)).
+	// AggCol is the aggregated column index (-1 for COUNT(*) and
+	// projections).
 	AggCol int
+	// Projection lists the selected column names for Agg == "select"
+	// (resolved; SELECT * expands to every column in schema order).
+	Projection []string
 	// Table is the FROM identifier (informational; resolution happens
-	// against the table passed to Parse).
+	// against the table or schema passed at parse time).
 	Table string
 	// Disjuncts is the predicate in disjunctive normal form: the result
 	// set is the union of these hyper-rectangles. An empty slice means
 	// no WHERE clause (match everything).
 	Disjuncts []flood.Query
 	nDims     int
+	schema    *flood.Schema // non-nil for ParseTyped statements
 }
 
-// Parse compiles a SQL string against tbl's schema.
+// Parse compiles a SQL string against tbl's raw int64 schema. Only integer
+// literals are accepted; use ParseTyped for float and string predicates and
+// typed projections.
 func Parse(sql string, tbl *flood.Table) (*Statement, error) {
-	p := &parser{lex: newLexer(sql), tbl: tbl}
+	p := &parser{lex: newLexer(sql), cols: tbl}
+	return p.run()
+}
+
+// ParseTyped compiles a SQL string against a typed schema (fitted by its
+// TableBuilder), resolving float and string literals through the schema's
+// encoders. Projections decode through the same schema when executed.
+func ParseTyped(sql string, schema *flood.Schema) (*Statement, error) {
+	p := &parser{lex: newLexer(sql), cols: schema, schema: schema}
+	return p.run()
+}
+
+func (p *parser) run() (*Statement, error) {
 	st, err := p.statement()
 	if err != nil {
 		return nil, fmt.Errorf("floodsql: %w", err)
@@ -55,7 +92,11 @@ func Parse(sql string, tbl *flood.Table) (*Statement, error) {
 	return st, nil
 }
 
-// Run executes the statement against any index built over the same table.
+// Run executes an aggregation statement against any index built over the
+// same table, returning the result in the physical int64 domain (SUM/MIN/MAX
+// over a decimal-scaled float column return the scaled integer — use
+// RunTyped for the decoded logical value). Projection statements must run
+// through Select instead.
 func (s *Statement) Run(idx flood.Index) (int64, flood.Stats, error) {
 	var agg flood.Aggregator
 	switch s.Agg {
@@ -67,15 +108,66 @@ func (s *Statement) Run(idx flood.Index) (int64, flood.Stats, error) {
 		agg = flood.NewMin(s.AggCol)
 	case "max":
 		agg = flood.NewMax(s.AggCol)
+	case "select":
+		return 0, flood.Stats{}, fmt.Errorf("floodsql: projection statements execute via Select, not Run")
 	default:
 		return 0, flood.Stats{}, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
 	}
-	queries := s.Disjuncts
-	if len(queries) == 0 {
-		queries = []flood.Query{flood.NewQuery(s.nDims)}
-	}
-	st := flood.ExecuteOr(idx, queries, agg)
+	st := flood.ExecuteOr(idx, s.queries(), agg)
 	return agg.Result(), st, nil
+}
+
+// RunTyped executes an aggregation like Run and decodes the result into the
+// aggregated column's logical type: COUNT(*) yields int64, SUM/MIN/MAX over
+// a float column yield float64 (decimal scaling is linear, so SUM decodes
+// exactly), MIN/MAX over a time column yield time.Time. Requires a
+// ParseTyped statement. A MIN/MAX that matched no rows returns a nil value
+// (the raw sentinel has no meaningful decoding).
+func (s *Statement) RunTyped(idx flood.Index) (any, flood.Stats, error) {
+	v, st, err := s.Run(idx)
+	if err != nil || s.schema == nil || s.AggCol < 0 {
+		return v, st, err
+	}
+	if (s.Agg == "min" || s.Agg == "max") && st.Matched == 0 {
+		// No rows matched: there is no extremum (checking the matched count
+		// rather than the sentinel keeps a legitimate MIN of MaxInt64
+		// distinguishable from an empty result).
+		return nil, st, nil
+	}
+	return s.schema.DecodeValue(s.AggCol, v), st, nil
+}
+
+// Select executes a projection statement against any index built over the
+// same table, returning a typed row cursor (close it when done). The
+// statement must come from ParseTyped so results decode through the schema.
+func (s *Statement) Select(idx flood.Index) (*flood.Rows, flood.Stats, error) {
+	if s.Agg != "select" {
+		return nil, flood.Stats{}, fmt.Errorf("floodsql: aggregation statements execute via Run, not Select")
+	}
+	if s.schema == nil {
+		return nil, flood.Stats{}, fmt.Errorf("floodsql: projection needs a typed schema; parse with ParseTyped")
+	}
+	rows, st := s.schema.SelectOr(idx, s.queries(), s.Projection...)
+	return rows, st, nil
+}
+
+// queries returns the DNF rectangles, or one unfiltered query when there is
+// no WHERE clause.
+func (s *Statement) queries() []flood.Query {
+	if len(s.Disjuncts) == 0 {
+		return []flood.Query{flood.NewQuery(s.nDims)}
+	}
+	return s.Disjuncts
+}
+
+// --- column resolution ---
+
+// columns abstracts the two name-resolution targets; *flood.Table and
+// *flood.Schema both satisfy it directly.
+type columns interface {
+	ColumnIndex(name string) int
+	Name(i int) string
+	NumCols() int
 }
 
 // --- lexer ---
@@ -85,19 +177,30 @@ type tokenKind int
 const (
 	tokEOF tokenKind = iota
 	tokIdent
-	tokNumber
+	tokNumber // integer or decimal literal
+	tokString // '...' literal (text holds the unquoted value)
 	tokSymbol // ( ) , * =  < <= > >=
 )
 
 type token struct {
 	kind tokenKind
 	text string
+	off  int // byte offset of the token's first character
+}
+
+// describe renders a token for error messages.
+func (t token) describe() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
 }
 
 type lexer struct {
 	src string
 	pos int
 	tok token
+	err error // first lexical error (unterminated string)
 }
 
 func newLexer(src string) *lexer {
@@ -110,38 +213,65 @@ func (l *lexer) next() {
 	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
 		l.pos++
 	}
+	start := l.pos
 	if l.pos >= len(l.src) {
-		l.tok = token{kind: tokEOF}
+		l.tok = token{kind: tokEOF, off: start}
 		return
 	}
 	c := l.src[l.pos]
 	switch {
 	case isAlpha(c):
-		start := l.pos
 		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '_' || l.src[l.pos] == '.') {
 			l.pos++
 		}
-		l.tok = token{kind: tokIdent, text: l.src[start:l.pos]}
+		l.tok = token{kind: tokIdent, text: l.src[start:l.pos], off: start}
 	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
-		start := l.pos
 		l.pos++
 		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
 			l.pos++
 		}
-		l.tok = token{kind: tokNumber, text: l.src[start:l.pos]}
-	case c == '<' || c == '>':
-		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
-			l.tok = token{kind: tokSymbol, text: l.src[l.pos : l.pos+2]}
-			l.pos += 2
-		} else {
-			l.tok = token{kind: tokSymbol, text: string(c)}
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isDigit(l.src[l.pos+1]) {
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		l.tok = token{kind: tokNumber, text: l.src[start:l.pos], off: start}
+	case c == '\'':
+		// String literal; '' escapes a quote.
+		var sb strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				l.tok = token{kind: tokEOF, off: start}
+				if l.err == nil {
+					l.err = fmt.Errorf("at byte %d: unterminated string literal", start)
+				}
+				return
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(l.src[l.pos])
 			l.pos++
 		}
-	case c == '(' || c == ')' || c == ',' || c == '*' || c == '=':
-		l.tok = token{kind: tokSymbol, text: string(c)}
-		l.pos++
+		l.tok = token{kind: tokString, text: sb.String(), off: start}
+	case c == '<' || c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.tok = token{kind: tokSymbol, text: l.src[l.pos : l.pos+2], off: start}
+			l.pos += 2
+		} else {
+			l.tok = token{kind: tokSymbol, text: string(c), off: start}
+			l.pos++
+		}
 	default:
-		l.tok = token{kind: tokSymbol, text: string(c)}
+		l.tok = token{kind: tokSymbol, text: string(c), off: start}
 		l.pos++
 	}
 }
@@ -153,47 +283,37 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 // --- parser ---
 
 type parser struct {
-	lex *lexer
-	tbl *flood.Table
+	lex    *lexer
+	cols   columns
+	schema *flood.Schema // nil when parsing against a raw table
+}
+
+// errAt is the shared error constructor: every parse error pins the byte
+// offset and the offending token, so malformed WHERE clauses point at the
+// exact spot.
+func (p *parser) errAt(tok token, format string, args ...any) error {
+	if p.lex.err != nil {
+		return p.lex.err
+	}
+	return fmt.Errorf("at byte %d near %s: %s", tok.off, tok.describe(), fmt.Sprintf(format, args...))
 }
 
 func (p *parser) statement() (*Statement, error) {
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err
 	}
-	st := &Statement{AggCol: -1, nDims: p.tbl.NumCols()}
-	aggName, err := p.ident()
-	if err != nil {
-		return nil, err
-	}
-	st.Agg = strings.ToLower(aggName)
-	if st.Agg != "count" && st.Agg != "sum" && st.Agg != "min" && st.Agg != "max" {
-		return nil, fmt.Errorf("unsupported aggregate %q (want COUNT, SUM, MIN, or MAX)", aggName)
-	}
-	if err := p.symbol("("); err != nil {
-		return nil, err
-	}
-	if st.Agg == "count" {
-		if err := p.symbol("*"); err != nil {
-			return nil, err
-		}
-	} else {
-		col, err := p.column()
-		if err != nil {
-			return nil, err
-		}
-		st.AggCol = col
-	}
-	if err := p.symbol(")"); err != nil {
+	st := &Statement{AggCol: -1, nDims: p.cols.NumCols(), schema: p.schema}
+	if err := p.target(st); err != nil {
 		return nil, err
 	}
 	if err := p.keyword("FROM"); err != nil {
 		return nil, err
 	}
+	var err error
 	if st.Table, err = p.ident(); err != nil {
 		return nil, err
 	}
-	if p.lex.tok.kind == tokEOF {
+	if p.lex.tok.kind == tokEOF && p.lex.err == nil {
 		return st, nil
 	}
 	if err := p.keyword("WHERE"); err != nil {
@@ -203,11 +323,82 @@ func (p *parser) statement() (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.lex.tok.kind != tokEOF {
-		return nil, fmt.Errorf("unexpected trailing input %q", p.lex.tok.text)
+	if p.lex.tok.kind != tokEOF || p.lex.err != nil {
+		return nil, p.errAt(p.lex.tok, "unexpected trailing input")
 	}
 	st.Disjuncts = dnf
 	return st, nil
+}
+
+// target parses the SELECT list: an aggregate call, *, or a column list.
+func (p *parser) target(st *Statement) error {
+	// SELECT * FROM ...
+	if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "*" {
+		if p.schema == nil {
+			return p.errAt(p.lex.tok, "projection needs a typed schema; parse with ParseTyped")
+		}
+		p.lex.next()
+		st.Agg = "select"
+		for i := 0; i < p.cols.NumCols(); i++ {
+			st.Projection = append(st.Projection, p.cols.Name(i))
+		}
+		return nil
+	}
+	firstTok := p.lex.tok
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "(" {
+		st.Agg = strings.ToLower(first)
+		if st.Agg != "count" && st.Agg != "sum" && st.Agg != "min" && st.Agg != "max" {
+			return p.errAt(firstTok, "unsupported aggregate %q (want COUNT, SUM, MIN, or MAX)", first)
+		}
+		p.lex.next()
+		if st.Agg == "count" {
+			if err := p.symbol("*"); err != nil {
+				return err
+			}
+		} else {
+			colTok := p.lex.tok
+			col, err := p.column()
+			if err != nil {
+				return err
+			}
+			// Aggregating an encoded column must be meaningful in the
+			// logical domain: dictionary codes never are; time ticks sum
+			// to nothing sensible (MIN/MAX are fine).
+			switch p.kindOf(col) {
+			case flood.KindString:
+				return p.errAt(colTok, "cannot aggregate string column %q", p.cols.Name(col))
+			case flood.KindTime:
+				if st.Agg == "sum" {
+					return p.errAt(colTok, "cannot SUM time column %q", p.cols.Name(col))
+				}
+			}
+			st.AggCol = col
+		}
+		return p.symbol(")")
+	}
+	if p.schema == nil {
+		return p.errAt(firstTok, "projection needs a typed schema; parse with ParseTyped")
+	}
+	// Projection list: first is a column name; more follow after commas.
+	st.Agg = "select"
+	col, err := p.resolve(first, firstTok)
+	if err != nil {
+		return err
+	}
+	st.Projection = append(st.Projection, p.cols.Name(col))
+	for p.lex.tok.kind == tokSymbol && p.lex.tok.text == "," {
+		p.lex.next()
+		col, err := p.column()
+		if err != nil {
+			return err
+		}
+		st.Projection = append(st.Projection, p.cols.Name(col))
+	}
+	return nil
 }
 
 // orExpr returns the predicate as a DNF list of conjunctive queries.
@@ -251,10 +442,49 @@ func (p *parser) andExpr() ([]flood.Query, error) {
 		if len(out) == 0 {
 			// Contradictory predicate: empty result, keep one
 			// unsatisfiable query for well-formed execution.
-			return []flood.Query{flood.NewQuery(p.tbl.NumCols()).WithRange(0, 1, 0)}, nil
+			return []flood.Query{p.unsatisfiable()}, nil
 		}
 	}
 	return out, nil
+}
+
+func (p *parser) unsatisfiable() flood.Query {
+	return flood.NewQuery(p.cols.NumCols()).WithRange(0, 1, 0)
+}
+
+// value is one parsed literal.
+type value struct {
+	tok     token
+	i       int64
+	f       float64
+	s       string
+	kind    tokenKind // tokNumber (i, and f when isFloat) or tokString (s)
+	isFloat bool
+}
+
+func (p *parser) value() (value, error) {
+	tok := p.lex.tok
+	switch tok.kind {
+	case tokNumber:
+		t := strings.ReplaceAll(tok.text, "_", "")
+		p.lex.next()
+		if strings.Contains(t, ".") {
+			f, err := strconv.ParseFloat(t, 64)
+			if err != nil {
+				return value{}, p.errAt(tok, "bad number: %v", err)
+			}
+			return value{tok: tok, f: f, kind: tokNumber, isFloat: true}, nil
+		}
+		v, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return value{}, p.errAt(tok, "bad number: %v", err)
+		}
+		return value{tok: tok, i: v, f: float64(v), kind: tokNumber}, nil
+	case tokString:
+		p.lex.next()
+		return value{tok: tok, s: tok.text, kind: tokString}, nil
+	}
+	return value{}, p.errAt(tok, "expected a literal value")
 }
 
 func (p *parser) atom() ([]flood.Query, error) {
@@ -269,56 +499,258 @@ func (p *parser) atom() ([]flood.Query, error) {
 		}
 		return inner, nil
 	}
+	colTok := p.lex.tok
 	col, err := p.column()
 	if err != nil {
 		return nil, err
 	}
 	if p.isKeyword("BETWEEN") {
 		p.lex.next()
-		lo, err := p.number()
+		lo, err := p.value()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.keyword("AND"); err != nil {
 			return nil, err
 		}
-		hi, err := p.number()
+		hi, err := p.value()
 		if err != nil {
 			return nil, err
 		}
-		return []flood.Query{flood.NewQuery(p.tbl.NumCols()).WithRange(col, lo, hi)}, nil
+		q, err := p.rangeQuery(col, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		return []flood.Query{q}, nil
 	}
-	if p.lex.tok.kind != tokSymbol {
-		return nil, fmt.Errorf("expected comparison operator, found %q", p.lex.tok.text)
+	if p.isKeyword("LIKE") {
+		likeTok := p.lex.tok
+		p.lex.next()
+		pat, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		q, err := p.likeQuery(col, colTok, likeTok, pat)
+		if err != nil {
+			return nil, err
+		}
+		return []flood.Query{q}, nil
+	}
+	if p.lex.tok.kind != tokSymbol || !isCompareOp(p.lex.tok.text) {
+		return nil, p.errAt(p.lex.tok, "expected comparison operator")
 	}
 	op := p.lex.tok.text
 	p.lex.next()
-	v, err := p.number()
+	v, err := p.value()
 	if err != nil {
 		return nil, err
 	}
-	q := flood.NewQuery(p.tbl.NumCols())
-	switch op {
-	case "=":
-		q = q.WithEquals(col, v)
-	case "<":
-		q = q.WithRange(col, minInt64, v-1)
-	case "<=":
-		q = q.WithRange(col, minInt64, v)
-	case ">":
-		q = q.WithRange(col, v+1, maxInt64)
-	case ">=":
-		q = q.WithRange(col, v, maxInt64)
-	default:
-		return nil, fmt.Errorf("unsupported operator %q", op)
+	q, err := p.compareQuery(col, op, v)
+	if err != nil {
+		return nil, err
 	}
 	return []flood.Query{q}, nil
 }
 
-const (
-	minInt64 = -1 << 63
-	maxInt64 = 1<<63 - 1
-)
+func isCompareOp(s string) bool {
+	switch s {
+	case "=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// intBounds converts (op, integer literal) to an inclusive physical range.
+// Strict comparisons against the extreme int64 values return an inverted
+// (unsatisfiable) range instead of wrapping around the domain.
+func intBounds(op string, v int64) (lo, hi int64) {
+	switch op {
+	case "=":
+		return v, v
+	case "<":
+		if v == flood.NegInf {
+			return 1, 0
+		}
+		return flood.NegInf, v - 1
+	case "<=":
+		return flood.NegInf, v
+	case ">":
+		if v == flood.PosInf {
+			return 1, 0
+		}
+		return v + 1, flood.PosInf
+	default: // ">="
+		return v, flood.PosInf
+	}
+}
+
+// compareQuery builds the single-range query for `col op literal`,
+// dispatching on the column's logical kind when a schema is present.
+func (p *parser) compareQuery(col int, op string, v value) (flood.Query, error) {
+	base := flood.NewQuery(p.cols.NumCols())
+	kind := p.kindOf(col)
+	switch {
+	case v.kind == tokString:
+		if kind != flood.KindString {
+			return base, p.errAt(v.tok, "string literal on non-string column %q", p.cols.Name(col))
+		}
+		d := p.schema.Dictionary(p.cols.Name(col))
+		if d == nil {
+			return base, p.errAt(v.tok, "column %q has no fitted dictionary yet (build the table first)", p.cols.Name(col))
+		}
+		var lo, hi int64 = 0, int64(d.Len()) - 1
+		switch op {
+		case "=":
+			c, ok := d.Code(v.s)
+			if !ok {
+				return p.unsatisfiable(), nil
+			}
+			lo, hi = c, c
+		case "<":
+			hi = d.LowerBound(v.s) - 1
+		case "<=":
+			hi = d.UpperBound(v.s) - 1
+		case ">":
+			lo = d.UpperBound(v.s)
+		case ">=":
+			lo = d.LowerBound(v.s)
+		}
+		if lo > hi {
+			return p.unsatisfiable(), nil
+		}
+		return base.WithRange(col, lo, hi), nil
+	case v.isFloat:
+		if kind != flood.KindFloat64 {
+			return base, p.errAt(v.tok, "float literal on non-float column %q", p.cols.Name(col))
+		}
+		return p.floatCompare(base, col, op, v.f, v.tok)
+	case kind == flood.KindFloat64:
+		// Integer literal on a float column: treat as a float endpoint.
+		return p.floatCompare(base, col, op, v.f, v.tok)
+	case kind == flood.KindString:
+		return base, p.errAt(v.tok, "string column %q needs a string literal", p.cols.Name(col))
+	default:
+		// Int64 columns, and time columns compared as raw ticks.
+		lo, hi := intBounds(op, v.i)
+		return base.WithRange(col, lo, hi), nil
+	}
+}
+
+// floatCompare encodes a float comparison through the column's decimal
+// scaler with conservative directed rounding: lo is the smallest code whose
+// decoded value is >= v, hi the largest <= v; they coincide exactly when v
+// lands on a representable code, which is what strict bounds and equality
+// pivot on.
+func (p *parser) floatCompare(base flood.Query, col int, op string, v float64, tok token) (flood.Query, error) {
+	sc := p.schema.Scaler(p.cols.Name(col))
+	if sc == nil {
+		return base, p.errAt(tok, "column %q has no fitted scaler yet (build the table first)", p.cols.Name(col))
+	}
+	lo, hi := sc.EncodeLower(v), sc.EncodeUpper(v)
+	exact := lo == hi
+	switch op {
+	case "=":
+		if !exact {
+			return p.unsatisfiable(), nil
+		}
+		return base.WithRange(col, lo, lo), nil
+	case "<=":
+		return base.WithRange(col, flood.NegInf, hi), nil
+	case ">=":
+		return base.WithRange(col, lo, flood.PosInf), nil
+	case "<":
+		if exact {
+			if hi == flood.NegInf { // endpoint clamped at the domain floor
+				return p.unsatisfiable(), nil
+			}
+			hi--
+		}
+		return base.WithRange(col, flood.NegInf, hi), nil
+	default: // ">"
+		if exact {
+			if lo == flood.PosInf { // endpoint clamped at the domain ceiling
+				return p.unsatisfiable(), nil
+			}
+			lo++
+		}
+		return base.WithRange(col, lo, flood.PosInf), nil
+	}
+}
+
+// rangeQuery builds `col BETWEEN lo AND hi`.
+func (p *parser) rangeQuery(col int, lo, hi value) (flood.Query, error) {
+	base := flood.NewQuery(p.cols.NumCols())
+	kind := p.kindOf(col)
+	switch {
+	case lo.kind == tokString || hi.kind == tokString:
+		if lo.kind != tokString || hi.kind != tokString {
+			return base, p.errAt(hi.tok, "BETWEEN endpoints must share a type")
+		}
+		if kind != flood.KindString {
+			return base, p.errAt(lo.tok, "string literal on non-string column %q", p.cols.Name(col))
+		}
+		d := p.schema.Dictionary(p.cols.Name(col))
+		if d == nil {
+			return base, p.errAt(lo.tok, "column %q has no fitted dictionary yet (build the table first)", p.cols.Name(col))
+		}
+		l, h, ok := d.RangeFor(lo.s, hi.s)
+		if !ok {
+			return p.unsatisfiable(), nil
+		}
+		return base.WithRange(col, l, h), nil
+	case lo.isFloat || hi.isFloat || kind == flood.KindFloat64:
+		if kind != flood.KindFloat64 {
+			return base, p.errAt(lo.tok, "float literal on non-float column %q", p.cols.Name(col))
+		}
+		sc := p.schema.Scaler(p.cols.Name(col))
+		if sc == nil {
+			return base, p.errAt(lo.tok, "column %q has no fitted scaler yet (build the table first)", p.cols.Name(col))
+		}
+		l, h := sc.EncodeLower(lo.f), sc.EncodeUpper(hi.f)
+		if l > h {
+			return p.unsatisfiable(), nil
+		}
+		return base.WithRange(col, l, h), nil
+	case kind == flood.KindString:
+		return base, p.errAt(lo.tok, "string column %q needs string literals", p.cols.Name(col))
+	default:
+		// Int64 columns, and time columns bounded by raw ticks.
+		return base.WithRange(col, lo.i, hi.i), nil
+	}
+}
+
+// likeQuery builds `col LIKE 'prefix%'`; only prefix patterns (a literal
+// followed by a single trailing %) are supported.
+func (p *parser) likeQuery(col int, colTok token, likeTok token, pat value) (flood.Query, error) {
+	base := flood.NewQuery(p.cols.NumCols())
+	if pat.kind != tokString {
+		return base, p.errAt(pat.tok, "LIKE needs a string pattern")
+	}
+	if p.kindOf(col) != flood.KindString {
+		return base, p.errAt(colTok, "LIKE on non-string column %q", p.cols.Name(col))
+	}
+	if !strings.HasSuffix(pat.s, "%") || strings.ContainsAny(strings.TrimSuffix(pat.s, "%"), "%_") {
+		return base, p.errAt(pat.tok, "only prefix LIKE patterns ('abc%%') are supported")
+	}
+	d := p.schema.Dictionary(p.cols.Name(col))
+	if d == nil {
+		return base, p.errAt(pat.tok, "column %q has no fitted dictionary yet (build the table first)", p.cols.Name(col))
+	}
+	l, h, ok := d.PrefixRange(strings.TrimSuffix(pat.s, "%"))
+	if !ok {
+		return p.unsatisfiable(), nil
+	}
+	return base.WithRange(col, l, h), nil
+}
+
+// kindOf returns the logical kind of col (KindInt64 when parsing against a
+// raw table).
+func (p *parser) kindOf(col int) flood.Kind {
+	if p.schema == nil {
+		return flood.KindInt64
+	}
+	return p.schema.KindAt(col)
+}
 
 // intersect combines two conjunctive queries; ok is false when the
 // conjunction is unsatisfiable.
@@ -350,7 +782,7 @@ func intersect(a, b flood.Query) (flood.Query, bool) {
 
 func (p *parser) keyword(kw string) error {
 	if !p.isKeyword(kw) {
-		return fmt.Errorf("expected %s, found %q", kw, p.lex.tok.text)
+		return p.errAt(p.lex.tok, "expected %s", kw)
 	}
 	p.lex.next()
 	return nil
@@ -362,7 +794,7 @@ func (p *parser) isKeyword(kw string) bool {
 
 func (p *parser) symbol(s string) error {
 	if p.lex.tok.kind != tokSymbol || p.lex.tok.text != s {
-		return fmt.Errorf("expected %q, found %q", s, p.lex.tok.text)
+		return p.errAt(p.lex.tok, "expected %q", s)
 	}
 	p.lex.next()
 	return nil
@@ -370,7 +802,7 @@ func (p *parser) symbol(s string) error {
 
 func (p *parser) ident() (string, error) {
 	if p.lex.tok.kind != tokIdent {
-		return "", fmt.Errorf("expected identifier, found %q", p.lex.tok.text)
+		return "", p.errAt(p.lex.tok, "expected identifier")
 	}
 	t := p.lex.tok.text
 	p.lex.next()
@@ -378,31 +810,24 @@ func (p *parser) ident() (string, error) {
 }
 
 // column parses an identifier (optionally qualified, e.g. R.price) and
-// resolves it against the table schema.
+// resolves it against the table or schema.
 func (p *parser) column() (int, error) {
+	tok := p.lex.tok
 	name, err := p.ident()
 	if err != nil {
 		return 0, err
 	}
+	return p.resolve(name, tok)
+}
+
+// resolve maps a (possibly qualified) column name to its index.
+func (p *parser) resolve(name string, tok token) (int, error) {
 	if i := strings.LastIndexByte(name, '.'); i >= 0 {
 		name = name[i+1:]
 	}
-	col := p.tbl.ColumnIndex(name)
+	col := p.cols.ColumnIndex(name)
 	if col < 0 {
-		return 0, fmt.Errorf("unknown column %q", name)
+		return 0, p.errAt(tok, "unknown column %q", name)
 	}
 	return col, nil
-}
-
-func (p *parser) number() (int64, error) {
-	if p.lex.tok.kind != tokNumber {
-		return 0, fmt.Errorf("expected number, found %q", p.lex.tok.text)
-	}
-	t := strings.ReplaceAll(p.lex.tok.text, "_", "")
-	p.lex.next()
-	v, err := strconv.ParseInt(t, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad number %q: %w", t, err)
-	}
-	return v, nil
 }

@@ -2,6 +2,7 @@ package floodsql
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	flood "flood"
@@ -198,5 +199,408 @@ func TestNegativeNumbersAndUnderscores(t *testing.T) {
 	got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM t WHERE price >= -1_0 AND price <= 1_000")
 	if got != int64(len(cols[0])) {
 		t.Fatalf("full-range count = %d, want %d", got, len(cols[0]))
+	}
+}
+
+// typedFixture builds a typed taxi-style table (city string, fare float(2),
+// dist int) with ground-truth logical columns.
+func typedFixture(t *testing.T) (*flood.Schema, flood.Index, []string, []float64, []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	cities := []string{"austin", "boston", "chicago", "nyc", "seattle"}
+	n := 4000
+	var city []string
+	var fare []float64
+	var dist []int64
+	for i := 0; i < n; i++ {
+		city = append(city, cities[rng.Intn(len(cities))])
+		fare = append(fare, float64(rng.Intn(5000))/100)
+		dist = append(dist, rng.Int63n(300))
+	}
+	s := flood.NewSchema().String("city").Float64("fare", 2).Int64("dist")
+	b := s.NewTableBuilder()
+	if err := b.SetStringColumn("city", city); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetFloat64Column("fare", fare); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInt64Column("dist", dist); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := flood.BuildWithLayout(tbl, flood.Layout{
+		GridDims: []int{0, 2}, GridCols: []int{5, 4}, SortDim: 1, Flatten: true,
+	}, &flood.Options{Schema: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, idx, city, fare, dist
+}
+
+func mustSelect(t *testing.T, s *flood.Schema, idx flood.Index, sql string) *flood.Rows {
+	t.Helper()
+	st, err := ParseTyped(sql, s)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	rows, _, err := st.Select(idx)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return rows
+}
+
+// TestProjectionTypedLiterals is the acceptance query: string equality plus
+// a float BETWEEN, projected through the schema with typed decoding.
+func TestProjectionTypedLiterals(t *testing.T) {
+	s, idx, city, fare, _ := typedFixture(t)
+	rows := mustSelect(t, s, idx,
+		"SELECT city, fare FROM t WHERE city = 'nyc' AND fare BETWEEN 1.5 AND 9.99")
+	defer rows.Close()
+	want := 0
+	for i := range city {
+		if city[i] == "nyc" && fare[i] >= 1.5 && fare[i] <= 9.99 {
+			want++
+		}
+	}
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "city" || cols[1] != "fare" {
+		t.Fatalf("projection = %v", cols)
+	}
+	got := 0
+	for rows.Next() {
+		if rows.String(0) != "nyc" {
+			t.Fatalf("row city = %q", rows.String(0))
+		}
+		if f := rows.Float64(1); f < 1.5 || f > 9.99 {
+			t.Fatalf("row fare = %v outside range", f)
+		}
+		got++
+	}
+	if got != want || got == 0 {
+		t.Fatalf("projection matched %d rows, brute force %d", got, want)
+	}
+}
+
+func TestProjectionStarAndDisjunction(t *testing.T) {
+	s, idx, city, fare, dist := typedFixture(t)
+	rows := mustSelect(t, s, idx,
+		"SELECT * FROM t WHERE city < 'boston' OR (fare > 45.0 AND dist >= 250)")
+	defer rows.Close()
+	want := 0
+	for i := range city {
+		if city[i] < "boston" || (fare[i] > 45.0 && dist[i] >= 250) {
+			want++
+		}
+	}
+	if cols := rows.Columns(); len(cols) != 3 {
+		t.Fatalf("SELECT * projected %v", cols)
+	}
+	if rows.Len() != want {
+		t.Fatalf("matched %d rows, brute force %d", rows.Len(), want)
+	}
+	for rows.Next() {
+		if !(rows.String(0) < "boston" || (rows.Float64(1) > 45.0 && rows.Int64(2) >= 250)) {
+			t.Fatalf("row (%s, %v, %d) fails the predicate",
+				rows.String(0), rows.Float64(1), rows.Int64(2))
+		}
+	}
+}
+
+func TestLikePrefix(t *testing.T) {
+	s, idx, city, _, _ := typedFixture(t)
+	rows := mustSelect(t, s, idx, "SELECT city FROM t WHERE city LIKE 'bo%'")
+	defer rows.Close()
+	want := 0
+	for _, c := range city {
+		if len(c) >= 2 && c[:2] == "bo" {
+			want++
+		}
+	}
+	if rows.Len() != want || want == 0 {
+		t.Fatalf("LIKE matched %d rows, brute force %d", rows.Len(), want)
+	}
+	if _, err := ParseTyped("SELECT city FROM t WHERE city LIKE '%bo%'", s); err == nil {
+		t.Fatal("non-prefix LIKE pattern should fail to parse")
+	}
+}
+
+func TestTypedAggregates(t *testing.T) {
+	s, idx, city, fare, _ := typedFixture(t)
+	st, err := ParseTyped("SELECT COUNT(*) FROM t WHERE city >= 'chicago' AND fare <= 10.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.Run(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := range city {
+		if city[i] >= "chicago" && fare[i] <= 10.0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("typed count = %d, want %d", got, want)
+	}
+}
+
+func TestStrictFloatBounds(t *testing.T) {
+	s, idx, _, fare, _ := typedFixture(t)
+	st, err := ParseTyped("SELECT COUNT(*) FROM t WHERE fare < 10.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := st.Run(idx)
+	var want int64
+	for _, f := range fare {
+		if f < 10.0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("fare < 10.0 counted %d, want %d", got, want)
+	}
+	// Unknown dictionary value is an empty result, not an error.
+	st, err = ParseTyped("SELECT COUNT(*) FROM t WHERE city = 'gotham'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := st.Run(idx); got != 0 {
+		t.Fatalf("unknown city matched %d rows", got)
+	}
+}
+
+func TestRunSelectMismatch(t *testing.T) {
+	s, idx, _, _, _ := typedFixture(t)
+	st, err := ParseTyped("SELECT city FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Run(idx); err == nil {
+		t.Fatal("Run on a projection should fail")
+	}
+	st, err = ParseTyped("SELECT COUNT(*) FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Select(idx); err == nil {
+		t.Fatal("Select on an aggregation should fail")
+	}
+	// Projections parsed against a raw table are rejected at parse time.
+	tbl, _ := testTable(t)
+	if _, err := Parse("SELECT price FROM t", tbl); err == nil ||
+		!strings.Contains(err.Error(), "ParseTyped") {
+		t.Fatalf("schema-less projection parse error = %v", err)
+	}
+	if _, err := Parse("SELECT * FROM t", tbl); err == nil {
+		t.Fatal("schema-less SELECT * should fail at parse")
+	}
+}
+
+// TestParseErrorPositions pins the debuggability contract: every parse error
+// names the byte offset and the offending token.
+func TestParseErrorPositions(t *testing.T) {
+	tbl, _ := testTable(t)
+	s, _, _, _, _ := typedFixture(t)
+	cases := []struct {
+		sql     string
+		typed   bool
+		wantSub string
+	}{
+		{"SELECT COUNT(*) FROM t WHERE price BETWEEEN 1 AND 2", false, `at byte 35 near "BETWEEEN"`},
+		{"SELECT COUNT(*) FROM t WHERE nosuchcol = 5", false, `at byte 29 near "nosuchcol"`},
+		{"SELECT COUNT(*) FROM t WHERE price = 1 garbage", false, `at byte 39 near "garbage"`},
+		{"SELECT COUNT(*) FROM t WHERE price =", false, "near end of input"},
+		{"SELECT city FROM t WHERE city = 'oops", true, "unterminated string literal"},
+		{"SELECT dist FROM t WHERE dist = 'str'", true, `string literal on non-string column "dist"`},
+		{"SELECT city FROM t WHERE dist = 1.5", true, `float literal on non-float column "dist"`},
+	}
+	for _, c := range cases {
+		var err error
+		if c.typed {
+			_, err = ParseTyped(c.sql, s)
+		} else {
+			_, err = Parse(c.sql, tbl)
+		}
+		if err == nil {
+			t.Fatalf("Parse(%q) should fail", c.sql)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("Parse(%q) error = %q, want substring %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestTypeMismatchAndAnchorRegressions(t *testing.T) {
+	s, idx, _, fare, _ := typedFixture(t)
+	// Integer literals on string columns must be rejected, not compared
+	// against raw dictionary codes.
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM t WHERE city = 0",
+		"SELECT COUNT(*) FROM t WHERE city BETWEEN 1 AND 3",
+	} {
+		if _, err := ParseTyped(sql, s); err == nil || !strings.Contains(err.Error(), `string column "city"`) {
+			t.Fatalf("ParseTyped(%q) error = %v, want string-column type error", sql, err)
+		}
+	}
+	// Error anchors point at the offending token, not the one after it.
+	_, err := ParseTyped("SELECT nosuchcol FROM t", s)
+	if err == nil || !strings.Contains(err.Error(), `at byte 7 near "nosuchcol"`) {
+		t.Fatalf("projection column error anchored wrong: %v", err)
+	}
+	_, err = ParseTyped("SELECT AVG(fare) FROM t", s)
+	if err == nil || !strings.Contains(err.Error(), `at byte 7 near "AVG"`) {
+		t.Fatalf("aggregate error anchored wrong: %v", err)
+	}
+	// Huge float endpoints clamp instead of wrapping negative.
+	st, err := ParseTyped("SELECT COUNT(*) FROM t WHERE fare <= 100000000000000000000.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := st.Run(idx)
+	if got != int64(len(fare)) {
+		t.Fatalf("huge upper bound matched %d rows, want all %d", got, len(fare))
+	}
+}
+
+func TestExtremeBoundsDoNotWrap(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	// Strict comparisons against the int64 extremes are empty, not
+	// match-everything.
+	if got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM t WHERE price > 9223372036854775807"); got != 0 {
+		t.Fatalf("price > MaxInt64 matched %d rows", got)
+	}
+	if got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM t WHERE price < -9223372036854775808"); got != 0 {
+		t.Fatalf("price < MinInt64 matched %d rows", got)
+	}
+	if got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM t WHERE price >= -9223372036854775808"); got != int64(len(cols[0])) {
+		t.Fatalf("price >= MinInt64 matched %d rows, want all", got)
+	}
+	// Float endpoints past the representable domain: strict > is empty,
+	// <= matches everything.
+	s, tidx, _, fare, _ := typedFixture(t)
+	st, err := ParseTyped("SELECT COUNT(*) FROM t WHERE fare > 100000000000000000000.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := st.Run(tidx); got != 0 {
+		t.Fatalf("fare > 1e20 matched %d rows", got)
+	}
+	st, err = ParseTyped("SELECT COUNT(*) FROM t WHERE fare < -100000000000000000000.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := st.Run(tidx); got != 0 {
+		t.Fatalf("fare < -1e20 matched %d rows", got)
+	}
+	st, err = ParseTyped("SELECT COUNT(*) FROM t WHERE fare <= 100000000000000000000.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := st.Run(tidx); got != int64(len(fare)) {
+		t.Fatalf("fare <= 1e20 matched %d rows, want all %d", got, len(fare))
+	}
+}
+
+func TestParseTypedUnfittedSchemaErrors(t *testing.T) {
+	// A schema that never went through TableBuilder.Build: typed literals
+	// must produce parse errors, not nil-pointer panics.
+	s := flood.NewSchema().String("city").Float64("fare", -1).Int64("dist")
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM t WHERE city = 'x'",
+		"SELECT COUNT(*) FROM t WHERE city BETWEEN 'a' AND 'b'",
+		"SELECT COUNT(*) FROM t WHERE city LIKE 'a%'",
+		"SELECT COUNT(*) FROM t WHERE fare > 1.5",
+		"SELECT COUNT(*) FROM t WHERE fare BETWEEN 1.0 AND 2.0",
+	} {
+		_, err := ParseTyped(sql, s)
+		if err == nil || !strings.Contains(err.Error(), "build the table first") {
+			t.Fatalf("ParseTyped(%q) = %v, want unfitted-schema error", sql, err)
+		}
+	}
+	// Fixed-digit float columns have a scaler without a build, so integer
+	// predicates on int columns still parse fine.
+	if _, err := ParseTyped("SELECT COUNT(*) FROM t WHERE dist > 5", s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateTypingRules(t *testing.T) {
+	s, idx, _, fare, _ := typedFixture(t)
+	// Aggregates over string columns are meaningless and rejected.
+	if _, err := ParseTyped("SELECT SUM(city) FROM t", s); err == nil ||
+		!strings.Contains(err.Error(), `cannot aggregate string column "city"`) {
+		t.Fatalf("SUM(city) error = %v", err)
+	}
+	if _, err := ParseTyped("SELECT MIN(city) FROM t", s); err == nil {
+		t.Fatal("MIN(city) should fail to parse")
+	}
+	// RunTyped decodes float aggregates into the logical domain.
+	st, err := ParseTyped("SELECT MIN(fare) FROM t WHERE fare >= 10.0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.RunTyped(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e18
+	for _, f := range fare {
+		if f >= 10.0 && f < want {
+			want = f
+		}
+	}
+	if got.(float64) != want {
+		t.Fatalf("RunTyped MIN(fare) = %v, want %v", got, want)
+	}
+	st, err = ParseTyped("SELECT SUM(fare) FROM t WHERE city = 'nyc'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = st.RunTyped(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumScaled int64
+	raw, _, _ := st.Run(idx)
+	sumScaled = raw
+	if got.(float64) != float64(sumScaled)/100 {
+		t.Fatalf("RunTyped SUM(fare) = %v, want %v", got, float64(sumScaled)/100)
+	}
+	// COUNT stays int64 through RunTyped.
+	st, err = ParseTyped("SELECT COUNT(*) FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := st.RunTyped(idx); got.(int64) != int64(len(fare)) {
+		t.Fatalf("RunTyped COUNT = %v", got)
+	}
+}
+
+func TestRunTypedEmptyExtremumIsNil(t *testing.T) {
+	s, idx, _, _, _ := typedFixture(t)
+	st, err := ParseTyped("SELECT MAX(fare) FROM t WHERE city = 'gotham'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.RunTyped(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("empty MAX decoded to %v, want nil", got)
+	}
+	st, err = ParseTyped("SELECT MIN(fare) FROM t WHERE city = 'gotham'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := st.RunTyped(idx); got != nil {
+		t.Fatalf("empty MIN decoded to %v, want nil", got)
 	}
 }

@@ -37,14 +37,17 @@ func (b linearBucketer) bucket(v int64, cols int) int {
 	if v < b.min {
 		return 0
 	}
-	c := int(float64(v-b.min) / b.rangeSz * float64(cols))
-	if c >= cols {
-		c = cols - 1
+	// Subtract in the float domain: v - b.min overflows int64 when an
+	// unbounded query endpoint meets a negative minimum, and the wrapped
+	// difference would map the largest keys to column 0.
+	cf := (float64(v) - float64(b.min)) / b.rangeSz * float64(cols)
+	if cf >= float64(cols-1) {
+		return cols - 1
 	}
-	if c < 0 {
-		c = 0
+	if cf <= 0 {
+		return 0
 	}
-	return c
+	return int(cf)
 }
 
 func (b linearBucketer) normalize(v int64) float64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"runtime/debug"
 	"testing"
 
@@ -151,6 +152,49 @@ func TestExecuteSteadyStateZeroAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("query %d: %.1f allocs per Execute, want 0", qi, allocs)
+		}
+	}
+}
+
+// TestOneSidedRangeOnTinyDomainGridDim is the regression test for the
+// bucketer extreme-value overflow at the engine level: a one-sided predicate
+// ([v, PosInf]) on a flattened grid dimension with a tiny value domain
+// (dictionary codes) used to project to an inverted column range and visit a
+// single grid cell, silently dropping most matches. Covers both bucketer
+// kinds.
+func TestOneSidedRangeOnTinyDomainGridDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	n := 4000
+	code := make([]int64, n) // tiny domain, e.g. dictionary codes
+	val := make([]int64, n)
+	for i := 0; i < n; i++ {
+		code[i] = rng.Int63n(5)
+		val[i] = rng.Int63n(1000) - 500 // negative min for the linear bucketer
+	}
+	tbl := colstore.MustNewTable([]string{"code", "val"}, [][]int64{code, val})
+	for _, flatten := range []bool{true, false} {
+		idx, err := Build(tbl, Layout{GridDims: []int{0, 1}, GridCols: []int{5, 4}, SortDim: -1, Flatten: flatten}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []query.Query{
+			query.NewQuery(2).WithRange(0, 1, query.PosInf),
+			query.NewQuery(2).WithRange(0, query.NegInf, 3),
+			query.NewQuery(2).WithRange(1, 0, query.PosInf),
+			query.NewQuery(2).WithRange(0, 2, query.PosInf).WithRange(1, query.NegInf, 100),
+		}
+		for qi, q := range queries {
+			agg := query.NewCount()
+			idx.Execute(q, agg)
+			want := int64(0)
+			for i := 0; i < n; i++ {
+				if q.Matches([]int64{code[i], val[i]}) {
+					want++
+				}
+			}
+			if agg.Result() != want {
+				t.Fatalf("flatten=%v query %d: engine counted %d, brute force %d", flatten, qi, agg.Result(), want)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // Dictionary maps strings to dense int64 codes ordered lexicographically, so
@@ -91,6 +92,23 @@ func (d *Dictionary) PrefixRange(prefix string) (loCode, hiCode int64, ok bool) 
 
 func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
 
+// LowerBound returns the first code whose value sorts >= s (possibly Len(),
+// one past the last code). With UpperBound it translates one-sided string
+// comparisons into code ranges: v >= s is [LowerBound(s), Len()-1] and
+// v < s is [0, LowerBound(s)-1].
+func (d *Dictionary) LowerBound(s string) int64 {
+	return int64(sort.SearchStrings(d.values, s))
+}
+
+// UpperBound returns the first code whose value sorts > s (possibly Len()).
+// v > s is [UpperBound(s), Len()-1] and v <= s is [0, UpperBound(s)-1].
+func (d *Dictionary) UpperBound(s string) int64 {
+	return int64(sort.Search(len(d.values), func(k int) bool { return d.values[k] > s }))
+}
+
+// Values returns the dictionary's sorted distinct values (shared, read-only).
+func (d *Dictionary) Values() []string { return d.values }
+
 // DecimalScaler converts floating-point values to integers by multiplying
 // with 10^digits, per §7.1 ("we scale all values by the smallest power of 10
 // that converts them to integers").
@@ -117,12 +135,13 @@ func InferDecimalScaler(col []float64, maxDigits int) (*DecimalScaler, error) {
 		factor := math.Pow(10, float64(digits))
 		exact := true
 		for _, v := range col {
-			scaled := v * factor
 			// Binary floats cannot represent most decimals exactly
-			// (123.45*100 = 12344.999...), so accept values within a
-			// relative tolerance of an integer.
-			tol := 1e-9 * math.Max(1, math.Abs(scaled))
-			if math.Abs(scaled-math.Round(scaled)) > tol {
+			// (123.45*100 = 12344.999...), so the representability test is
+			// a round trip: the nearest integer code must decode back to
+			// exactly v. A fixed tolerance would silently accept lossy
+			// scalings (0.1234567891 at 9 digits, 1e-10 at 0 digits).
+			r := math.Round(v * factor)
+			if r/factor != v {
 				exact = false
 				break
 			}
@@ -143,7 +162,10 @@ func (s *DecimalScaler) Encode(col []float64) ([]int64, error) {
 	out := make([]int64, len(col))
 	for i, v := range col {
 		scaled := math.Round(v * s.factor)
-		if math.IsNaN(scaled) || scaled > math.MaxInt64 || scaled < math.MinInt64 {
+		// >= on the upper bound: float64(MaxInt64) is exactly 2^63, which
+		// does NOT fit in int64 — a plain > would let it through and the
+		// conversion would wrap to MinInt64.
+		if math.IsNaN(scaled) || scaled >= math.MaxInt64 || scaled < math.MinInt64 {
 			return nil, fmt.Errorf("encode: value %g not representable at %d digits", v, s.digits)
 		}
 		out[i] = int64(scaled)
@@ -154,5 +176,171 @@ func (s *DecimalScaler) Encode(col []float64) ([]int64, error) {
 // EncodeValue scales one value (for query endpoints).
 func (s *DecimalScaler) EncodeValue(v float64) int64 { return int64(math.Round(v * s.factor)) }
 
+// EncodeChecked scales one value with the same representability validation
+// Encode performs, without the per-value slice allocations — the building
+// block for row-at-a-time insert paths.
+func (s *DecimalScaler) EncodeChecked(v float64) (int64, error) {
+	scaled := math.Round(v * s.factor)
+	// >= on the upper bound: see Encode.
+	if math.IsNaN(scaled) || scaled >= math.MaxInt64 || scaled < math.MinInt64 {
+		return 0, fmt.Errorf("encode: value %g not representable at %d digits", v, s.digits)
+	}
+	return int64(scaled), nil
+}
+
 // Decode converts a scaled integer back to a float.
 func (s *DecimalScaler) Decode(v int64) float64 { return float64(v) / s.factor }
+
+// EncodeLower converts a lower query bound: the smallest integer code whose
+// decoded value is >= v (ceil, snapped to the scaler's precision). Using
+// directed rounding for bounds keeps range predicates conservative when a
+// query endpoint carries more precision than the column stores. Unlike
+// Encode, out-of-range endpoints are legal in a predicate: they clamp to the
+// int64 domain (v beyond every representable code yields MaxInt64, so the
+// range is empty; v below every code yields MinInt64, so the bound is
+// vacuous), and NaN yields MaxInt64 (an unsatisfiable lower bound).
+func (s *DecimalScaler) EncodeLower(v float64) int64 {
+	x := math.Ceil(s.snap(v))
+	if math.IsNaN(x) || x >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if x <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(x)
+}
+
+// EncodeUpper converts an upper query bound: the largest integer code whose
+// decoded value is <= v (floor, snapped to the scaler's precision),
+// clamping out-of-range endpoints to the int64 domain; NaN yields MinInt64
+// (an unsatisfiable upper bound).
+func (s *DecimalScaler) EncodeUpper(v float64) int64 {
+	x := math.Floor(s.snap(v))
+	if math.IsNaN(x) || x <= math.MinInt64 {
+		return math.MinInt64
+	}
+	if x >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(x)
+}
+
+// snap collapses v*factor onto the nearest integer code exactly when that
+// code decodes back to v — the precise test for "v is a representable
+// value up to binary-float noise" (9.99*100 = 998.999…94 snaps to 999
+// because 999/100 == 9.99 in float64). A fixed relative tolerance would be
+// millions of ULPs wide at large magnitudes and swallow genuinely sub-code
+// endpoints like 5000000.004.
+func (s *DecimalScaler) snap(v float64) float64 {
+	x := v * s.factor
+	r := math.Round(x)
+	if r/s.factor == v {
+		return r
+	}
+	return x
+}
+
+// TimeCodec converts time.Time values to int64 ticks of a fixed unit since
+// the Unix epoch, completing the §7.1 encoding set for timestamp attributes.
+// The zero value uses nanosecond ticks.
+//
+// Tick math avoids the UnixNano intermediate wherever the unit allows, so
+// the representable range genuinely grows with the unit: nanosecond ticks
+// cover 1678–2262 (the UnixNano window), any coarser divisor of a second
+// covers proportionally more, and second-or-coarser units cover the full
+// time.Time range. Only units that divide neither into nor by a whole
+// second (e.g. 1.5s) fall back to nanosecond math and its window.
+type TimeCodec struct {
+	// Unit is the tick size (default time.Nanosecond).
+	Unit time.Duration
+}
+
+func (c TimeCodec) unit() int64 {
+	if c.Unit <= 0 {
+		return 1
+	}
+	return int64(c.Unit)
+}
+
+const nsPerSec = int64(time.Second)
+
+// split returns t's tick (floored toward negative infinity) and whether t
+// lies strictly inside the tick (a nonzero remainder), computed without
+// overflowing for out-of-nano-window times when the unit permits.
+func (c TimeCodec) split(t time.Time) (tick int64, inexact bool) {
+	u := c.unit()
+	sec, nsec := t.Unix(), int64(t.Nanosecond()) // nsec in [0, 1e9)
+	switch {
+	case nsPerSec%u == 0:
+		// Sub-second unit dividing the second: k ticks per second.
+		k := nsPerSec / u
+		return sec*k + nsec/u, nsec%u != 0
+	case u%nsPerSec == 0:
+		// Whole-second multiple.
+		us := u / nsPerSec
+		q := floorDiv(sec, us)
+		return q, (sec-q*us) != 0 || nsec != 0
+	default:
+		n := t.UnixNano()
+		q := floorDiv(n, u)
+		return q, n != q*u
+	}
+}
+
+// EncodeValue converts one timestamp to ticks, flooring toward negative
+// infinity — truncation toward zero would make pre-epoch timestamps encode
+// non-monotonically and collide with post-epoch ticks.
+func (c TimeCodec) EncodeValue(t time.Time) int64 {
+	tick, _ := c.split(t)
+	return tick
+}
+
+// EncodeLower converts a lower time bound: the smallest tick whose decoded
+// time is >= t (ceiling division). With EncodeUpper it gives time-range
+// predicates the same conservative directed rounding float bounds get.
+func (c TimeCodec) EncodeLower(t time.Time) int64 {
+	tick, inexact := c.split(t)
+	if inexact {
+		tick++
+	}
+	return tick
+}
+
+// EncodeUpper converts an upper time bound: the largest tick whose decoded
+// time is <= t (floor division, same as EncodeValue).
+func (c TimeCodec) EncodeUpper(t time.Time) int64 { return c.EncodeValue(t) }
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(n, d int64) int64 {
+	q := n / d
+	if n%d != 0 && (n < 0) != (d < 0) {
+		q--
+	}
+	return q
+}
+
+// Encode converts a timestamp column to ticks.
+func (c TimeCodec) Encode(col []time.Time) []int64 {
+	out := make([]int64, len(col))
+	for i, t := range col {
+		out[i] = c.EncodeValue(t)
+	}
+	return out
+}
+
+// Decode converts ticks back to a UTC timestamp, mirroring split's
+// overflow-safe paths so coarse-unit ticks outside the nanosecond window
+// round-trip exactly.
+func (c TimeCodec) Decode(v int64) time.Time {
+	u := c.unit()
+	switch {
+	case nsPerSec%u == 0:
+		k := nsPerSec / u
+		sec := floorDiv(v, k)
+		return time.Unix(sec, (v-sec*k)*u).UTC()
+	case u%nsPerSec == 0:
+		return time.Unix(v*(u/nsPerSec), 0).UTC()
+	default:
+		return time.Unix(0, v*u).UTC()
+	}
+}

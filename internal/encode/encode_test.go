@@ -1,10 +1,12 @@
 package encode
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestDictionaryRoundtrip(t *testing.T) {
@@ -152,5 +154,171 @@ func TestDictionaryLargeRandom(t *testing.T) {
 		if raw[idx[i-1]] > raw[idx[i]] {
 			t.Fatal("code order disagrees with string order")
 		}
+	}
+}
+
+func TestDictionaryBounds(t *testing.T) {
+	d := BuildDictionary([]string{"ant", "bee", "cat", "dog"})
+	cases := []struct {
+		s            string
+		lower, upper int64
+	}{
+		{"", 0, 0},
+		{"ant", 0, 1},
+		{"bat", 1, 1},
+		{"dog", 3, 4},
+		{"eel", 4, 4},
+	}
+	for _, c := range cases {
+		if got := d.LowerBound(c.s); got != c.lower {
+			t.Errorf("LowerBound(%q) = %d, want %d", c.s, got, c.lower)
+		}
+		if got := d.UpperBound(c.s); got != c.upper {
+			t.Errorf("UpperBound(%q) = %d, want %d", c.s, got, c.upper)
+		}
+	}
+}
+
+func TestDecimalScalerDirectedBounds(t *testing.T) {
+	s, err := NewDecimalScaler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact endpoints land on their code despite binary-float noise.
+	if lo := s.EncodeLower(9.99); lo != 999 {
+		t.Fatalf("EncodeLower(9.99) = %d, want 999", lo)
+	}
+	if hi := s.EncodeUpper(9.99); hi != 999 {
+		t.Fatalf("EncodeUpper(9.99) = %d, want 999", hi)
+	}
+	// Over-precise endpoints round conservatively inward.
+	if lo := s.EncodeLower(1.501); lo != 151 {
+		t.Fatalf("EncodeLower(1.501) = %d, want 151", lo)
+	}
+	if hi := s.EncodeUpper(1.509); hi != 150 {
+		t.Fatalf("EncodeUpper(1.509) = %d, want 150", hi)
+	}
+}
+
+func TestTimeCodecRoundTrip(t *testing.T) {
+	for _, unit := range []time.Duration{0, time.Nanosecond, time.Microsecond, time.Second} {
+		c := TimeCodec{Unit: unit}
+		u := unit
+		if u <= 0 {
+			u = time.Nanosecond
+		}
+		ts := time.Date(2023, 7, 14, 9, 30, 21, 500_000_000, time.UTC).Truncate(u)
+		if got := c.Decode(c.EncodeValue(ts)); !got.Equal(ts) {
+			t.Errorf("unit %v: round trip %v != %v", unit, got, ts)
+		}
+	}
+	c := TimeCodec{Unit: time.Millisecond}
+	col := []time.Time{time.UnixMilli(1000).UTC(), time.UnixMilli(2500).UTC()}
+	enc := c.Encode(col)
+	if enc[0] != 1000 || enc[1] != 2500 {
+		t.Fatalf("Encode = %v", enc)
+	}
+}
+
+func TestTimeCodecFloorsPreEpoch(t *testing.T) {
+	c := TimeCodec{Unit: time.Second}
+	// 0.4s before and after the epoch must land in different ticks; truncation
+	// toward zero would collide both on tick 0.
+	pre := c.EncodeValue(time.Unix(0, -400_000_000))
+	post := c.EncodeValue(time.Unix(0, 400_000_000))
+	if pre != -1 || post != 0 {
+		t.Fatalf("pre/post epoch ticks = %d/%d, want -1/0", pre, post)
+	}
+	// Monotone across the epoch.
+	last := c.EncodeValue(time.Unix(-3, 0))
+	for ns := int64(-2_500_000_000); ns <= 2_500_000_000; ns += 250_000_000 {
+		v := c.EncodeValue(time.Unix(0, ns))
+		if v < last {
+			t.Fatalf("EncodeValue not monotone at %dns: %d after %d", ns, v, last)
+		}
+		last = v
+	}
+	// Directed bounds: lower ceils, upper floors.
+	at := time.Unix(100, 500_000_000) // 100.5s
+	if lo := c.EncodeLower(at); lo != 101 {
+		t.Fatalf("EncodeLower(100.5s) = %d, want 101", lo)
+	}
+	if hi := c.EncodeUpper(at); hi != 100 {
+		t.Fatalf("EncodeUpper(100.5s) = %d, want 100", hi)
+	}
+	exact := time.Unix(100, 0)
+	if lo, hi := c.EncodeLower(exact), c.EncodeUpper(exact); lo != 100 || hi != 100 {
+		t.Fatalf("exact endpoint bounds = %d/%d, want 100/100", lo, hi)
+	}
+}
+
+func TestTimeCodecCoarseUnitsExtendRange(t *testing.T) {
+	far := time.Date(2400, 1, 1, 12, 30, 15, 0, time.UTC) // outside the UnixNano window
+	for _, unit := range []time.Duration{time.Second, time.Minute, time.Millisecond} {
+		c := TimeCodec{Unit: unit}
+		got := c.Decode(c.EncodeValue(far.Truncate(unit)))
+		if !got.Equal(far.Truncate(unit)) {
+			t.Errorf("unit %v: year-2400 round trip = %v", unit, got)
+		}
+		// Monotone across the window edge.
+		edge := time.Unix(math.MaxInt64/int64(time.Second), 0)
+		if c.EncodeValue(far) <= c.EncodeValue(time.Unix(0, 0)) {
+			t.Errorf("unit %v: far-future tick not after epoch", unit)
+		}
+		_ = edge
+	}
+	// Directed bounds stay correct out of window.
+	c := TimeCodec{Unit: time.Minute}
+	mid := far.Truncate(time.Minute).Add(30 * time.Second)
+	if lo, hi := c.EncodeLower(mid), c.EncodeUpper(mid); lo != hi+1 {
+		t.Fatalf("sub-tick bound out of window: lo %d, hi %d", lo, hi)
+	}
+}
+
+func TestDecimalScalerSnapIsExact(t *testing.T) {
+	s, err := NewDecimalScaler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large-magnitude endpoints a hair past a code must NOT collapse onto it.
+	if lo := s.EncodeLower(5000000.004); lo != 500000001 {
+		t.Fatalf("EncodeLower(5000000.004) = %d, want 500000001", lo)
+	}
+	if hi := s.EncodeUpper(5000000.004); hi != 500000000 {
+		t.Fatalf("EncodeUpper(5000000.004) = %d, want 500000000", hi)
+	}
+	// Representable large values still land exactly on their code.
+	if lo, hi := s.EncodeLower(5000000.25), s.EncodeUpper(5000000.25); lo != 500000025 || hi != 500000025 {
+		t.Fatalf("exact large endpoint = [%d, %d], want [500000025, 500000025]", lo, hi)
+	}
+}
+
+func TestInferDecimalScalerRejectsLossy(t *testing.T) {
+	if _, err := InferDecimalScaler([]float64{1e-10}, 9); err == nil {
+		t.Fatal("sub-precision value should fail inference, not round to 0")
+	}
+	if _, err := InferDecimalScaler([]float64{0.1234567891}, 9); err == nil {
+		t.Fatal("10-digit value should fail 9-digit inference, not round")
+	}
+	s, err := InferDecimalScaler([]float64{0.123456789}, 9)
+	if err != nil || s.Digits() != 9 {
+		t.Fatalf("9-digit value inferred (%v, %v)", s, err)
+	}
+}
+
+func TestEncodeCheckedRejectsBoundary(t *testing.T) {
+	s, err := NewDecimalScaler(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 2^63 is not representable in int64: must error, not wrap.
+	if v, err := s.EncodeChecked(9.223372036854775808e18); err == nil {
+		t.Fatalf("EncodeChecked(2^63) = %d, want error", v)
+	}
+	if _, err := s.Encode([]float64{9.223372036854775808e18}); err == nil {
+		t.Fatal("Encode(2^63) should error, not wrap")
+	}
+	if v, err := s.EncodeChecked(9.2e18); err != nil || v != 9200000000000000000 {
+		t.Fatalf("EncodeChecked(9.2e18) = (%d, %v)", v, err)
 	}
 }

@@ -130,14 +130,19 @@ func TrainCDF(values []int64, numLeaves int) *CDF {
 
 func (m *CDF) leafFor(v int64) int {
 	p := m.root.at(float64(v))
-	leaf := int(p * float64(len(m.leaves)))
-	if leaf < 0 {
-		leaf = 0
+	// Clamp in the float domain before converting: a far-out-of-domain v
+	// (e.g. an unbounded query endpoint) times the leaf count can exceed
+	// the int64 range, and the overflowing conversion would saturate
+	// *negative*, routing +Inf-like keys to leaf 0 and breaking the
+	// model's monotonicity.
+	pf := p * float64(len(m.leaves))
+	if pf >= float64(len(m.leaves)-1) {
+		return len(m.leaves) - 1
 	}
-	if leaf >= len(m.leaves) {
-		leaf = len(m.leaves) - 1
+	if pf <= 0 {
+		return 0
 	}
-	return leaf
+	return int(pf)
 }
 
 // At evaluates the model: an approximation of the fraction of points <= v,

@@ -202,3 +202,29 @@ func BenchmarkPositionLookup(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestCDFBucketMonotoneAtExtremes is the regression test for the leafFor
+// overflow: on a tiny-domain column (dictionary codes), an unbounded query
+// endpoint's leaf position exceeds int64 in the float domain, and the
+// overflowing conversion used to saturate negative — routing +Inf-like keys
+// to leaf 0 and collapsing Bucket far below in-domain keys.
+func TestCDFBucketMonotoneAtExtremes(t *testing.T) {
+	vals := make([]int64, 4000)
+	for i := range vals {
+		vals[i] = int64(i % 5) // dictionary-like domain {0..4}
+	}
+	m := TrainCDF(vals, 64)
+	const cols = 5
+	last := m.Bucket(math.MinInt64, cols)
+	probes := []int64{math.MinInt64, -1, 0, 1, 2, 3, 4, 5, 1 << 40, math.MaxInt64}
+	for _, v := range probes {
+		b := m.Bucket(v, cols)
+		if b < last {
+			t.Fatalf("Bucket not monotone: Bucket(%d)=%d after %d", v, b, last)
+		}
+		last = b
+	}
+	if got := m.Bucket(math.MaxInt64, cols); got != cols-1 {
+		t.Fatalf("Bucket(MaxInt64) = %d, want %d", got, cols-1)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package flood
+
+// raceEnabled reports that the race detector is active; its instrumentation
+// adds heap allocations inside Execute, so allocation-count assertions must
+// be skipped.
+const raceEnabled = true

@@ -1,0 +1,413 @@
+package flood
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// Rows is a cursor over the rows matched by a Select. It is produced by the
+// Select methods on Flood, DeltaIndex, and AdaptiveIndex, and by
+// Schema.Select for any other index (the baselines). Iterate with Next and
+// read the projected columns with the typed accessors:
+//
+//	rows, _ := idx.Select(q, "city", "fare")
+//	defer rows.Close()
+//	for rows.Next() {
+//		city, fare := rows.String(0), rows.Float64(1)
+//		...
+//	}
+//
+// Accessor positions index the projection (0 = first selected column), not
+// the table. The typed accessors (Float64, String, Time) need the schema the
+// table was built with; without one, every column reads as raw int64.
+//
+// Rows are delivered in ascending physical row id — base-index rows in
+// storage order, then any unmerged delta/insert-log rows — unless OrderBy
+// re-ordered them. The cursor and its buffers are pooled: Close returns them
+// for reuse, making steady-state sequential Select allocation-free. A Rows
+// must not be used after Close, and is not safe for concurrent use.
+type Rows struct {
+	rc     query.RowCollector
+	schema *Schema  // nil: raw int64 access only
+	cols   []int    // physical column index per projection position
+	names  []string // projected column names
+
+	pos      int // index into rc ids; -1 before the first Next
+	cur      *colstore.Table
+	curStart int64
+	curEnd   int64
+	curID    int64
+	closed   bool // guards double-Close from double-pooling the cursor
+}
+
+var rowsPool = sync.Pool{New: func() any { return new(Rows) }}
+
+// colResolver maps projection names to physical column positions; *Table
+// and *Schema both satisfy it (schema declaration order is physical order).
+type colResolver interface {
+	ColumnIndex(name string) int
+	Name(i int) string
+	NumCols() int
+}
+
+// getRows returns a pooled cursor with the projection resolved against
+// resolve. Empty cols selects every column. Unknown column names panic —
+// like a malformed regexp, a bad projection is a programming error, and the
+// Select signature stays chainable.
+func getRows(s *Schema, resolve colResolver, cols []string) *Rows {
+	r := rowsPool.Get().(*Rows)
+	r.schema = s
+	r.closed = false
+	r.cols = r.cols[:0]
+	r.names = r.names[:0]
+	if len(cols) == 0 {
+		for i := 0; i < resolve.NumCols(); i++ {
+			r.cols = append(r.cols, i)
+			r.names = append(r.names, resolve.Name(i))
+		}
+	} else {
+		for _, name := range cols {
+			c := resolve.ColumnIndex(name)
+			if c < 0 {
+				r.release()
+				panic(fmt.Sprintf("flood: Select: unknown column %q", name))
+			}
+			r.cols = append(r.cols, c)
+			r.names = append(r.names, resolve.Name(c))
+		}
+	}
+	return r
+}
+
+// finalize orders the collected ids and rewinds the cursor; called once by
+// Select after execution.
+func (r *Rows) finalize() {
+	r.rc.Sort()
+	r.Reset()
+}
+
+// Len returns the number of matched rows.
+func (r *Rows) Len() int { return r.rc.Len() }
+
+// Columns returns the projected column names in accessor order. The slice is
+// owned by the cursor; do not retain it past Close.
+func (r *Rows) Columns() []string { return r.names }
+
+// Reset rewinds the cursor so the result set can be iterated again.
+func (r *Rows) Reset() {
+	r.pos = -1
+	r.cur = nil
+	r.curStart, r.curEnd = 0, 0
+}
+
+// Next advances to the next row, reporting whether one exists.
+func (r *Rows) Next() bool {
+	ids := r.rc.IDs()
+	r.pos++
+	if r.pos >= len(ids) {
+		return false
+	}
+	id := ids[r.pos]
+	r.curID = id
+	if id < r.curStart || id >= r.curEnd {
+		r.seek(id)
+	}
+	return true
+}
+
+// seek re-resolves the cursor's source table for id.
+func (r *Rows) seek(id int64) {
+	for _, s := range r.rc.Sources() {
+		if id >= s.Start && id < s.End {
+			r.cur, r.curStart, r.curEnd = s.Table, s.Start, s.End
+			return
+		}
+	}
+	panic("flood: Rows cursor id outside every source")
+}
+
+// RowID returns the current row's global physical id (base rows first, then
+// delta/insert-log rows) — useful for debugging storage locality.
+func (r *Rows) RowID() int64 { return r.curID }
+
+// raw returns the stored int64 of projection position j for the current row.
+func (r *Rows) raw(j int) int64 {
+	return r.cur.Get(r.cols[j], int(r.curID-r.curStart))
+}
+
+// Int64 returns projection position j of the current row as a raw int64
+// (valid for every column kind; non-integer kinds return their encoded
+// physical value).
+func (r *Rows) Int64(j int) int64 { return r.raw(j) }
+
+// Float64 returns projection position j as a float; the column must be a
+// schema Float64 column.
+func (r *Rows) Float64(j int) float64 {
+	f := r.mustField(j, KindFloat64)
+	return f.scaler.Decode(r.raw(j))
+}
+
+// String returns projection position j as a string; the column must be a
+// schema String column.
+func (r *Rows) String(j int) string {
+	f := r.mustField(j, KindString)
+	return f.dict.Value(r.raw(j))
+}
+
+// Time returns projection position j as a timestamp; the column must be a
+// schema Time column.
+func (r *Rows) Time(j int) time.Time {
+	f := r.mustField(j, KindTime)
+	return f.tcodec.Decode(r.raw(j))
+}
+
+// Value returns projection position j decoded to its logical type (int64,
+// float64, string, or time.Time) — raw int64 when no schema is attached.
+func (r *Rows) Value(j int) any {
+	if r.schema == nil {
+		return r.raw(j)
+	}
+	return r.schema.DecodeValue(r.cols[j], r.raw(j))
+}
+
+func (r *Rows) mustField(j int, want Kind) *field {
+	if r.schema == nil {
+		panic(fmt.Sprintf("flood: Rows: typed accessor %v needs a schema (index built without one)", want))
+	}
+	f := &r.schema.fields[r.cols[j]]
+	if f.kind != want {
+		panic(fmt.Sprintf("flood: Rows: column %q is %s, not %s", f.name, f.kind, want))
+	}
+	return f
+}
+
+// orderKey is one (value, id) pair in an OrderBy heap.
+type orderKey struct {
+	v  int64
+	id int64
+}
+
+// OrderBy re-orders the result set by a column ascending and keeps only the
+// first limit rows (limit <= 0 keeps everything), using a bounded top-k heap
+// so a small limit never sorts the full result. The column is named against
+// the table (it need not be projected); float, string, and time columns
+// order by their logical values, since all encodings are order-preserving.
+// Returns the receiver for chaining; iteration restarts.
+func (r *Rows) OrderBy(col string, limit int) *Rows { return r.orderBy(col, limit, false) }
+
+// OrderByDesc is OrderBy descending.
+func (r *Rows) OrderByDesc(col string, limit int) *Rows { return r.orderBy(col, limit, true) }
+
+func (r *Rows) orderBy(col string, limit int, desc bool) *Rows {
+	// Resolve the column before the empty-result fast path: a typo'd name
+	// must fail fast regardless of what the query happened to match.
+	c := -1
+	if srcs := r.rc.Sources(); len(srcs) > 0 {
+		c = srcs[0].Table.ColumnIndex(col)
+	} else if r.schema != nil {
+		c = r.schema.ColumnIndex(col)
+	}
+	if c < 0 {
+		panic(fmt.Sprintf("flood: OrderBy: unknown column %q", col))
+	}
+	ids := r.rc.IDs()
+	if len(ids) == 0 {
+		return r
+	}
+	// less orders keys by value (direction-adjusted), breaking ties by id so
+	// the order is total and deterministic.
+	less := func(a, b orderKey) bool {
+		if a.v != b.v {
+			if desc {
+				return a.v > b.v
+			}
+			return a.v < b.v
+		}
+		return a.id < b.id
+	}
+	value := func(id int64) int64 {
+		t, row, _ := r.rc.Resolve(id)
+		return t.Get(c, row)
+	}
+	if limit <= 0 || limit >= len(ids) {
+		keys := make([]orderKey, len(ids))
+		for i, id := range ids {
+			keys[i] = orderKey{v: value(id), id: id}
+		}
+		sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+		for i, k := range keys {
+			ids[i] = k.id
+		}
+		r.Reset()
+		return r
+	}
+	// Bounded selection: a max-heap (under less) of the best limit keys; the
+	// root is the worst kept key and is evicted by anything better.
+	heap := make([]orderKey, 0, limit)
+	siftDown := func(i int) {
+		for {
+			l, rt := 2*i+1, 2*i+2
+			largest := i
+			if l < len(heap) && less(heap[largest], heap[l]) {
+				largest = l
+			}
+			if rt < len(heap) && less(heap[largest], heap[rt]) {
+				largest = rt
+			}
+			if largest == i {
+				return
+			}
+			heap[i], heap[largest] = heap[largest], heap[i]
+			i = largest
+		}
+	}
+	for _, id := range ids {
+		k := orderKey{v: value(id), id: id}
+		if len(heap) < limit {
+			heap = append(heap, k)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !less(heap[p], heap[i]) {
+					break
+				}
+				heap[p], heap[i] = heap[i], heap[p]
+				i = p
+			}
+			continue
+		}
+		if less(k, heap[0]) {
+			heap[0] = k
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return less(heap[i], heap[j]) })
+	for i, k := range heap {
+		ids[i] = k.id
+	}
+	r.rc.Truncate(len(heap))
+	r.Reset()
+	return r
+}
+
+// release clears the cursor and returns it to the pool.
+func (r *Rows) release() {
+	r.closed = true
+	r.rc.Reset()
+	r.schema = nil
+	r.Reset()
+	rowsPool.Put(r)
+}
+
+// Close releases the cursor and its buffers for reuse by a future Select.
+// The Rows must not be used afterwards. An immediate second Close is a
+// no-op, but once a later Select may have re-acquired the pooled cursor a
+// stale Close would release that newer result set — call Close exactly once
+// per Select (one deferred Close per cursor, no early explicit Close
+// alongside it).
+func (r *Rows) Close() {
+	if r.closed {
+		return
+	}
+	r.release()
+}
+
+// Select executes q and returns the matching rows with the named columns
+// projected (none = every column), plus the execution stats. Row gathering
+// rides the regular execution engine — zone-map block skipping, the
+// selection-vector kernel, and (for large results) the morsel-driven
+// parallel scan — so retrieval costs one id append per matching row; small
+// selects are allocation-free in steady state once pooled cursors warm up.
+// Typed accessors on the result need the index's schema (SetSchema, or
+// Options.Schema at build time).
+func (f *Flood) Select(q Query, cols ...string) (*Rows, Stats) {
+	r := getRows(f.schema, f.Table(), cols)
+	r.rc.PinSource(f.Table())
+	st := f.Execute(q, &r.rc)
+	r.finalize()
+	return r, st
+}
+
+// Select executes q against the base index and the pending-row buffer,
+// returning matching rows from both: buffered rows follow base rows in the
+// cursor, their ids offset past the base. See Flood.Select.
+func (d *DeltaIndex) Select(q Query, cols ...string) (*Rows, Stats) {
+	r := getRows(d.schema, d.base.Table(), cols)
+	r.rc.PinSource(d.base.Table())
+	st := d.Execute(q, &r.rc)
+	r.finalize()
+	return r, st
+}
+
+// Select executes q against the current generation — learned base plus
+// insert log — returning matching rows from both; log rows follow base rows
+// in the cursor. The query is sampled and drift-monitored like any Execute.
+// See Flood.Select.
+func (a *AdaptiveIndex) Select(q Query, cols ...string) (*Rows, Stats) {
+	ep := a.epoch.Load()
+	r := getRows(a.schema, ep.flood.Table(), cols)
+	r.rc.PinSource(ep.flood.Table())
+	st := executeEpoch(ep, q, &r.rc)
+	a.observe(ep, q, st)
+	r.finalize()
+	return r, st
+}
+
+// Select executes q against any index built over a table this schema
+// produced — including the baselines — and returns the matching rows. The
+// named columns are resolved through the schema; indexes with their own
+// Select method (Flood, DeltaIndex, AdaptiveIndex) route through it so
+// composite row-id spaces stay correct.
+func (s *Schema) Select(idx Index, q Query, cols ...string) (*Rows, Stats) {
+	if si, ok := idx.(interface {
+		Select(Query, ...string) (*Rows, Stats)
+	}); ok {
+		r, st := si.Select(q, cols...)
+		if r.schema == nil {
+			// The index was built without an attached schema; the caller
+			// supplied one explicitly, so typed accessors should work.
+			r.schema = s
+		}
+		return r, st
+	}
+	r := getRows(s, s, cols)
+	st := idx.Execute(q, &r.rc)
+	r.finalize()
+	return r, st
+}
+
+// SelectOr evaluates a disjunction (OR) of conjunctive queries and returns
+// the union of matching rows, each exactly once: the rectangles are
+// decomposed into disjoint pieces first (see ExecuteOr).
+func (s *Schema) SelectOr(idx Index, queries []Query, cols ...string) (*Rows, Stats) {
+	r := getRows(s, s, cols)
+	if bp, ok := idx.(basePinner); ok {
+		bp.pinBase(&r.rc)
+	}
+	st := ExecuteOr(idx, queries, &r.rc)
+	r.finalize()
+	return r, st
+}
+
+// basePinner lets composite indexes pin their base table into a collector's
+// id space before a multi-piece execution, so base rows occupy ids
+// [0, baseRows) regardless of which disjoint piece delivers first.
+type basePinner interface {
+	pinBase(rc *query.RowCollector)
+}
+
+func (f *Flood) pinBase(rc *query.RowCollector) { rc.PinSource(f.Table()) }
+
+func (d *DeltaIndex) pinBase(rc *query.RowCollector) { rc.PinSource(d.base.Table()) }
+
+// pinBase pins the current epoch's base. A swap landing between this pin
+// and the execution's own epoch load just leaves a source that delivers no
+// rows — ids stay consistent, only the base-first ordering degrades for
+// that one race.
+func (a *AdaptiveIndex) pinBase(rc *query.RowCollector) {
+	rc.PinSource(a.epoch.Load().flood.Table())
+}

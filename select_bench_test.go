@@ -1,0 +1,105 @@
+package flood
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// selectBenchState is the shared 1M-row typed index for the Select
+// benchmarks, built once per test binary.
+var selectBenchState struct {
+	once   sync.Once
+	schema *Schema
+	idx    *Flood
+	q      Query
+}
+
+func selectBenchSetup(b *testing.B) (*Flood, Query) {
+	b.Helper()
+	s := &selectBenchState
+	s.once.Do(func() {
+		const n = 1_000_000
+		rng := rand.New(rand.NewSource(1215))
+		cities := []string{"atlanta", "boston", "chicago", "denver", "houston", "miami", "nyc", "seattle"}
+		ts := make([]int64, n)
+		fare := make([]float64, n)
+		city := make([]string, n)
+		for i := 0; i < n; i++ {
+			ts[i] = rng.Int63n(1_000_000)
+			fare[i] = float64(rng.Intn(10_000)) / 100
+			city[i] = cities[rng.Intn(len(cities))]
+		}
+		s.schema = NewSchema().Int64("ts").Float64("fare", 2).String("city")
+		tb := s.schema.NewTableBuilder()
+		if err := tb.SetInt64Column("ts", ts); err != nil {
+			panic(err)
+		}
+		if err := tb.SetFloat64Column("fare", fare); err != nil {
+			panic(err)
+		}
+		if err := tb.SetStringColumn("city", city); err != nil {
+			panic(err)
+		}
+		tbl, err := tb.Build()
+		if err != nil {
+			panic(err)
+		}
+		s.idx, err = BuildWithLayout(tbl, Layout{
+			GridDims: []int{0, 2}, GridCols: []int{64, 8}, SortDim: 1, Flatten: true,
+		}, &Options{Schema: s.schema})
+		if err != nil {
+			panic(err)
+		}
+		// ~3% of one city's rows: a few thousand matches, well under the
+		// parallel cutover, so the benchmark pins the zero-alloc sequential
+		// retrieval path.
+		s.q = s.schema.Where().
+			WithStringEquals("city", "nyc").
+			WithIntRange("ts", 100_000, 130_000).
+			Query()
+	})
+	return s.idx, s.q
+}
+
+// BenchmarkSelectRows1M measures end-to-end row retrieval on a 1M-row typed
+// table: execute a city+time predicate, materialize the matching row ids,
+// and walk the cursor decoding one string and one int per row. Recorded in
+// BENCH_scan.json by `make bench`.
+func BenchmarkSelectRows1M(b *testing.B) {
+	idx, q := selectBenchSetup(b)
+	var rowsOut int64
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := idx.Select(q, "ts", "city")
+		for rows.Next() {
+			sink += rows.Int64(0)
+		}
+		rowsOut += int64(rows.Len())
+		rows.Close()
+	}
+	b.StopTimer()
+	if rowsOut == 0 {
+		b.Fatal("benchmark query matched nothing")
+	}
+	b.ReportMetric(float64(rowsOut)/float64(b.N), "rows/op")
+	_ = sink
+}
+
+// BenchmarkSelectRows1MTopK adds an OrderBy(fare, 10) top-k pass over the
+// same retrieval, the common serving shape for "10 cheapest matching rides".
+func BenchmarkSelectRows1MTopK(b *testing.B) {
+	idx, q := selectBenchSetup(b)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := idx.Select(q, "fare")
+		rows.OrderBy("fare", 10)
+		for rows.Next() {
+			sink += rows.Float64(0)
+		}
+		rows.Close()
+	}
+	_ = sink
+}

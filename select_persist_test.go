@@ -1,0 +1,126 @@
+package flood
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+)
+
+// TestSelectParallelMatchesSequential pins Select through the morsel engine:
+// a result set far past the parallel cutover must equal the pinned
+// sequential path row for row (ids are sorted, so merge order cannot leak).
+// Runs in the CI race matrix.
+func TestSelectParallelMatchesSequential(t *testing.T) {
+	fx := newTypedFixture(t, 120_000, 31)
+	seqIdx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema, ParallelCutoverRows: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parIdx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema, ParallelCutoverRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range fixtureQueries(fx) {
+		seqRows, _ := seqIdx.Select(tc.q)
+		parRows, _ := parIdx.Select(tc.q)
+		if !slices.Equal(seqRows.rc.IDs(), parRows.rc.IDs()) {
+			t.Fatalf("%s: parallel Select ids diverge from sequential (%d vs %d rows)",
+				tc.name, parRows.Len(), seqRows.Len())
+		}
+		seqRows.Close()
+		parRows.Close()
+	}
+}
+
+// TestDeltaMergeSaveLoadRoundTrip covers the persist path after a delta
+// merge: the merged base saves, loads, and answers Select identically.
+func TestDeltaMergeSaveLoadRoundTrip(t *testing.T) {
+	fx := newTypedFixture(t, 3000, 32)
+	idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeltaIndex(idx, 0)
+	extra := newTypedFixture(t, 500, 33)
+	for i := range extra.ts {
+		// Reuse city values from the fitted dictionary: the merged rows
+		// must decode through the original schema.
+		row, err := fx.schema.EncodeRow(extra.ts[i], extra.fare[i], fx.city[i%len(fx.city)], extra.pickup[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending = %d after merge", d.Pending())
+	}
+
+	var buf bytes.Buffer
+	if err := d.Base().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded.SetSchema(fx.schema)
+	if loaded.Table().NumRows() != 3500 {
+		t.Fatalf("loaded table has %d rows, want 3500", loaded.Table().NumRows())
+	}
+	for _, tc := range fixtureQueries(fx) {
+		before, _ := d.Select(tc.q)
+		after, _ := loaded.Select(tc.q)
+		got := collectRows(t, after)
+		want := collectRows(t, before)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: loaded index returned %d rows, merged index %d", tc.name, len(got), len(want))
+		}
+		before.Close()
+		after.Close()
+	}
+}
+
+// TestDeltaSizeBytesCountsBufferCapacity pins the memory-reporting fix:
+// after a large insert burst the buffered columns are charged at slice
+// capacity, which append doubling grows past the pending row count.
+func TestDeltaSizeBytesCountsBufferCapacity(t *testing.T) {
+	fx := newTypedFixture(t, 1000, 34)
+	idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeltaIndex(idx, 0)
+	base := d.SizeBytes()
+	const burst = 10_000
+	row, err := fx.schema.EncodeRow(int64(1), 2.50, fx.city[0], fx.pickup[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capSum int64
+	for i := 0; i < burst; i++ {
+		if err := d.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, col := range d.buffer {
+		capSum += int64(cap(col)) * 8
+	}
+	if capSum <= int64(burst)*int64(len(d.buffer))*8 {
+		t.Fatalf("test premise broken: capacity %d not above %d", capSum, burst*len(d.buffer)*8)
+	}
+	if got := d.SizeBytes(); got != base+capSum {
+		t.Fatalf("SizeBytes = %d, want base %d + buffer capacity %d", got, base, capSum)
+	}
+	// Merge returns the capacity accounting to (near) zero buffered bytes.
+	if err := d.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SizeBytes(); got < d.base.SizeBytes() {
+		t.Fatalf("post-merge SizeBytes = %d below base metadata", got)
+	}
+}
