@@ -24,14 +24,17 @@ docs: vet
 	$(GO) run ./cmd/doclint . ./floodsql ./datagen \
 		./internal/core ./internal/query ./internal/colstore ./internal/encode
 
-# bench runs the scan-kernel, build, parallel-execution, and row-retrieval
-# benchmarks that gate perf PRs and records them in BENCH_scan.json so the
-# trajectory is diffable in git.
+# bench runs the scan-kernel, build, parallel-execution, row-retrieval, and
+# context/limit benchmarks that gate perf PRs and records them in
+# BENCH_scan.json so the trajectory is diffable in git. SelectLimit10From1M
+# proves the LIMIT pushdown short-circuits (compare rows scanned against
+# SelectRows1M); Execute1M vs ExecuteContext1M is the context-plumbing
+# overhead-parity pair.
 bench:
 	$(GO) test ./internal/core -run '^$$' \
 		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch' \
 		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
-	$(GO) test . -run '^$$' -bench '^BenchmarkSelectRows' \
+	$(GO) test . -run '^$$' -bench '^BenchmarkSelect|^BenchmarkExecute' \
 		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
 

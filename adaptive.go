@@ -1,6 +1,7 @@
 package flood
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -202,7 +203,21 @@ func (a *AdaptiveIndex) Execute(q Query, agg Aggregator) Stats {
 func executeEpoch(ep *adaptiveEpoch, q Query, agg Aggregator) Stats {
 	st := ep.flood.Execute(q, agg)
 	if n := ep.log.rows(); n > 0 {
-		st.Add(ep.log.scan(q, n, agg))
+		st.Add(ep.log.scan(q, n, agg, nil))
+	}
+	return st
+}
+
+// executeEpochControl is executeEpoch threaded with an externally owned
+// control: base scan and insert-log scan share the cancellation signal and
+// the limit budget, and a stop during the base scan skips the log entirely.
+func executeEpochControl(ep *adaptiveEpoch, ctl *query.Control, q Query, agg Aggregator, cutover int) Stats {
+	st := ep.flood.idx.ExecuteControl(ctl, q, agg, cutover)
+	if ctl.Stopped() {
+		return st
+	}
+	if n := ep.log.rows(); n > 0 {
+		st.Add(ep.log.scan(q, n, agg, ctl))
 	}
 	return st
 }
@@ -230,7 +245,7 @@ func executeBatchEpoch(ep *adaptiveEpoch, queries []Query, aggs []Aggregator) []
 	core.RunBatch(len(queries), func(i int) {
 		stats[i] = ep.flood.idx.ExecuteSequential(queries[i], aggs[i])
 		if n > 0 {
-			stats[i].Add(ep.log.scan(queries[i], n, aggs[i]))
+			stats[i].Add(ep.log.scan(queries[i], n, aggs[i], nil))
 		}
 	})
 	return stats
@@ -271,9 +286,33 @@ func (r adaptiveRaw) Execute(q Query, agg Aggregator) Stats {
 	return executeEpoch(r.ep, q, agg)
 }
 
+// ExecuteContext implements query.Index against the pinned generation.
+func (r adaptiveRaw) ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error) {
+	return query.RunContext(ctx, q, agg, func(ctl *query.Control, q Query, agg Aggregator) Stats {
+		return executeEpochControl(r.ep, ctl, q, agg, 0)
+	})
+}
+
 // ExecuteBatch implements query.BatchIndex against the pinned generation.
 func (r adaptiveRaw) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
 	return executeBatchEpoch(r.ep, queries, aggs)
+}
+
+// ExecuteBatchContext implements query.BatchIndex against the pinned
+// generation: one cancellation stops every query in the batch, queries not
+// yet started are skipped.
+func (r adaptiveRaw) ExecuteBatchContext(ctx context.Context, queries []Query, aggs []Aggregator) ([]Stats, error) {
+	ctl, err := getControl(ctx, nil)
+	if err != nil {
+		return make([]Stats, len(queries)), err
+	}
+	if ctl == nil {
+		return r.ExecuteBatch(queries, aggs), nil
+	}
+	stats := executeBatchEpochControl(r.ep, ctl, queries, aggs)
+	err = ctl.Finish()
+	ctl.Release()
+	return stats, err
 }
 
 // observe is the bookkeeping tail of every query: sample it, feed the drift
@@ -609,26 +648,30 @@ const logViewStep = 2048
 
 // scan filters the log's first n rows against q through the shared scan
 // kernel, accumulating matches into agg and returning delta-scan stats.
-func (l *sideLog) scan(q Query, n int64, agg Aggregator) Stats {
+// ctl, when non-nil, threads the query's cancellation signal and limit
+// budget into the segment scans, stopping between segments once latched.
+func (l *sideLog) scan(q Query, n int64, agg Aggregator, ctl *query.Control) Stats {
 	var st Stats
 	t0 := time.Now()
 	dims := q.FilteredDims()
 	l.seal(n)
 	covered := int64(0)
 	for _, sg := range *l.segs.Load() {
-		if sg.end > n {
+		if sg.end > n || ctl.Stopped() {
 			break
 		}
 		sc := query.GetScanner(sg.t)
+		sc.SetControl(ctl)
 		s, m := sc.ScanRange(q, dims, 0, int(sg.end-sg.start), agg)
 		sc.Release()
 		st.Scanned += s
 		st.Matched += m
 		covered = sg.end
 	}
-	if n > covered {
+	if n > covered && !ctl.Stopped() {
 		t := colstore.MustNewTable(l.names, l.columnsRange(covered, n))
 		sc := query.GetScanner(t)
+		sc.SetControl(ctl)
 		s, m := sc.ScanRange(q, dims, 0, int(n-covered), agg)
 		sc.Release()
 		st.Scanned += s

@@ -1,6 +1,7 @@
 package flood
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -168,6 +169,9 @@ type indexOnly struct{ idx *Flood }
 func (w indexOnly) Name() string                          { return w.idx.Name() }
 func (w indexOnly) SizeBytes() int64                      { return w.idx.SizeBytes() }
 func (w indexOnly) Execute(q Query, agg Aggregator) Stats { return w.idx.Execute(q, agg) }
+func (w indexOnly) ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error) {
+	return w.idx.ExecuteContext(ctx, q, agg)
+}
 
 // TestMonitorConcurrentRecord hammers Record from many goroutines — the
 // situation batched serving creates — and relies on the race detector (CI

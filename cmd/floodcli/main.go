@@ -8,11 +8,15 @@
 // columns are scaled to integers (§7.1), and string columns are
 // dictionary-encoded with order-preserving codes. The -train flag lists
 // sample predicates (semicolon-separated WHERE clauses) describing the
-// expected workload; Flood learns its layout from them.
+// expected workload; Flood learns its layout from them. The -timeout flag
+// bounds query execution: past the deadline the scan stops cooperatively
+// and the command reports how far it got.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +37,7 @@ func main() {
 		train   = flag.String("train", "", "semicolon-separated sample WHERE clauses describing the workload")
 		query   = flag.String("query", "", "SQL statement to run (SELECT COUNT/SUM/MIN ... WHERE ...)")
 		seed    = flag.Int64("seed", 1, "random seed for layout learning")
+		timeout = flag.Duration("timeout", 0, "query execution deadline (e.g. 500ms; 0 = none); a query over deadline returns its partial result and an error")
 	)
 	flag.Parse()
 	if *csvPath == "" || *query == "" {
@@ -70,7 +75,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("parsing -query: %v", err)
 	}
-	v, stats, err := st.Run(idx)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	v, stats, err := st.RunContext(ctx, idx)
+	if errors.Is(err, flood.ErrCanceled) {
+		log.Fatalf("query exceeded -timeout %v after scanning %d rows", *timeout, stats.Scanned)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

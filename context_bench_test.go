@@ -1,0 +1,77 @@
+package flood
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSelectLimit10From1M proves the LIMIT pushdown short-circuits: a
+// LIMIT 10 select over the shared 1M-row typed table (same predicate as
+// BenchmarkSelectRows1M, which materializes ~3.7K rows) stops scanning
+// after the tenth match. Recorded in BENCH_scan.json by `make bench`;
+// compare rows/op and ns/op against BenchmarkSelectRows1M.
+func BenchmarkSelectLimit10From1M(b *testing.B) {
+	idx, q := selectBenchSetup(b)
+	opts := &QueryOptions{Limit: 10}
+	ctx := context.Background()
+	var rowsOut, scanned int64
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, st, err := idx.SelectContext(ctx, q, opts, "ts")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+			sink += rows.Int64(0)
+		}
+		rowsOut += int64(rows.Len())
+		scanned += st.Scanned
+		rows.Close()
+	}
+	b.StopTimer()
+	if rowsOut != int64(b.N)*10 {
+		b.Fatalf("limited select returned %d rows over %d ops, want 10 each", rowsOut, b.N)
+	}
+	b.ReportMetric(float64(rowsOut)/float64(b.N), "rows/op")
+	b.ReportMetric(float64(scanned)/float64(b.N), "scanned/op")
+	_ = sink
+}
+
+// BenchmarkExecute1M is the plain-Execute half of the overhead-parity pair:
+// the same sequential aggregate query as BenchmarkExecuteContext1M, so the
+// two ns/op numbers in BENCH_scan.json measure what the context plumbing
+// costs on the hot path (the acceptance bar is "within noise").
+func BenchmarkExecute1M(b *testing.B) {
+	idx, q := selectBenchSetup(b)
+	cnt := NewCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt.Reset()
+		idx.Execute(q, cnt)
+	}
+	b.StopTimer()
+	if cnt.Result() == 0 {
+		b.Fatal("benchmark query matched nothing")
+	}
+}
+
+// BenchmarkExecuteContext1M is the ExecuteContext half of the parity pair:
+// a background context derives no control, so this must track
+// BenchmarkExecute1M within noise and stay at 0 allocs/op.
+func BenchmarkExecuteContext1M(b *testing.B) {
+	idx, q := selectBenchSetup(b)
+	cnt := NewCount()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt.Reset()
+		if _, err := idx.ExecuteContext(ctx, q, cnt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if cnt.Result() == 0 {
+		b.Fatal("benchmark query matched nothing")
+	}
+}

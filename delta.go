@@ -98,7 +98,7 @@ func (d *DeltaIndex) Execute(q Query, agg Aggregator) Stats {
 	if d.pending == 0 {
 		return st
 	}
-	st.Add(d.scanDelta(d.ensureDeltaTable(), q, agg))
+	st.Add(d.scanDelta(d.ensureDeltaTable(), q, agg, nil))
 	return st
 }
 
@@ -116,11 +116,13 @@ func (d *DeltaIndex) ensureDeltaTable() *Table {
 // scanDelta filters the buffered rows against q. The delta table is
 // immutable once built, so concurrent calls (one per batched query) are
 // safe; the scan bound comes from the table itself, not the live pending
-// counter, so a batch stays self-consistent.
-func (d *DeltaIndex) scanDelta(delta *Table, q Query, agg Aggregator) Stats {
+// counter, so a batch stays self-consistent. ctl, when non-nil, threads the
+// query's cancellation signal and limit budget into the scan.
+func (d *DeltaIndex) scanDelta(delta *Table, q Query, agg Aggregator, ctl *query.Control) Stats {
 	var st Stats
 	t0 := time.Now()
 	sc := query.GetScanner(delta)
+	sc.SetControl(ctl)
 	s, m := sc.ScanRange(q, q.FilteredDims(), 0, delta.NumRows(), agg)
 	sc.Release()
 	st.Scanned = s
@@ -148,7 +150,7 @@ func (d *DeltaIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
 	core.RunBatch(len(queries), func(i int) {
 		stats[i] = d.base.ExecuteSequential(queries[i], aggs[i])
 		if pending > 0 {
-			stats[i].Add(d.scanDelta(delta, queries[i], aggs[i]))
+			stats[i].Add(d.scanDelta(delta, queries[i], aggs[i], nil))
 		}
 	})
 	return stats

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -110,4 +111,39 @@ func main() {
 	// --- 7. Parse errors point at the offending token ----------------
 	_, err = floodsql.ParseTyped("SELECT city FROM rides WHERE fare BETWEEEN 1 AND 2", schema)
 	fmt.Printf("\nmalformed SQL: %v\n", err)
+
+	// --- 8. SelectContext: deadline + LIMIT pushdown -----------------
+	// Serving code bounds every query: the context (or
+	// QueryOptions.Deadline) caps wall time, and Limit stops the scan
+	// after the k-th match instead of materializing the full result —
+	// note how many fewer rows are scanned than in step 4.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rows, lst, err := idx.SelectContext(ctx, q, &flood.QueryOptions{Limit: 5}, "city", "fare")
+	if err != nil {
+		log.Fatal(err) // ErrCanceled would mean the deadline fired mid-scan
+	}
+	fmt.Printf("\nLIMIT 5 with a 50ms deadline: %d rows, scanned %d points (full query scanned %d)\n",
+		rows.Len(), lst.Scanned, st.Scanned)
+	for rows.Next() {
+		fmt.Printf("  %s  $%.2f\n", rows.String(0), rows.Float64(1))
+	}
+	rows.Close()
+
+	// The same bound through SQL: LIMIT rides the pushdown. A fresh
+	// deadline — the previous context's 50ms may already be spent on the
+	// query above and the printing between.
+	stmt, err = floodsql.ParseTyped(
+		"SELECT city, fare FROM rides WHERE city = 'nyc' LIMIT 3", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sqlCtx, sqlCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer sqlCancel()
+	rows, lst, err = stmt.SelectContext(sqlCtx, idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SQL LIMIT 3: %d rows, scanned %d points\n", rows.Len(), lst.Scanned)
+	rows.Close()
 }

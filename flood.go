@@ -30,6 +30,13 @@
 // Tables can also be built directly from int64 column-major data with
 // NewTable, skipping the schema; Select then serves raw int64 values.
 //
+// Serving code bounds every query with the context-aware twins of each
+// entry point: ExecuteContext and SelectContext honor cancellation and
+// deadlines (stopping cooperatively mid-scan with ErrCanceled and partial
+// Stats), and QueryOptions.Limit is pushed down into the scan kernel so a
+// LIMIT k retrieval stops at the k-th match instead of materializing the
+// full result.
+//
 // For production serving, AdaptiveIndex wraps a built index in the adaptive
 // lifecycle of §8: it serves queries and inserts concurrently, samples the
 // live workload, detects drift with a Monitor, relearns the layout in the

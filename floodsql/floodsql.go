@@ -7,7 +7,7 @@
 // The supported grammar covers single-table aggregations and row-retrieval
 // projections with conjunctive and disjunctive predicates:
 //
-//	stmt    := SELECT target FROM ident [WHERE pred]
+//	stmt    := SELECT target FROM ident [WHERE pred] [LIMIT n]
 //	target  := agg | proj
 //	agg     := COUNT(*) | SUM(col) | MIN(col) | MAX(col)
 //	proj    := * | col (',' col)*
@@ -32,12 +32,22 @@
 // multiple queries over disjoint attribute ranges"). Projections return a
 // *flood.Rows cursor via Statement.Select.
 //
+// LIMIT n applies to projections only (an aggregate always yields one row)
+// and n must be a positive integer — LIMIT 0 and negative limits are
+// rejected at parse time with a positioned error. The limit is pushed down
+// into the scan kernel, not applied to a materialized result: execution
+// stops after the n-th matching row, and with an OR predicate the budget is
+// shared across the disjoint pieces so at most n rows are gathered in
+// total. RunContext and SelectContext run statements under a caller's
+// context for cancellation and deadlines.
+//
 // Parse errors carry the byte offset and the offending token:
 //
 //	floodsql: at byte 34 near "BETWEEEN": expected comparison operator
 package floodsql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -64,8 +74,11 @@ type Statement struct {
 	// set is the union of these hyper-rectangles. An empty slice means
 	// no WHERE clause (match everything).
 	Disjuncts []flood.Query
-	nDims     int
-	schema    *flood.Schema // non-nil for ParseTyped statements
+	// Limit is the LIMIT clause's row count (0 = no LIMIT). Select pushes
+	// it down into the scan, stopping execution after the Limit-th match.
+	Limit  int
+	nDims  int
+	schema *flood.Schema // non-nil for ParseTyped statements
 }
 
 // Parse compiles a SQL string against tbl's raw int64 schema. Only integer
@@ -92,29 +105,49 @@ func (p *parser) run() (*Statement, error) {
 	return st, nil
 }
 
+// aggregator constructs the statement's aggregator, or errors for
+// projection statements (which execute via Select).
+func (s *Statement) aggregator() (flood.Aggregator, error) {
+	switch s.Agg {
+	case "count":
+		return flood.NewCount(), nil
+	case "sum":
+		return flood.NewSum(s.AggCol), nil
+	case "min":
+		return flood.NewMin(s.AggCol), nil
+	case "max":
+		return flood.NewMax(s.AggCol), nil
+	case "select":
+		return nil, fmt.Errorf("floodsql: projection statements execute via Select, not Run")
+	default:
+		return nil, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
+	}
+}
+
 // Run executes an aggregation statement against any index built over the
 // same table, returning the result in the physical int64 domain (SUM/MIN/MAX
 // over a decimal-scaled float column return the scaled integer — use
 // RunTyped for the decoded logical value). Projection statements must run
 // through Select instead.
 func (s *Statement) Run(idx flood.Index) (int64, flood.Stats, error) {
-	var agg flood.Aggregator
-	switch s.Agg {
-	case "count":
-		agg = flood.NewCount()
-	case "sum":
-		agg = flood.NewSum(s.AggCol)
-	case "min":
-		agg = flood.NewMin(s.AggCol)
-	case "max":
-		agg = flood.NewMax(s.AggCol)
-	case "select":
-		return 0, flood.Stats{}, fmt.Errorf("floodsql: projection statements execute via Select, not Run")
-	default:
-		return 0, flood.Stats{}, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
+	agg, err := s.aggregator()
+	if err != nil {
+		return 0, flood.Stats{}, err
 	}
 	st := flood.ExecuteOr(idx, s.queries(), agg)
 	return agg.Result(), st, nil
+}
+
+// RunContext is Run under ctx: a canceled context or expired deadline stops
+// execution cooperatively, returning the partial aggregate and Stats with
+// flood.ErrCanceled.
+func (s *Statement) RunContext(ctx context.Context, idx flood.Index) (int64, flood.Stats, error) {
+	agg, err := s.aggregator()
+	if err != nil {
+		return 0, flood.Stats{}, err
+	}
+	st, err := flood.ExecuteOrContext(ctx, idx, s.queries(), agg)
+	return agg.Result(), st, err
 }
 
 // RunTyped executes an aggregation like Run and decodes the result into the
@@ -140,15 +173,24 @@ func (s *Statement) RunTyped(idx flood.Index) (any, flood.Stats, error) {
 // Select executes a projection statement against any index built over the
 // same table, returning a typed row cursor (close it when done). The
 // statement must come from ParseTyped so results decode through the schema.
+// A LIMIT clause rides the scan-level pushdown: execution stops after the
+// limit-th matching row instead of truncating a materialized result.
 func (s *Statement) Select(idx flood.Index) (*flood.Rows, flood.Stats, error) {
+	return s.SelectContext(context.Background(), idx)
+}
+
+// SelectContext is Select under ctx: cancellation and deadlines stop the
+// scan cooperatively (the rows gathered so far return with
+// flood.ErrCanceled), and the statement's LIMIT is pushed down into the
+// scan kernel, its budget shared across the disjoint pieces of an OR.
+func (s *Statement) SelectContext(ctx context.Context, idx flood.Index) (*flood.Rows, flood.Stats, error) {
 	if s.Agg != "select" {
 		return nil, flood.Stats{}, fmt.Errorf("floodsql: aggregation statements execute via Run, not Select")
 	}
 	if s.schema == nil {
 		return nil, flood.Stats{}, fmt.Errorf("floodsql: projection needs a typed schema; parse with ParseTyped")
 	}
-	rows, st := s.schema.SelectOr(idx, s.queries(), s.Projection...)
-	return rows, st, nil
+	return s.schema.SelectOrContext(ctx, idx, s.queries(), &flood.QueryOptions{Limit: s.Limit}, s.Projection...)
 }
 
 // queries returns the DNF rectangles, or one unfiltered query when there is
@@ -316,18 +358,55 @@ func (p *parser) statement() (*Statement, error) {
 	if p.lex.tok.kind == tokEOF && p.lex.err == nil {
 		return st, nil
 	}
-	if err := p.keyword("WHERE"); err != nil {
-		return nil, err
+	if p.isKeyword("WHERE") {
+		p.lex.next()
+		dnf, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Disjuncts = dnf
+	} else if !p.isKeyword("LIMIT") {
+		return nil, p.errAt(p.lex.tok, "expected WHERE")
 	}
-	dnf, err := p.orExpr()
-	if err != nil {
-		return nil, err
+	if p.isKeyword("LIMIT") {
+		if err := p.limitClause(st); err != nil {
+			return nil, err
+		}
 	}
 	if p.lex.tok.kind != tokEOF || p.lex.err != nil {
 		return nil, p.errAt(p.lex.tok, "unexpected trailing input")
 	}
-	st.Disjuncts = dnf
 	return st, nil
+}
+
+// limitClause parses `LIMIT n`. The count must be a positive integer —
+// LIMIT 0 would make every statement a no-op and a negative limit has no
+// meaning, so both are rejected where they appear — and the clause only
+// attaches to projections: an aggregate produces a single row, so a LIMIT
+// there is almost certainly a misplaced intent to bound the scan.
+func (p *parser) limitClause(st *Statement) error {
+	limTok := p.lex.tok
+	p.lex.next()
+	numTok := p.lex.tok
+	if numTok.kind != tokNumber || strings.Contains(numTok.text, ".") {
+		return p.errAt(numTok, "LIMIT needs an integer row count")
+	}
+	n, err := strconv.ParseInt(strings.ReplaceAll(numTok.text, "_", ""), 10, 64)
+	if err != nil {
+		return p.errAt(numTok, "bad LIMIT count: %v", err)
+	}
+	if n <= 0 {
+		return p.errAt(numTok, "LIMIT must be positive, got %d", n)
+	}
+	if n > int64(^uint(0)>>1) {
+		return p.errAt(numTok, "LIMIT %d overflows", n)
+	}
+	if st.Agg != "select" {
+		return p.errAt(limTok, "LIMIT applies to projections, not aggregates")
+	}
+	p.lex.next()
+	st.Limit = int(n)
+	return nil
 }
 
 // target parses the SELECT list: an aggregate call, *, or a column list.

@@ -1,6 +1,8 @@
 package floodsql
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -602,5 +604,129 @@ func TestRunTypedEmptyExtremumIsNil(t *testing.T) {
 	}
 	if got, _, _ := st.RunTyped(idx); got != nil {
 		t.Fatalf("empty MIN decoded to %v, want nil", got)
+	}
+}
+
+// TestLimitParse pins the LIMIT grammar: valid limits parse, and zero,
+// negative, fractional, and misplaced limits fail with positioned errors.
+func TestLimitParse(t *testing.T) {
+	s, _, _, _, _ := typedFixture(t)
+	cases := []struct {
+		sql     string
+		limit   int
+		wantErr string
+	}{
+		{"SELECT city FROM t WHERE fare > 10 LIMIT 5", 5, ""},
+		{"SELECT city, fare FROM t LIMIT 3", 3, ""},
+		{"SELECT * FROM t LIMIT 1", 1, ""},
+		{"SELECT city FROM t WHERE fare > 10", 0, ""},
+		{"SELECT city FROM t LIMIT 0", 0, `at byte 25 near "0": LIMIT must be positive`},
+		{"SELECT city FROM t LIMIT -3", 0, `at byte 25 near "-3": LIMIT must be positive`},
+		{"SELECT city FROM t LIMIT 2.5", 0, "LIMIT needs an integer row count"},
+		{"SELECT city FROM t LIMIT", 0, "LIMIT needs an integer row count"},
+		{"SELECT city FROM t LIMIT five", 0, "LIMIT needs an integer row count"},
+		{"SELECT COUNT(*) FROM t LIMIT 5", 0, "LIMIT applies to projections, not aggregates"},
+		{"SELECT city FROM t LIMIT 5 garbage", 0, "unexpected trailing input"},
+	}
+	for _, tc := range cases {
+		st, err := ParseTyped(tc.sql, s)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.sql, err)
+			}
+			if st.Limit != tc.limit {
+				t.Fatalf("%s: Limit = %d, want %d", tc.sql, st.Limit, tc.limit)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error = %v, want containing %q", tc.sql, err, tc.wantErr)
+		}
+	}
+}
+
+// TestLimitPushdownSelect pins that a SQL LIMIT stops the scan early: the
+// limited select returns exactly n rows and scans strictly fewer points
+// than the unlimited statement, including across OR pieces (one shared
+// budget) and on a statement with no WHERE clause.
+func TestLimitPushdownSelect(t *testing.T) {
+	s, idx, city, _, _ := typedFixture(t)
+	nycTotal := 0
+	for _, c := range city {
+		if c == "nyc" {
+			nycTotal++
+		}
+	}
+	full, err := ParseTyped("SELECT city FROM t WHERE city = 'nyc'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, fullSt, err := full.Select(idx)
+	if err != nil || rows.Len() != nycTotal {
+		t.Fatalf("unlimited select = %d rows (err %v), want %d", rows.Len(), err, nycTotal)
+	}
+	rows.Close()
+
+	lim, err := ParseTyped("SELECT city FROM t WHERE city = 'nyc' LIMIT 4", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, limSt, err := lim.Select(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 4 {
+		t.Fatalf("LIMIT 4 returned %d rows", rows.Len())
+	}
+	for rows.Next() {
+		if rows.String(0) != "nyc" {
+			t.Fatalf("limited row decoded %q", rows.String(0))
+		}
+	}
+	rows.Close()
+	if limSt.Scanned >= fullSt.Scanned {
+		t.Fatalf("LIMIT 4 scanned %d points, not fewer than unlimited %d", limSt.Scanned, fullSt.Scanned)
+	}
+
+	orStmt, err := ParseTyped("SELECT city FROM t WHERE city = 'nyc' OR city = 'boston' LIMIT 6", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err = orStmt.Select(idx)
+	if err != nil || rows.Len() != 6 {
+		t.Fatalf("OR LIMIT 6 returned %d rows (err %v)", rows.Len(), err)
+	}
+	rows.Close()
+
+	noWhere, err := ParseTyped("SELECT city FROM t LIMIT 2", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, st, err := noWhere.Select(idx)
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("no-WHERE LIMIT 2 returned %d rows (err %v)", rows.Len(), err)
+	}
+	if st.Scanned > 2 {
+		t.Fatalf("no-WHERE LIMIT 2 scanned %d points, want at most 2", st.Scanned)
+	}
+	rows.Close()
+}
+
+// TestRunContextCanceled pins RunContext: a canceled context stops an
+// aggregation with flood.ErrCanceled and partial stats.
+func TestRunContextCanceled(t *testing.T) {
+	tbl, _ := testTable(t)
+	idx := testIndex(t, tbl)
+	st, err := Parse("SELECT COUNT(*) FROM t WHERE qty >= 0", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, stats, err := st.RunContext(ctx, idx); !errors.Is(err, flood.ErrCanceled) || stats.Scanned != 0 {
+		t.Fatalf("canceled RunContext = (%d scanned, %v), want (0, ErrCanceled)", stats.Scanned, err)
+	}
+	if v, _, err := st.RunContext(context.Background(), idx); err != nil || v != int64(tbl.NumRows()) {
+		t.Fatalf("background RunContext = (%d, %v)", v, err)
 	}
 }

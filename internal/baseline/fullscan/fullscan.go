@@ -3,6 +3,7 @@
 package fullscan
 
 import (
+	"context"
 	"time"
 
 	"flood/internal/colstore"
@@ -29,6 +30,18 @@ func (x *Index) Table() *colstore.Table { return x.t }
 
 // Execute implements query.Index.
 func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	return x.ExecuteControl(nil, q, agg)
+}
+
+// ExecuteContext implements query.Index: Execute under ctx's cancellation,
+// stopping at block-group boundaries inside the scan kernel.
+func (x *Index) ExecuteContext(ctx context.Context, q query.Query, agg query.Aggregator) (query.Stats, error) {
+	return query.RunContext(ctx, q, agg, x.ExecuteControl)
+}
+
+// ExecuteControl implements query.ControlIndex: Execute threaded with an
+// externally owned execution control (nil scans unconditionally).
+func (x *Index) ExecuteControl(ctl *query.Control, q query.Query, agg query.Aggregator) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
 	if q.Empty() {
@@ -36,6 +49,7 @@ func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
 		return st
 	}
 	sc := query.NewScanner(x.t)
+	sc.SetControl(ctl)
 	s, m := sc.ScanRange(q, q.FilteredDims(), 0, x.t.NumRows(), agg)
 	st.Scanned, st.Matched = s, m
 	st.ScanTime = time.Since(t0)

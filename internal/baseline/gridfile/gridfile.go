@@ -11,6 +11,7 @@
 package gridfile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -335,6 +336,19 @@ func (x *Index) NumBuckets() int { return x.numBuckets }
 // rectangle, dedupe their buckets, and scan each bucket fully (points in a
 // bucket are unsorted, so the whole bucket must be checked).
 func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	return x.ExecuteControl(nil, q, agg)
+}
+
+// ExecuteContext implements query.Index: Execute under ctx's cancellation,
+// stopping between buckets and at block-group boundaries inside the scan
+// kernel.
+func (x *Index) ExecuteContext(ctx context.Context, q query.Query, agg query.Aggregator) (query.Stats, error) {
+	return query.RunContext(ctx, q, agg, x.ExecuteControl)
+}
+
+// ExecuteControl implements query.ControlIndex: Execute threaded with an
+// externally owned execution control (nil scans unconditionally).
+func (x *Index) ExecuteControl(ctl *query.Control, q query.Query, agg query.Aggregator) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
 	if q.Empty() || x.t.NumRows() == 0 {
@@ -385,7 +399,11 @@ func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
 
 	dims := q.FilteredDims()
 	sc := query.NewScanner(x.t)
+	sc.SetControl(ctl)
 	for _, bu := range order {
+		if ctl.Stopped() {
+			break
+		}
 		st.CellsVisited++
 		s, m := sc.ScanRange(q, dims, int(x.bucketStart[bu]), int(x.bucketStart[bu+1]), agg)
 		st.Scanned += s

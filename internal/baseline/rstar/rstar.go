@@ -7,6 +7,7 @@
 package rstar
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -183,6 +184,19 @@ func (x *Index) Table() *colstore.Table { return x.t }
 
 // Execute implements query.Index.
 func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	return x.ExecuteControl(nil, q, agg)
+}
+
+// ExecuteContext implements query.Index: Execute under ctx's cancellation,
+// stopping between leaf spans and at block-group boundaries inside the
+// scan kernel.
+func (x *Index) ExecuteContext(ctx context.Context, q query.Query, agg query.Aggregator) (query.Stats, error) {
+	return query.RunContext(ctx, q, agg, x.ExecuteControl)
+}
+
+// ExecuteControl implements query.ControlIndex: Execute threaded with an
+// externally owned execution control (nil scans unconditionally).
+func (x *Index) ExecuteControl(ctl *query.Control, q query.Query, agg query.Aggregator) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
 	if q.Empty() || x.t.NumRows() == 0 {
@@ -220,7 +234,11 @@ func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
 	st.IndexTime = t1.Sub(t0)
 
 	sc := query.NewScanner(x.t)
+	sc.SetControl(ctl)
 	for _, sp := range spans {
+		if ctl.Stopped() {
+			break
+		}
 		if sp.exact {
 			s, m := sc.ScanExactRange(int(sp.start), int(sp.end), agg)
 			st.Scanned += s

@@ -7,6 +7,7 @@
 package ubtree
 
 import (
+	"context"
 	"time"
 
 	"flood/internal/baseline/zbase"
@@ -40,6 +41,18 @@ func (x *Index) Table() *colstore.Table { return x.b.T }
 
 // Execute implements query.Index.
 func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	return x.ExecuteControl(nil, q, agg)
+}
+
+// ExecuteContext implements query.Index: Execute under ctx's cancellation,
+// polled every ~1K rows of the BIGMIN walk.
+func (x *Index) ExecuteContext(ctx context.Context, q query.Query, agg query.Aggregator) (query.Stats, error) {
+	return query.RunContext(ctx, q, agg, x.ExecuteControl)
+}
+
+// ExecuteControl implements query.ControlIndex: Execute threaded with an
+// externally owned execution control (nil scans unconditionally).
+func (x *Index) ExecuteControl(ctl *query.Control, q query.Query, agg query.Aggregator) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
 	lo, hi, ok := x.b.QuantizedRect(q)
@@ -70,6 +83,9 @@ func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
 	var skipTarget uint64
 	haveSkip := false
 	for row < endRow && row < n {
+		if ctl != nil && st.Scanned&1023 == 0 && ctl.Check() {
+			break
+		}
 		st.Scanned++
 		inRect := true
 		for i, d := range x.b.Dims {
@@ -81,6 +97,9 @@ func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
 		}
 		if inRect {
 			if x.matchesResidual(q, dims, row) {
+				if ctl.Take(1) == 0 {
+					break // limit budget exhausted
+				}
 				agg.Add(x.b.T, row)
 				st.Matched++
 			}

@@ -6,6 +6,7 @@
 package zorder
 
 import (
+	"context"
 	"time"
 
 	"flood/internal/baseline/zbase"
@@ -66,6 +67,18 @@ func (x *Index) Table() *colstore.Table { return x.b.T }
 
 // Execute implements query.Index.
 func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
+	return x.ExecuteControl(nil, q, agg)
+}
+
+// ExecuteContext implements query.Index: Execute under ctx's cancellation,
+// stopping between pages and at block-group boundaries inside the kernel.
+func (x *Index) ExecuteContext(ctx context.Context, q query.Query, agg query.Aggregator) (query.Stats, error) {
+	return query.RunContext(ctx, q, agg, x.ExecuteControl)
+}
+
+// ExecuteControl implements query.ControlIndex: Execute threaded with an
+// externally owned execution control (nil scans unconditionally).
+func (x *Index) ExecuteControl(ctl *query.Control, q query.Query, agg query.Aggregator) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
 	lo, hi, ok := x.b.QuantizedRect(q)
@@ -82,7 +95,11 @@ func (x *Index) Execute(q query.Query, agg query.Aggregator) query.Stats {
 
 	dims := q.FilteredDims()
 	sc := query.NewScanner(x.b.T)
+	sc.SetControl(ctl)
 	for p := pStart; p <= pEnd; p++ {
+		if ctl.Stopped() {
+			break
+		}
 		// Scan a page only when the rectangle formed by its min/max
 		// values intersects the query rectangle.
 		if !x.pageIntersects(p, q) {

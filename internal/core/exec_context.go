@@ -1,0 +1,81 @@
+// Context-aware execution entry points. Cancellation is cooperative and
+// cheap: the sequential scan kernel polls the control every few blocks, and
+// the morsel engine checks it at every morsel-claim boundary, so a canceled
+// query stops within about a thousand rows (sequential) or one morsel
+// (parallel) while the unconditioned paths stay untouched — a background
+// context derives a nil control and executes exactly like Execute, with
+// zero extra allocations.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"flood/internal/query"
+)
+
+// ExecuteContext is Execute under ctx: execution stops cooperatively once
+// ctx is canceled or its deadline passes, returning the partial Stats (rows
+// seen before the stop) together with query.ErrCanceled. An already-expired
+// context returns promptly without scanning. With a background (never
+// canceled) context the call is identical to Execute, allocation for
+// allocation.
+func (f *Flood) ExecuteContext(ctx context.Context, q query.Query, agg query.Aggregator) (query.Stats, error) {
+	if ctx.Err() != nil {
+		return query.Stats{}, query.ErrCanceled
+	}
+	ctl := query.GetControl(ctx.Done(), 0, time.Time{})
+	st := f.execute(q, agg, 0, ctl, 0)
+	err := ctl.Finish()
+	ctl.Release()
+	return st, err
+}
+
+// ExecuteControl is Execute threaded with an externally owned control, the
+// building block composite indexes (delta buffers, the adaptive facade) and
+// disjunction execution use to share one cancellation signal and one limit
+// budget across several scans. cutover overrides the index's parallel
+// cutover for this query (0 keeps the default, negative pins it
+// sequential). A nil control with cutover 0 is identical to Execute. The
+// caller owns the control's lifecycle: Release it only after every
+// execution threading it has returned.
+func (f *Flood) ExecuteControl(ctl *query.Control, q query.Query, agg query.Aggregator, cutover int) query.Stats {
+	return f.execute(q, agg, 0, ctl, cutover)
+}
+
+// ExecuteSequentialControl is ExecuteSequential threaded with an externally
+// owned control — the per-query building block of the context-aware batched
+// serving paths.
+func (f *Flood) ExecuteSequentialControl(ctl *query.Control, q query.Query, agg query.Aggregator) query.Stats {
+	return f.execute(q, agg, 1, ctl, 0)
+}
+
+// ExecuteBatchContext is ExecuteBatch under ctx: one cancellation stops
+// every query in the batch. Queries not yet started when the stop lands are
+// skipped (their Stats stay zero); queries mid-scan stop at their next
+// block-group boundary. The partial per-query stats are returned together
+// with query.ErrCanceled.
+func (f *Flood) ExecuteBatchContext(ctx context.Context, queries []query.Query, aggs []query.Aggregator) ([]query.Stats, error) {
+	if ctx.Err() != nil {
+		return make([]query.Stats, len(queries)), query.ErrCanceled
+	}
+	ctl := query.GetControl(ctx.Done(), 0, time.Time{})
+	if ctl == nil {
+		return f.ExecuteBatch(queries, aggs), nil
+	}
+	if len(queries) != len(aggs) {
+		ctl.Release()
+		panic(fmt.Sprintf("core: ExecuteBatch got %d queries but %d aggregators", len(queries), len(aggs)))
+	}
+	stats := make([]query.Stats, len(queries))
+	RunBatch(len(queries), func(i int) {
+		if ctl.Stopped() {
+			return
+		}
+		stats[i] = f.execute(queries[i], aggs[i], 1, ctl, 0)
+	})
+	err := ctl.Finish()
+	ctl.Release()
+	return stats, err
+}

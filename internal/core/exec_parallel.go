@@ -229,6 +229,7 @@ func maskDims(mask uint64, buf []int) []int {
 type morselJob struct {
 	f                       *Flood
 	q                       query.Query
+	ctl                     *query.Control // nil: unconditioned scan
 	morsels                 []morsel
 	cursor                  atomic.Int64
 	wg                      sync.WaitGroup
@@ -260,8 +261,16 @@ func (j *morselJob) run() {
 		if i >= len(j.morsels) {
 			break
 		}
+		if j.ctl.Stopped() {
+			// Cancellation/limit stop: keep claiming so the morsel count
+			// drains (wg.Wait depends on it), but skip the scan work. The
+			// job finishes in O(remaining morsels) atomic adds.
+			done++
+			continue
+		}
 		if sc == nil {
 			sc = query.GetScanner(j.f.t)
+			sc.SetControl(j.ctl)
 			// Clone under the job lock: another worker may be Merge-ing
 			// into j.agg right now, and a user-supplied Mergeable is free
 			// to read state in CloneEmpty that Merge mutates.
@@ -286,16 +295,17 @@ func (j *morselJob) run() {
 		}
 		done++
 	}
-	if sc == nil {
-		return
+	// A worker that only drained stopped claims has no scanner or partial
+	// aggregate to fold in, but must still release its claimed morsels.
+	if sc != nil {
+		sc.Release()
+		j.mu.Lock()
+		j.agg.Merge(agg)
+		j.scanned += st.Scanned
+		j.matched += st.Matched
+		j.exact += st.ExactMatched
+		j.mu.Unlock()
 	}
-	sc.Release()
-	j.mu.Lock()
-	j.agg.Merge(agg)
-	j.scanned += st.Scanned
-	j.matched += st.Matched
-	j.exact += st.ExactMatched
-	j.mu.Unlock()
 	j.wg.Add(-done)
 }
 
@@ -304,16 +314,16 @@ func (j *morselJob) run() {
 // exact row count of ranges (already computed by the caller); workers <= 0
 // uses GOMAXPROCS. Falls back to the sequential kernel when the work does
 // not split.
-func (f *Flood) scanParallel(q query.Query, ranges []scanRange, agg query.Mergeable, st *query.Stats, workers, est int, es *execScratch) {
+func (f *Flood) scanParallel(q query.Query, ranges []scanRange, agg query.Mergeable, st *query.Stats, workers, est int, es *execScratch, ctl *query.Control) {
 	if workers <= 0 {
 		workers = maxWorkers()
 	}
 	es.morsels = appendMorsels(es.morsels[:0], ranges, morselTarget(est, workers))
 	if len(es.morsels) <= 1 || workers == 1 {
-		f.scan(q, ranges, agg, st)
+		f.scan(q, ranges, agg, st, ctl)
 		return
 	}
-	j := &morselJob{f: f, q: q, morsels: es.morsels, agg: agg}
+	j := &morselJob{f: f, q: q, ctl: ctl, morsels: es.morsels, agg: agg}
 	j.wg.Add(len(j.morsels))
 	helpers := workers - 1
 	if helpers > len(j.morsels)-1 {
@@ -339,7 +349,7 @@ func (f *Flood) ExecuteParallel(q query.Query, agg query.Mergeable, workers int)
 	if workers <= 0 {
 		workers = maxWorkers()
 	}
-	return f.execute(q, agg, workers)
+	return f.execute(q, agg, workers, nil, 0)
 }
 
 // ExecuteSequential is Execute pinned to the sequential scan path, whatever
@@ -347,7 +357,7 @@ func (f *Flood) ExecuteParallel(q query.Query, agg query.Mergeable, workers int)
 // of the batched serving paths (this package's ExecuteBatch and the delta
 // index's), which supply parallelism across queries instead of within them.
 func (f *Flood) ExecuteSequential(q query.Query, agg query.Aggregator) query.Stats {
-	return f.execute(q, agg, 1)
+	return f.execute(q, agg, 1, nil, 0)
 }
 
 // ExecuteBatch executes queries[i] into aggs[i] and returns per-query stats.
@@ -363,7 +373,7 @@ func (f *Flood) ExecuteBatch(queries []query.Query, aggs []query.Aggregator) []q
 	}
 	stats := make([]query.Stats, len(queries))
 	RunBatch(len(queries), func(i int) {
-		stats[i] = f.execute(queries[i], aggs[i], 1)
+		stats[i] = f.execute(queries[i], aggs[i], 1, nil, 0)
 	})
 	return stats
 }

@@ -328,17 +328,21 @@ func (f *Flood) SizeBytes() int64 {
 // pool instead (see exec_parallel.go); results and scan counters are
 // identical either way.
 func (f *Flood) Execute(q query.Query, agg query.Aggregator) query.Stats {
-	return f.execute(q, agg, 0)
+	return f.execute(q, agg, 0, nil, 0)
 }
 
-// execute is the shared body of Execute, ExecuteParallel, and ExecuteBatch.
-// workers selects the scan strategy: 0 is adaptive (sequential below the
-// cutover, GOMAXPROCS workers above it), 1 forces the sequential path, and
-// n > 1 forces the morsel engine with n workers.
-func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int) query.Stats {
+// execute is the shared body of Execute, ExecuteParallel, ExecuteBatch, and
+// the context-aware entry points. workers selects the scan strategy: 0 is
+// adaptive (sequential below the cutover, GOMAXPROCS workers above it), 1
+// forces the sequential path, and n > 1 forces the morsel engine with n
+// workers. ctl, when non-nil, threads cancellation and the shared limit
+// budget into the scan phase. cutover overrides the index's parallel
+// cutover for this query (0 keeps the index default, negative pins the
+// query sequential).
+func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int, ctl *query.Control, cutover int) query.Stats {
 	var st query.Stats
 	t0 := time.Now()
-	if q.Empty() || f.t.NumRows() == 0 {
+	if q.Empty() || f.t.NumRows() == 0 || ctl.Stopped() {
 		st.Total = time.Since(t0)
 		return st
 	}
@@ -346,6 +350,15 @@ func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int) query.
 	ranges := f.project(q, es, &st)
 	t1 := time.Now()
 	st.ProjectTime = t1.Sub(t0)
+
+	// Resolve the cost-based cutover, honoring a per-query override.
+	cut := f.parallelCutover
+	switch {
+	case cutover > 0:
+		cut = cutover
+	case cutover < 0:
+		cut = math.MaxInt
+	}
 
 	// Pre-refinement row count: an upper bound on the scan volume, free to
 	// compute. Refinement probes fan out only when the query is allowed to
@@ -360,7 +373,7 @@ func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int) query.
 		for i := range ranges {
 			preEst += int(ranges[i].end - ranges[i].start)
 		}
-		refineParallel = preEst >= f.parallelCutover
+		refineParallel = preEst >= cut
 	}
 	f.refine(q, ranges, &st, refineParallel)
 	t2 := time.Now()
@@ -368,16 +381,16 @@ func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int) query.
 	st.IndexTime = st.ProjectTime + st.RefineTime
 
 	if workers == 1 || !mergeable {
-		f.scan(q, ranges, agg, &st)
+		f.scan(q, ranges, agg, &st, ctl)
 	} else {
 		est := 0
 		for i := range ranges {
 			est += int(ranges[i].end - ranges[i].start)
 		}
-		if workers == 0 && (est < f.parallelCutover || maxWorkers() <= 1) {
-			f.scan(q, ranges, agg, &st)
+		if workers == 0 && (est < cut || maxWorkers() <= 1) {
+			f.scan(q, ranges, agg, &st, ctl)
 		} else {
-			f.scanParallel(q, ranges, m, &st, workers, est, es)
+			f.scanParallel(q, ranges, m, &st, workers, est, es, ctl)
 		}
 	}
 	es.ranges = ranges[:0]
@@ -543,9 +556,12 @@ func (f *Flood) refineRanges(q query.Query, ranges []scanRange) {
 }
 
 // scan implements §3.2 step 3: visit every refined physical range, using
-// exact-range fast paths when no residual filters remain.
-func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st *query.Stats) {
+// exact-range fast paths when no residual filters remain. ctl, when
+// non-nil, is polled between ranges (and inside the scan kernel) so a
+// cancellation or satisfied limit stops the walk early.
+func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st *query.Stats, ctl *query.Control) {
 	sc := query.GetScanner(f.t)
+	sc.SetControl(ctl)
 	var dimsBuf [64]int
 	dims := dimsBuf[:0]
 	var lastMask uint64
@@ -553,6 +569,9 @@ func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st
 	for _, rg := range ranges {
 		if rg.start >= rg.end {
 			continue
+		}
+		if ctl.Stopped() {
+			break
 		}
 		if rg.mask == 0 {
 			s, m := sc.ScanExactRange(int(rg.start), int(rg.end), agg)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -149,7 +150,16 @@ type scanIndex struct{ t *colstore.Table }
 func (s *scanIndex) Name() string     { return "scan" }
 func (s *scanIndex) SizeBytes() int64 { return 0 }
 func (s *scanIndex) Execute(q Query, agg Aggregator) Stats {
+	return s.ExecuteControl(nil, q, agg)
+}
+
+func (s *scanIndex) ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error) {
+	return RunContext(ctx, q, agg, s.ExecuteControl)
+}
+
+func (s *scanIndex) ExecuteControl(ctl *Control, q Query, agg Aggregator) Stats {
 	sc := NewScanner(s.t)
+	sc.SetControl(ctl)
 	scanned, matched := sc.ScanRange(q, q.FilteredDims(), 0, s.t.NumRows(), agg)
 	return Stats{Scanned: scanned, Matched: matched}
 }
@@ -168,6 +178,13 @@ func (s *batchScanIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stat
 		stats[i] = s.Execute(q, aggs[i])
 	}
 	return stats
+}
+
+func (s *batchScanIndex) ExecuteBatchContext(ctx context.Context, queries []Query, aggs []Aggregator) ([]Stats, error) {
+	if ctx.Err() != nil {
+		return make([]Stats, len(queries)), ErrCanceled
+	}
+	return s.ExecuteBatch(queries, aggs), nil
 }
 
 // TestExecuteDisjunctionBatchedRoute checks that a BatchIndex + Mergeable

@@ -1,6 +1,9 @@
 package query
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Stats instruments one query execution. The fields follow the performance
 // breakdown of Table 2 in the paper.
@@ -60,10 +63,28 @@ func (s *Stats) Add(o Stats) {
 // hyper-rectangle predicate, feeding matching rows to agg, and report
 // instrumentation. SizeBytes covers index metadata only (not the stored
 // data), matching the index-size axis of Fig. 8.
+//
+// ExecuteContext is Execute under the caller's context: execution stops
+// cooperatively (at block-group and morsel boundaries) once the context is
+// canceled or its deadline passes, returning the partial Stats together
+// with ErrCanceled. An already-expired context returns promptly without
+// scanning. ExecuteContext(context.Background(), q, agg) behaves exactly
+// like Execute.
 type Index interface {
 	Name() string
 	Execute(q Query, agg Aggregator) Stats
+	ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error)
 	SizeBytes() int64
+}
+
+// ControlIndex is implemented by indexes whose execution can thread an
+// externally owned Control, so one cancellation signal and one shared LIMIT
+// budget span several executions (the disjoint pieces of an OR, the base
+// and delta scans of a composite index). ExecuteControl with a nil control
+// is identical to Execute.
+type ControlIndex interface {
+	Index
+	ExecuteControl(ctl *Control, q Query, agg Aggregator) Stats
 }
 
 // BatchIndex is implemented by indexes that can execute many queries in one
@@ -72,7 +93,13 @@ type Index interface {
 // per-query stats; results are identical to executing the queries one by
 // one. ExecuteDisjunction routes multi-rectangle queries through this
 // interface when the index offers it.
+//
+// ExecuteBatchContext is ExecuteBatch under the caller's context: one
+// cancellation stops every query in the batch, queries not yet started are
+// skipped (their Stats stay zero), and the partial per-query stats are
+// returned with ErrCanceled.
 type BatchIndex interface {
 	Index
 	ExecuteBatch(queries []Query, aggs []Aggregator) []Stats
+	ExecuteBatchContext(ctx context.Context, queries []Query, aggs []Aggregator) ([]Stats, error)
 }

@@ -1,6 +1,7 @@
 package flood
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -91,12 +92,23 @@ func (r *Rows) finalize() {
 	r.Reset()
 }
 
-// Len returns the number of matched rows.
-func (r *Rows) Len() int { return r.rc.Len() }
+// Len returns the number of matched rows (0 once the cursor is closed).
+func (r *Rows) Len() int {
+	if r.closed {
+		return 0
+	}
+	return r.rc.Len()
+}
 
-// Columns returns the projected column names in accessor order. The slice is
-// owned by the cursor; do not retain it past Close.
-func (r *Rows) Columns() []string { return r.names }
+// Columns returns the projected column names in accessor order (nil once
+// the cursor is closed). The slice is owned by the cursor; do not retain it
+// past Close.
+func (r *Rows) Columns() []string {
+	if r.closed {
+		return nil
+	}
+	return r.names
+}
 
 // Reset rewinds the cursor so the result set can be iterated again.
 func (r *Rows) Reset() {
@@ -105,11 +117,16 @@ func (r *Rows) Reset() {
 	r.curStart, r.curEnd = 0, 0
 }
 
-// Next advances to the next row, reporting whether one exists.
+// Next advances to the next row, reporting whether one exists. Calling Next
+// on a closed cursor returns false without touching the pooled buffers.
 func (r *Rows) Next() bool {
+	if r.closed {
+		return false
+	}
 	ids := r.rc.IDs()
 	r.pos++
 	if r.pos >= len(ids) {
+		r.cur = nil // park accessors on the zero-value path past the end
 		return false
 	}
 	id := ids[r.pos]
@@ -132,8 +149,20 @@ func (r *Rows) seek(id int64) {
 }
 
 // RowID returns the current row's global physical id (base rows first, then
-// delta/insert-log rows) — useful for debugging storage locality.
-func (r *Rows) RowID() int64 { return r.curID }
+// delta/insert-log rows) — useful for debugging storage locality. It is 0
+// when the cursor is not positioned on a row.
+func (r *Rows) RowID() int64 {
+	if !r.valid() {
+		return 0
+	}
+	return r.curID
+}
+
+// valid reports whether the cursor is positioned on a live row. It is false
+// before the first Next, after Next has returned false, and after Close —
+// in those states every accessor returns its zero value deterministically
+// instead of reading pooled (possibly re-owned) memory.
+func (r *Rows) valid() bool { return !r.closed && r.cur != nil }
 
 // raw returns the stored int64 of projection position j for the current row.
 func (r *Rows) raw(j int) int64 {
@@ -142,33 +171,53 @@ func (r *Rows) raw(j int) int64 {
 
 // Int64 returns projection position j of the current row as a raw int64
 // (valid for every column kind; non-integer kinds return their encoded
-// physical value).
-func (r *Rows) Int64(j int) int64 { return r.raw(j) }
+// physical value). It is 0 when the cursor is not positioned on a row
+// (before the first Next, after the last, or after Close).
+func (r *Rows) Int64(j int) int64 {
+	if !r.valid() {
+		return 0
+	}
+	return r.raw(j)
+}
 
 // Float64 returns projection position j as a float; the column must be a
-// schema Float64 column.
+// schema Float64 column. It is 0 when the cursor is not positioned on a row.
 func (r *Rows) Float64(j int) float64 {
+	if !r.valid() {
+		return 0
+	}
 	f := r.mustField(j, KindFloat64)
 	return f.scaler.Decode(r.raw(j))
 }
 
 // String returns projection position j as a string; the column must be a
-// schema String column.
+// schema String column. It is "" when the cursor is not positioned on a row.
 func (r *Rows) String(j int) string {
+	if !r.valid() {
+		return ""
+	}
 	f := r.mustField(j, KindString)
 	return f.dict.Value(r.raw(j))
 }
 
 // Time returns projection position j as a timestamp; the column must be a
-// schema Time column.
+// schema Time column. It is the zero time when the cursor is not positioned
+// on a row.
 func (r *Rows) Time(j int) time.Time {
+	if !r.valid() {
+		return time.Time{}
+	}
 	f := r.mustField(j, KindTime)
 	return f.tcodec.Decode(r.raw(j))
 }
 
 // Value returns projection position j decoded to its logical type (int64,
-// float64, string, or time.Time) — raw int64 when no schema is attached.
+// float64, string, or time.Time) — raw int64 when no schema is attached. It
+// is nil when the cursor is not positioned on a row.
 func (r *Rows) Value(j int) any {
+	if !r.valid() {
+		return nil
+	}
 	if r.schema == nil {
 		return r.raw(j)
 	}
@@ -204,6 +253,9 @@ func (r *Rows) OrderBy(col string, limit int) *Rows { return r.orderBy(col, limi
 func (r *Rows) OrderByDesc(col string, limit int) *Rows { return r.orderBy(col, limit, true) }
 
 func (r *Rows) orderBy(col string, limit int, desc bool) *Rows {
+	if r.closed {
+		return r // deterministic no-op on a closed cursor
+	}
 	// Resolve the column before the empty-result fast path: a typo'd name
 	// must fail fast regardless of what the query happened to match.
 	c := -1
@@ -391,6 +443,158 @@ func (s *Schema) SelectOr(idx Index, queries []Query, cols ...string) (*Rows, St
 	st := ExecuteOr(idx, queries, &r.rc)
 	r.finalize()
 	return r, st
+}
+
+// SelectContext is Select under ctx and opts: execution honors the
+// context's cancellation and deadline, and opts.Limit is pushed down into
+// the scan so at most Limit rows are collected and scanning stops as soon
+// as the budget is satisfied — a `LIMIT 10` over a million rows stops after
+// the tenth match. A satisfied limit is success (nil error); cancellation
+// returns the rows gathered so far together with ErrCanceled (the cursor is
+// always non-nil and must be closed). With a background context and nil
+// opts the call is identical to Select.
+func (f *Flood) SelectContext(ctx context.Context, q Query, opts *QueryOptions, cols ...string) (*Rows, Stats, error) {
+	r := getRows(f.schema, f.Table(), cols)
+	r.rc.PinSource(f.Table())
+	st, err := runSelect(ctx, opts,
+		func() Stats { return f.Execute(q, &r.rc) },
+		func(ctl *query.Control, cutover int) Stats { return f.executeControl(ctl, q, &r.rc, cutover) },
+		nil)
+	r.finalize()
+	return r, st, err
+}
+
+// runSelect is the shared control lifecycle of every SelectContext flavor:
+// derive the pooled control from (ctx, opts), run the plain unconditioned
+// path when nothing can fire, otherwise run the control-threaded path with
+// the per-query cutover override, poll cancellation one last time, release
+// the control, and map a satisfied limit to success (the Select contract).
+// finished, when non-nil, observes the latched stop state and the stats
+// after a controlled execution completes — the hook for the adaptive
+// facade's bookkeeping; the plain path's closure does its own.
+func runSelect(ctx context.Context, opts *QueryOptions, plain func() Stats, controlled func(*query.Control, int) Stats, finished func(stop error, st Stats)) (Stats, error) {
+	ctl, err := getControl(ctx, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if ctl == nil && opts.cutover() == 0 {
+		return plain(), nil
+	}
+	st := controlled(ctl, opts.cutover())
+	stop := ctl.Finish()
+	ctl.Release()
+	if finished != nil {
+		finished(stop, st)
+	}
+	if stop == ErrLimitReached {
+		stop = nil
+	}
+	return st, stop
+}
+
+// SelectContext is Select under ctx and opts against the base index and the
+// pending-row buffer; both scans share the cancellation signal and the
+// limit budget (base rows fill the budget first). See Flood.SelectContext.
+func (d *DeltaIndex) SelectContext(ctx context.Context, q Query, opts *QueryOptions, cols ...string) (*Rows, Stats, error) {
+	r := getRows(d.schema, d.base.Table(), cols)
+	r.rc.PinSource(d.base.Table())
+	st, err := runSelect(ctx, opts,
+		func() Stats { return d.Execute(q, &r.rc) },
+		func(ctl *query.Control, cutover int) Stats { return d.executeControl(ctl, q, &r.rc, cutover) },
+		nil)
+	r.finalize()
+	return r, st, err
+}
+
+// SelectContext is Select under ctx and opts against the current
+// generation — learned base plus insert log — sharing one cancellation
+// signal and limit budget across both. Canceled selects bypass the drift
+// monitor and workload sample. See Flood.SelectContext.
+func (a *AdaptiveIndex) SelectContext(ctx context.Context, q Query, opts *QueryOptions, cols ...string) (*Rows, Stats, error) {
+	ep := a.epoch.Load()
+	r := getRows(a.schema, ep.flood.Table(), cols)
+	r.rc.PinSource(ep.flood.Table())
+	st, err := runSelect(ctx, opts,
+		func() Stats {
+			st := executeEpoch(ep, q, &r.rc)
+			a.observe(ep, q, st)
+			return st
+		},
+		func(ctl *query.Control, cutover int) Stats { return executeEpochControl(ep, ctl, q, &r.rc, cutover) },
+		func(stop error, st Stats) {
+			switch stop {
+			case nil:
+				a.observe(ep, q, st)
+			case ErrLimitReached:
+				// The query shape is real workload signal for the sample,
+				// but the truncated timing must not feed the drift monitor —
+				// it would drag the window average below real full-query
+				// cost.
+				a.queries.Add(1)
+				a.sample.Add(q)
+			}
+		})
+	r.finalize()
+	return r, st, err
+}
+
+// SelectContext is Schema.Select under ctx and opts, serving any index —
+// including the baselines — with cancellation and LIMIT pushdown. Indexes
+// with their own SelectContext (Flood, DeltaIndex, AdaptiveIndex) route
+// through it so composite row-id spaces stay correct.
+func (s *Schema) SelectContext(ctx context.Context, idx Index, q Query, opts *QueryOptions, cols ...string) (*Rows, Stats, error) {
+	if si, ok := idx.(interface {
+		SelectContext(context.Context, Query, *QueryOptions, ...string) (*Rows, Stats, error)
+	}); ok {
+		r, st, err := si.SelectContext(ctx, q, opts, cols...)
+		if r != nil && r.schema == nil {
+			r.schema = s
+		}
+		return r, st, err
+	}
+	r := getRows(s, s, cols)
+	st, err := runSelect(ctx, opts,
+		func() Stats { return idx.Execute(q, &r.rc) },
+		func(ctl *query.Control, cutover int) Stats { return executeControl(idx, ctl, q, &r.rc, cutover) },
+		nil)
+	r.finalize()
+	return r, st, err
+}
+
+// SelectOrContext is SelectOr under ctx and opts: the disjoint pieces of
+// the disjunction share one cancellation signal and one limit budget, so a
+// LIMIT spanning an OR stops scanning globally after the limit-th match.
+func (s *Schema) SelectOrContext(ctx context.Context, idx Index, queries []Query, opts *QueryOptions, cols ...string) (*Rows, Stats, error) {
+	r := getRows(s, s, cols)
+	if bp, ok := idx.(basePinner); ok {
+		bp.pinBase(&r.rc)
+	}
+	a, isAdaptive := idx.(*AdaptiveIndex)
+	var finished func(stop error, st Stats)
+	if isAdaptive {
+		finished = func(stop error, _ Stats) {
+			// Completed (or limit-satisfied) disjunctions feed the workload
+			// sample like ExecuteOr does; only cancellations are dropped,
+			// and truncated timings never reach the drift monitor.
+			if stop != ErrCanceled {
+				a.queries.Add(1)
+				for _, q := range queries {
+					a.sample.Add(q)
+				}
+			}
+		}
+	}
+	st, err := runSelect(ctx, opts,
+		func() Stats { return ExecuteOr(idx, queries, &r.rc) },
+		func(ctl *query.Control, cutover int) Stats {
+			if isAdaptive {
+				return a.executeOrControl(ctl, queries, &r.rc, cutover)
+			}
+			return executeOrControl(idx, ctl, queries, &r.rc, cutover)
+		},
+		finished)
+	r.finalize()
+	return r, st, err
 }
 
 // basePinner lets composite indexes pin their base table into a collector's
