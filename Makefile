@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet docs bench bench-full clean
+.PHONY: all build test vet docs bench bench-full fuzz-smoke clean
 
 all: vet build test
 
@@ -22,7 +22,8 @@ vet:
 # walk through). CI runs this on every push.
 docs: vet
 	$(GO) run ./cmd/doclint . ./floodsql ./datagen \
-		./internal/core ./internal/query ./internal/colstore ./internal/encode
+		./internal/core ./internal/query ./internal/colstore ./internal/encode \
+		./internal/wal ./internal/faultfs
 
 # bench runs the scan-kernel, build, parallel-execution, row-retrieval, and
 # context/limit benchmarks that gate perf PRs and records them in
@@ -34,9 +35,20 @@ bench:
 	$(GO) test ./internal/core -run '^$$' \
 		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch' \
 		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
-	$(GO) test . -run '^$$' -bench '^BenchmarkSelect|^BenchmarkExecute' \
+	$(GO) test . -run '^$$' -bench '^BenchmarkSelect|^BenchmarkExecute|^BenchmarkSaveLoad' \
+		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
+	$(GO) test ./internal/wal -run '^$$' -bench 'WALAppend' \
 		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
+
+# fuzz-smoke gives each fuzz target a short coverage-guided run (also a CI
+# job). Minimization is capped so single-CPU runners keep mutating instead
+# of shrinking corpus entries for 60s each.
+fuzz-smoke:
+	$(GO) test . -run '^$$' -fuzz '^FuzzWireDecode$$' \
+		-fuzztime 30s -fuzzminimizetime 10x
+	$(GO) test ./floodsql -run '^$$' -fuzz '^FuzzFloodSQLParse$$' \
+		-fuzztime 30s -fuzzminimizetime 10x
 
 # bench-full additionally covers the colstore micro-benchmarks.
 bench-full: bench

@@ -10,6 +10,7 @@ import (
 	"flood/internal/colstore"
 	"flood/internal/core"
 	"flood/internal/query"
+	"flood/internal/wal"
 	"flood/internal/workload"
 )
 
@@ -145,6 +146,12 @@ type AdaptiveIndex struct {
 	// rebuild holds it across the swap so the insert-log tail it carries
 	// forward is exact. Readers never touch it.
 	mu sync.Mutex
+
+	// walLog, when set, receives a record for every insert before the row
+	// is published; guarded by mu (a durable checkpoint swaps it while
+	// quiescing writers). The fsync wait happens outside mu, so appends
+	// stay cheap and concurrent inserts group-commit.
+	walLog *wal.Log
 
 	// rebuildMu guards the single-rebuild-in-flight state. It is taken
 	// only when a trigger fires or a waiter blocks, never on the query
@@ -325,19 +332,50 @@ func (a *AdaptiveIndex) observe(ep *adaptiveEpoch, q Query, st Stats) {
 	}
 }
 
+// AttachWAL routes every subsequent Insert through an append to l before the
+// row is acknowledged, so acknowledged inserts survive a crash. Safe to call
+// concurrently with inserts; the durable checkpoint uses that to rotate
+// segments without stopping writers for more than the swap.
+func (a *AdaptiveIndex) AttachWAL(l *wal.Log) {
+	a.mu.Lock()
+	a.walLog = l
+	a.mu.Unlock()
+}
+
 // Insert appends one row (one value per dimension). The row is visible to
-// queries as soon as Insert returns. When the insert log exceeds
-// MergeFraction of the base, a background merge is scheduled; Insert itself
-// never blocks on index building.
+// queries as soon as Insert returns; with a WAL attached it is also logged
+// before the append and acknowledged per the log's sync policy. When the
+// insert log exceeds MergeFraction of the base, a background merge is
+// scheduled; Insert itself never blocks on index building.
 func (a *AdaptiveIndex) Insert(row []int64) error {
 	a.mu.Lock()
 	ep := a.epoch.Load()
+	w := a.walLog
+	var target int64
+	if w != nil {
+		// Validate before logging so a malformed row is rejected, not
+		// replayed forever.
+		if cols := ep.flood.Table().NumCols(); len(row) != cols {
+			a.mu.Unlock()
+			return fmt.Errorf("flood: row has %d values, table has %d dimensions", len(row), cols)
+		}
+		var err error
+		if target, err = w.AppendAsync(encodeWALRow(row)); err != nil {
+			a.mu.Unlock()
+			return fmt.Errorf("flood: wal append: %w", err)
+		}
+	}
 	if err := ep.log.append(row); err != nil {
 		a.mu.Unlock()
 		return err
 	}
 	pending := ep.log.rows()
 	a.mu.Unlock()
+	if w != nil {
+		if err := w.WaitDurable(target); err != nil {
+			return fmt.Errorf("flood: wal sync: %w", err)
+		}
+	}
 	base := ep.flood.Table().NumRows()
 	if a.cfg.MergeFraction > 0 && float64(pending) >= a.cfg.MergeFraction*float64(base) {
 		a.tryRebuild(rebuildMerge, 0)

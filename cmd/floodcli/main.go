@@ -11,6 +11,14 @@
 // expected workload; Flood learns its layout from them. The -timeout flag
 // bounds query execution: past the deadline the scan stops cooperatively
 // and the command reports how far it got.
+//
+// A learned index can be persisted and served without rebuilding: -save
+// writes a checksummed snapshot (atomic temp-file + rename + fsync), and
+// -load restores one — including its typed layout and models — so later
+// runs skip both the CSV parse and layout learning:
+//
+//	floodcli -csv orders.csv -train "day BETWEEN 0 AND 14" -save orders.flood
+//	floodcli -load orders.flood -query "SELECT COUNT(*) FROM t WHERE day < 7"
 package main
 
 import (
@@ -33,42 +41,83 @@ import (
 
 func main() {
 	var (
-		csvPath = flag.String("csv", "", "input CSV file with a header row")
-		train   = flag.String("train", "", "semicolon-separated sample WHERE clauses describing the workload")
-		query   = flag.String("query", "", "SQL statement to run (SELECT COUNT/SUM/MIN ... WHERE ...)")
-		seed    = flag.Int64("seed", 1, "random seed for layout learning")
-		timeout = flag.Duration("timeout", 0, "query execution deadline (e.g. 500ms; 0 = none); a query over deadline returns its partial result and an error")
+		csvPath  = flag.String("csv", "", "input CSV file with a header row")
+		train    = flag.String("train", "", "semicolon-separated sample WHERE clauses describing the workload")
+		query    = flag.String("query", "", "SQL statement to run (SELECT COUNT/SUM/MIN ... WHERE ...)")
+		seed     = flag.Int64("seed", 1, "random seed for layout learning")
+		timeout  = flag.Duration("timeout", 0, "query execution deadline (e.g. 500ms; 0 = none); a query over deadline returns its partial result and an error")
+		savePath = flag.String("save", "", "write the built index to this snapshot file (atomic write + fsync)")
+		loadPath = flag.String("load", "", "load a snapshot written by -save instead of building from -csv")
 	)
 	flag.Parse()
-	if *csvPath == "" || *query == "" {
-		fmt.Fprintln(os.Stderr, "usage: floodcli -csv FILE -query SQL [-train \"pred; pred\"]")
+	if (*csvPath == "" && *loadPath == "") || (*query == "" && *savePath == "") {
+		fmt.Fprintln(os.Stderr, "usage: floodcli -csv FILE [-train \"pred; pred\"] [-save SNAP] -query SQL\n       floodcli -load SNAP -query SQL")
 		os.Exit(2)
 	}
-	tbl, report, err := loadCSV(*csvPath)
-	if err != nil {
-		log.Fatalf("loading %s: %v", *csvPath, err)
-	}
-	fmt.Printf("loaded %d rows x %d columns (%s)\n", tbl.NumRows(), tbl.NumCols(), report)
 
-	var idx flood.Index
-	if *train == "" {
-		fmt.Println("no -train workload: using a full-scan execution plan")
-		idx, err = flood.BuildBaseline(flood.FullScan, tbl, flood.BaselineOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		queries, err := parseTrain(*train, tbl)
-		if err != nil {
-			log.Fatalf("parsing -train: %v", err)
-		}
+	var (
+		idx flood.Index
+		tbl *flood.Table
+	)
+	if *loadPath != "" {
 		t0 := time.Now()
-		learned, err := flood.Build(tbl, queries, &flood.Options{Seed: *seed})
+		learned, rep, err := flood.LoadFileWithReport(*loadPath)
+		if err != nil {
+			log.Fatalf("loading snapshot %s: %v", *loadPath, err)
+		}
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(os.Stderr, "recovery: %s\n", w)
+		}
+		tbl = learned.Table()
+		idx = learned
+		fmt.Printf("loaded snapshot %s: %d rows x %d columns, layout %s in %v\n",
+			*loadPath, tbl.NumRows(), tbl.NumCols(), learned.Layout(), time.Since(t0).Round(time.Millisecond))
+	} else {
+		var report string
+		var err error
+		tbl, report, err = loadCSV(*csvPath)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *csvPath, err)
+		}
+		fmt.Printf("loaded %d rows x %d columns (%s)\n", tbl.NumRows(), tbl.NumCols(), report)
+
+		if *train == "" {
+			fmt.Println("no -train workload: using a full-scan execution plan")
+			idx, err = flood.BuildBaseline(flood.FullScan, tbl, flood.BaselineOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			queries, err := parseTrain(*train, tbl)
+			if err != nil {
+				log.Fatalf("parsing -train: %v", err)
+			}
+			t0 := time.Now()
+			learned, err := flood.Build(tbl, queries, &flood.Options{Seed: *seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("learned layout %s in %v\n", learned.Layout(), time.Since(t0).Round(time.Millisecond))
+			idx = learned
+		}
+	}
+
+	if *savePath != "" {
+		learned, ok := idx.(*flood.Flood)
+		if !ok {
+			log.Fatal("-save needs a learned index: provide a -train workload")
+		}
+		if err := learned.SaveFile(*savePath); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		fi, err := os.Stat(*savePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("learned layout %s in %v\n", learned.Layout(), time.Since(t0).Round(time.Millisecond))
-		idx = learned
+		fmt.Printf("saved snapshot %s (%d bytes, checksummed)\n", *savePath, fi.Size())
+		if *query == "" {
+			return
+		}
 	}
 
 	st, err := floodsql.Parse(*query, tbl)

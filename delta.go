@@ -8,6 +8,7 @@ import (
 	"flood/internal/colstore"
 	"flood/internal/core"
 	"flood/internal/query"
+	"flood/internal/wal"
 )
 
 // DeltaIndex adds insert support to a read-optimized Flood index using the
@@ -35,6 +36,8 @@ type DeltaIndex struct {
 	// MergeThreshold triggers an automatic Merge once this many rows are
 	// buffered (0 disables auto-merging).
 	MergeThreshold int
+
+	wal *wal.Log // optional: Insert logs each row before acknowledging
 }
 
 // NewDeltaIndex wraps a built Flood index with an insertion buffer.
@@ -73,11 +76,23 @@ func (d *DeltaIndex) Pending() int { return d.pending }
 // NumRows returns the total row count (base + buffered).
 func (d *DeltaIndex) NumRows() int { return d.base.Table().NumRows() + d.pending }
 
+// AttachWAL routes every subsequent Insert through an append to l before the
+// row is acknowledged, so acknowledged inserts survive a crash and can be
+// replayed onto a reloaded base snapshot. Follows the index's single-writer
+// contract: attach before serving inserts.
+func (d *DeltaIndex) AttachWAL(l *wal.Log) { d.wal = l }
+
 // Insert buffers one row (one value per dimension). The row becomes visible
-// to queries immediately.
+// to queries immediately. With a WAL attached the row is logged first and
+// acknowledged only per the log's sync policy.
 func (d *DeltaIndex) Insert(row []int64) error {
 	if len(row) != len(d.buffer) {
 		return fmt.Errorf("flood: row has %d values, table has %d dimensions", len(row), len(d.buffer))
+	}
+	if d.wal != nil {
+		if err := d.wal.Append(encodeWALRow(row)); err != nil {
+			return fmt.Errorf("flood: wal append: %w", err)
+		}
 	}
 	for c, v := range row {
 		d.buffer[c] = append(d.buffer[c], v)

@@ -1,0 +1,453 @@
+package flood
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"flood/internal/core"
+	"flood/internal/wal"
+	"flood/internal/wire"
+)
+
+// SyncPolicy re-exports the WAL sync policies at the public API surface.
+type SyncPolicy = wal.SyncPolicy
+
+// The sync policies, ordered from most to least durable; see the internal
+// wal package for exact guarantees.
+const (
+	// SyncAlways fsyncs before each Insert returns.
+	SyncAlways = wal.SyncAlways
+	// SyncEveryInterval fsyncs on a background timer.
+	SyncEveryInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS until checkpoint or Close.
+	SyncNever = wal.SyncNone
+)
+
+// Durable directory layout: one snapshot plus numbered WAL segments.
+//
+//	snapshot.flood   checksummed v2 snapshot; its "wmrk" section holds the
+//	                 generation g whose segments it absorbs (all gens <= g)
+//	wal-%06d.log     insert log segments; replay applies gens > g in order
+const (
+	snapshotFile = "snapshot.flood"
+	// sectionDelta persists the side-log rows a checkpoint captured beyond
+	// the base index, so a checkpoint never pays a base rebuild.
+	sectionDelta = "dlta"
+	// sectionMarker persists the absorbed WAL generation.
+	sectionMarker = "wmrk"
+)
+
+// DurableOptions configures a DurableIndex.
+type DurableOptions struct {
+	// Sync selects the WAL sync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the flush period under SyncEveryInterval (default 50ms).
+	SyncEvery time.Duration
+	// Adaptive tunes the wrapped AdaptiveIndex (nil picks its defaults).
+	Adaptive *AdaptiveConfig
+}
+
+func (o *DurableOptions) orDefault() DurableOptions {
+	if o == nil {
+		return DurableOptions{}
+	}
+	return *o
+}
+
+func (o DurableOptions) walOptions() wal.Options {
+	return wal.Options{Policy: o.Sync, Interval: o.SyncEvery}
+}
+
+// RecoveryReport describes what OpenDurable reconstructed.
+type RecoveryReport struct {
+	// Retrained and Warnings carry the snapshot's degraded-recovery report
+	// (see LoadReport).
+	Retrained bool
+	Warnings  []string
+	// SnapshotRows is the row count restored from the snapshot (base index
+	// plus its captured side rows).
+	SnapshotRows int
+	// ReplayedRows is the number of inserts recovered from WAL segments.
+	ReplayedRows int
+	// TruncatedTail reports that the newest WAL segment ended in a torn or
+	// corrupt record and was cut back to its last valid record — the
+	// expected artifact of a crash mid-append.
+	TruncatedTail bool
+}
+
+// DurableIndex is a crash-safe serving index over a directory: an
+// AdaptiveIndex whose inserts are write-ahead logged and whose state is
+// periodically absorbed into an atomic, checksummed snapshot. After kill -9
+// or power loss, OpenDurable restores the snapshot and replays the log tail,
+// recovering every acknowledged insert up to the sync policy's window.
+//
+//	d, err := flood.CreateDurable(dir, idx, nil)
+//	d.Insert(row)            // logged, then visible
+//	d.Checkpoint()           // absorb the log into the snapshot
+//	d.Close()
+//	d, rep, err := flood.OpenDurable(dir, nil)   // after a crash
+//
+// Concurrency matches AdaptiveIndex: Execute, ExecuteBatch, and Insert from
+// any number of goroutines; Checkpoint runs concurrently with all of them
+// (writers stall only for a pointer swap).
+type DurableIndex struct {
+	dir  string
+	a    *AdaptiveIndex
+	opts DurableOptions
+
+	// ckptMu serializes checkpoints; gen is the current WAL generation,
+	// mutated only under it.
+	ckptMu sync.Mutex
+	gen    uint64
+
+	// crashPoint, when set, runs at named stages of a checkpoint; the
+	// fault-injection tests panic from it to simulate a crash between any
+	// two durability steps.
+	crashPoint func(stage string)
+}
+
+// CreateDurable initializes dir (created if needed) with a snapshot of base
+// and an empty WAL segment, and returns the serving index. The directory
+// must not already contain a snapshot.
+func CreateDurable(dir string, base *Flood, opts *DurableOptions) (*DurableIndex, error) {
+	o := opts.orDefault()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+		return nil, fmt.Errorf("flood: %s already contains a snapshot (use OpenDurable)", dir)
+	}
+	d := &DurableIndex{dir: dir, a: NewAdaptiveIndex(base, o.Adaptive), opts: o}
+	if err := d.writeSnapshot(0, base.idx, base.schema, nil, 0); err != nil {
+		return nil, err
+	}
+	l, err := wal.Create(filepath.Join(dir, wal.SegmentName(1)), 1, o.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	d.gen = 1
+	d.a.AttachWAL(l)
+	return d, nil
+}
+
+// OpenDurable recovers the index persisted in dir: it loads the snapshot
+// (with Load's corruption tolerance), replays every WAL segment past the
+// snapshot's marker in generation order, truncates a damaged tail on the
+// newest segment, rotates to a fresh segment, and resumes serving. Damage
+// anywhere acknowledged data could be lost — a corrupt snapshot data
+// section, a damaged non-newest segment, a missing segment generation —
+// surfaces as a typed error instead of a silently wrong index.
+func OpenDurable(dir string, opts *DurableOptions) (*DurableIndex, RecoveryReport, error) {
+	o := opts.orDefault()
+	var rep RecoveryReport
+
+	f, err := os.Open(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, rep, err
+	}
+	res, err := core.LoadSections(bufio.NewReaderSize(f, 1<<20))
+	f.Close()
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Retrained = res.Retrained
+	rep.Warnings = res.Warnings
+
+	fl, err := floodFromLoadResult(res)
+	if err != nil {
+		return nil, rep, err
+	}
+	marker := uint64(0)
+	if p, ok := res.Extra[sectionMarker]; ok {
+		r := wire.NewReaderBytes(p)
+		marker = r.U64()
+		if err := r.Err(); err != nil {
+			return nil, rep, fmt.Errorf("flood: snapshot marker: %w", err)
+		}
+	}
+	d := &DurableIndex{dir: dir, a: NewAdaptiveIndex(fl, o.Adaptive), opts: o}
+
+	// Seed the side log with the checkpoint-captured rows.
+	if p, ok := res.Extra[sectionDelta]; ok {
+		cols, n, err := decodeSideRows(p, fl.Table().NumCols())
+		if err != nil {
+			return nil, rep, err
+		}
+		d.a.epoch.Load().log.seed(cols, n)
+		rep.SnapshotRows = fl.Table().NumRows() + int(n)
+	} else {
+		rep.SnapshotRows = fl.Table().NumRows()
+	}
+
+	// Replay WAL segments beyond the marker, oldest first. Generations at
+	// or below the marker are absorbed by the snapshot; a crash between
+	// snapshot rename and segment deletion can leave them behind, so they
+	// are cleaned up here.
+	gens, err := listSegments(dir)
+	if err != nil {
+		return nil, rep, err
+	}
+	var replay []uint64
+	for _, g := range gens {
+		if g > marker {
+			replay = append(replay, g)
+		}
+	}
+	for i, g := range replay {
+		if want := marker + 1 + uint64(i); g != want {
+			return nil, rep, fmt.Errorf("flood: wal segment %s missing: %w", wal.SegmentName(want), ErrTruncated)
+		}
+		path := filepath.Join(dir, wal.SegmentName(g))
+		ep := d.a.epoch.Load()
+		r, err := wal.Replay(path, func(payload []byte) error {
+			row, err := decodeWALRow(payload, fl.Table().NumCols())
+			if err != nil {
+				return err
+			}
+			return ep.log.append(row)
+		})
+		if err != nil {
+			return nil, rep, fmt.Errorf("flood: replaying %s: %w", wal.SegmentName(g), err)
+		}
+		rep.ReplayedRows += r.Records
+		if r.Damaged {
+			if i != len(replay)-1 {
+				// Damage before the newest segment means acknowledged,
+				// synced inserts are gone — that must never be silent.
+				return nil, rep, fmt.Errorf("flood: wal segment %s: %w", wal.SegmentName(g), r.Err)
+			}
+			if err := wal.TruncateTail(path, r.ValidSize); err != nil {
+				return nil, rep, err
+			}
+			rep.TruncatedTail = true
+		}
+	}
+
+	// Resume on a fresh segment; replayed segments are never appended to.
+	next := marker + uint64(len(replay)) + 1
+	l, err := wal.Create(filepath.Join(dir, wal.SegmentName(next)), next, o.walOptions())
+	if err != nil {
+		return nil, rep, err
+	}
+	d.gen = next
+	d.a.AttachWAL(l)
+	d.removeSegmentsThrough(marker, gens)
+	return d, rep, nil
+}
+
+// Checkpoint absorbs the WAL into a fresh atomic snapshot: it rotates
+// inserts onto a new segment, captures the current base index plus the
+// frozen side-log prefix, writes them as the new snapshot, and deletes the
+// absorbed segments. Serving continues throughout; a crash at any point
+// leaves a directory OpenDurable recovers completely.
+func (d *DurableIndex) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	newGen := d.gen + 1
+	nl, err := wal.Create(filepath.Join(d.dir, wal.SegmentName(newGen)), newGen, d.opts.walOptions())
+	if err != nil {
+		return err
+	}
+
+	// Quiesce writers just long enough to capture a consistent image and
+	// swap the log: rows [0, frozen) of the side log plus the (immutable)
+	// base are exactly the inserts acknowledged against segments <= oldGen;
+	// later inserts land in the new segment.
+	a := d.a
+	a.mu.Lock()
+	ep := a.epoch.Load()
+	frozen := ep.log.rows()
+	cols := ep.log.columns(frozen)
+	idx := ep.flood.idx
+	old := a.walLog
+	a.walLog = nl
+	a.mu.Unlock()
+	oldGen := d.gen
+	d.gen = newGen
+	d.crash("rotated")
+
+	if old != nil {
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("flood: closing wal segment: %w", err)
+		}
+	}
+	d.crash("old-closed")
+
+	if err := d.writeSnapshot(oldGen, idx, a.schema, cols, frozen); err != nil {
+		return err
+	}
+	d.crash("snapshot")
+
+	gens, err := listSegments(d.dir)
+	if err != nil {
+		return err
+	}
+	d.removeSegmentsThrough(oldGen, gens)
+	return nil
+}
+
+// Close checkpoints nothing; it syncs and closes the active WAL segment and
+// stops the adaptive index's background work. The directory remains openable
+// with OpenDurable.
+func (d *DurableIndex) Close() error {
+	d.a.Close()
+	d.a.mu.Lock()
+	l := d.a.walLog
+	d.a.walLog = nil
+	d.a.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}
+
+// Adaptive returns the wrapped serving index for its full API (stats,
+// triggers, typed selects).
+func (d *DurableIndex) Adaptive() *AdaptiveIndex { return d.a }
+
+// Execute serves one query; see AdaptiveIndex.Execute.
+func (d *DurableIndex) Execute(q Query, agg Aggregator) Stats { return d.a.Execute(q, agg) }
+
+// ExecuteBatch serves a batch; see AdaptiveIndex.ExecuteBatch.
+func (d *DurableIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
+	return d.a.ExecuteBatch(queries, aggs)
+}
+
+// Insert logs and applies one row; acknowledged inserts survive a crash per
+// the sync policy. See AdaptiveIndex.Insert.
+func (d *DurableIndex) Insert(row []int64) error { return d.a.Insert(row) }
+
+// ExecuteContext serves one query with cancellation and limit support; see
+// AdaptiveIndex.ExecuteContext.
+func (d *DurableIndex) ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error) {
+	return d.a.ExecuteContext(ctx, q, agg)
+}
+
+// NumRows returns the total row count (base + pending inserts).
+func (d *DurableIndex) NumRows() int { return d.a.NumRows() }
+
+// Name implements Index.
+func (d *DurableIndex) Name() string { return "Flood+Durable" }
+
+// SizeBytes implements Index.
+func (d *DurableIndex) SizeBytes() int64 { return d.a.SizeBytes() }
+
+var _ Index = (*DurableIndex)(nil)
+
+func (d *DurableIndex) crash(stage string) {
+	if d.crashPoint != nil {
+		d.crashPoint(stage)
+	}
+}
+
+// writeSnapshot atomically replaces the snapshot file with the captured
+// image: base index, schema, side rows, and the absorbed-generation marker.
+func (d *DurableIndex) writeSnapshot(marker uint64, idx *core.Flood, schema *Schema, cols [][]int64, rows int64) error {
+	return WriteFileAtomic(filepath.Join(d.dir, snapshotFile), func(w io.Writer) error {
+		var extra []core.ExtraSection
+		if schema != nil {
+			extra = append(extra, core.ExtraSection{Tag: sectionSchema, Encode: schema.encodeSchema})
+		}
+		if rows > 0 {
+			extra = append(extra, core.ExtraSection{Tag: sectionDelta, Encode: func(fw *wire.Writer) {
+				fw.Int(len(cols))
+				fw.I64(rows)
+				for _, c := range cols {
+					fw.I64s(c)
+				}
+			}})
+		}
+		extra = append(extra, core.ExtraSection{Tag: sectionMarker, Encode: func(fw *wire.Writer) {
+			fw.U64(marker)
+		}})
+		return idx.SaveSections(w, extra)
+	})
+}
+
+// decodeSideRows reads the checkpoint-captured side-log rows.
+func decodeSideRows(payload []byte, wantCols int) ([][]int64, int64, error) {
+	r := wire.NewReaderBytes(payload)
+	nc := r.Int()
+	n := r.I64()
+	if err := r.Err(); err != nil {
+		return nil, 0, fmt.Errorf("flood: snapshot side rows: %w", err)
+	}
+	if nc != wantCols || n < 0 {
+		return nil, 0, fmt.Errorf("flood: snapshot side rows declare %d columns of %d rows, table has %d columns", nc, n, wantCols)
+	}
+	cols := make([][]int64, nc)
+	for c := range cols {
+		cols[c] = r.I64s()
+		if err := r.Err(); err != nil {
+			return nil, 0, fmt.Errorf("flood: snapshot side rows: %w", err)
+		}
+		if int64(len(cols[c])) != n {
+			return nil, 0, fmt.Errorf("flood: snapshot side column %d has %d rows, expected %d", c, len(cols[c]), n)
+		}
+	}
+	return cols, n, nil
+}
+
+// listSegments returns the WAL generations present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if g, ok := wal.ParseSegmentName(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// removeSegmentsThrough deletes segments with generation <= g and fsyncs the
+// directory. Deletion failures are ignored: a leftover absorbed segment is
+// re-collected by the next open or checkpoint.
+func (d *DurableIndex) removeSegmentsThrough(g uint64, gens []uint64) {
+	removed := false
+	for _, gen := range gens {
+		if gen <= g {
+			os.Remove(filepath.Join(d.dir, wal.SegmentName(gen)))
+			removed = true
+		}
+	}
+	if removed {
+		SyncDir(d.dir)
+	}
+}
+
+// encodeWALRow serializes one inserted row as a WAL record payload.
+func encodeWALRow(row []int64) []byte {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return buf
+}
+
+// decodeWALRow parses a WAL record payload back into a row, validating the
+// dimensionality against the serving table.
+func decodeWALRow(payload []byte, wantCols int) ([]int64, error) {
+	if len(payload) != 8*wantCols {
+		return nil, fmt.Errorf("flood: wal record of %d bytes for a %d-column table: %w",
+			len(payload), wantCols, ErrChecksum)
+	}
+	row := make([]int64, wantCols)
+	for i := range row {
+		row[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return row, nil
+}

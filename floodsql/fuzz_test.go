@@ -1,0 +1,52 @@
+package floodsql
+
+import (
+	"testing"
+
+	"flood"
+)
+
+// FuzzFloodSQLParse throws arbitrary strings at the SQL parser with a fitted
+// typed schema attached, so predicate binding (dictionary lookups, decimal
+// scaling) runs too: any input must parse or error, never panic.
+func FuzzFloodSQLParse(f *testing.F) {
+	s := flood.NewSchema().String("city").Float64("fare", 2).Int64("dist")
+	b := s.NewTableBuilder()
+	if err := b.SetStringColumn("city", []string{"boston", "chicago", "nyc"}); err != nil {
+		f.Fatal(err)
+	}
+	if err := b.SetFloat64Column("fare", []float64{1.25, 10.5, 99.99}); err != nil {
+		f.Fatal(err)
+	}
+	if err := b.SetInt64Column("dist", []int64{3, 42, 250}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := b.Build(); err != nil { // fits the dictionary and scaler
+		f.Fatal(err)
+	}
+
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM t",
+		"SELECT COUNT(*) FROM t WHERE city >= 'chicago' AND fare <= 10.0",
+		"SELECT city, fare FROM t WHERE dist BETWEEN 10 AND 100",
+		"SELECT SUM(dist) FROM t WHERE city = 'nyc'",
+		"SELECT COUNT(*) FROM t WHERE fare < -100000000000000000000.0",
+		"SELECT city FROM t WHERE city LIKE 'bo%'",
+		"SELECT * FROM",
+		"';;;'",
+		"",
+	} {
+		f.Add(sql)
+	}
+
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := ParseTyped(sql, s)
+		if err != nil {
+			return
+		}
+		// A statement that parses must lower to executable queries and an
+		// aggregator without panicking.
+		_ = st.queries()
+		_, _ = st.aggregator()
+	})
+}

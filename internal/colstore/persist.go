@@ -25,13 +25,18 @@ func (t *Table) Encode(w *wire.Writer) {
 }
 
 // DecodeTable reads a table written by Encode. Aggregate companions are
-// rebuilt from the column data.
+// rebuilt from the column data. Structural invariants of every column are
+// verified before any packed data is decoded, so corrupt input yields an
+// error rather than out-of-range panics later.
 func DecodeTable(r *wire.Reader) (*Table, error) {
 	r.Expect("TBL1")
 	names := r.Strs()
 	n := r.Int()
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("colstore: decoding table header: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("colstore: table declares %d rows", n)
 	}
 	t := &Table{
 		names:    names,
@@ -53,6 +58,9 @@ func DecodeTable(r *wire.Reader) (*Table, error) {
 		if c.n != n {
 			return nil, fmt.Errorf("colstore: column %d has %d rows, table has %d", i, c.n, n)
 		}
+		if err := c.validate(); err != nil {
+			return nil, fmt.Errorf("colstore: column %d: %w", i, err)
+		}
 		c.computeMaxs()
 		t.cols[i] = c
 	}
@@ -65,4 +73,38 @@ func DecodeTable(r *wire.Reader) (*Table, error) {
 		return nil, fmt.Errorf("colstore: decoding table: %w", err)
 	}
 	return t, nil
+}
+
+// validate checks the structural invariants NewColumn establishes: per-block
+// metadata slices sized to the block count, bit widths within [0, 64], and
+// offsets forming the exact cumulative word layout the packed data occupies.
+// Decoding a column that fails any of these would index out of range.
+func (c *Column) validate() error {
+	if c.n < 0 {
+		return fmt.Errorf("negative length %d", c.n)
+	}
+	nBlocks := (c.n + BlockSize - 1) / BlockSize
+	if len(c.mins) != nBlocks || len(c.widths) != nBlocks || len(c.offsets) != nBlocks {
+		return fmt.Errorf("%d rows need %d blocks, have %d mins / %d widths / %d offsets",
+			c.n, nBlocks, len(c.mins), len(c.widths), len(c.offsets))
+	}
+	words := 0
+	for b := 0; b < nBlocks; b++ {
+		w := int(c.widths[b])
+		if w > 64 {
+			return fmt.Errorf("block %d has bit width %d", b, w)
+		}
+		if int(c.offsets[b]) != words {
+			return fmt.Errorf("block %d offset %d, expected %d", b, c.offsets[b], words)
+		}
+		cnt := BlockSize
+		if b == nBlocks-1 {
+			cnt = c.n - b*BlockSize
+		}
+		words += (cnt*w + 63) / 64
+	}
+	if len(c.words) != words {
+		return fmt.Errorf("packed data has %d words, layout needs %d", len(c.words), words)
+	}
+	return nil
 }

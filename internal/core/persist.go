@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"flood/internal/colstore"
 	"flood/internal/plm"
@@ -10,27 +12,90 @@ import (
 	"flood/internal/wire"
 )
 
-// persistMagic versions the on-disk index format.
-const persistMagic = "FLOODIX1"
+// Snapshot format. Version 2 wraps the stream in a FLOOD header and
+// length-prefixed, CRC32-C-checksummed sections (see internal/wire), so
+// truncation and bit flips surface as typed errors instead of garbage
+// decodes. Version 1 files (raw magic + unframed fields) are still readable.
+const (
+	persistMagicV1 = "FLOODIX1"
+	// PersistVersion is the snapshot format version this package writes.
+	PersistVersion = 2
+
+	// SectionMeta holds the layout and build options.
+	SectionMeta = "meta"
+	// SectionData holds the reordered compressed table.
+	SectionData = "data"
+	// SectionModels holds the learned models (bucketers, cell table,
+	// per-cell refinement models). It is always the final section, and it
+	// is the one section a loader can reconstruct: if it is damaged, Load
+	// retrains from the intact data instead of failing.
+	SectionModels = "modl"
+)
+
+// ExtraSection is a caller-supplied snapshot section (for example the typed
+// schema the public package attaches). Extra sections are written between
+// the data and models sections and are CRC-verified on load like any other;
+// a damaged extra section fails the load.
+type ExtraSection struct {
+	// Tag is the 4-byte section identifier.
+	Tag string
+	// Encode writes the section payload.
+	Encode func(*wire.Writer)
+}
+
+// LoadResult is the full outcome of reading a snapshot: the index plus any
+// extra sections, and whether degraded recovery kicked in.
+type LoadResult struct {
+	// Index is the loaded (or partially reconstructed) index.
+	Index *Flood
+	// Extra maps unrecognized section tags to their CRC-verified payloads;
+	// the public package uses it to round-trip the typed schema.
+	Extra map[string][]byte
+	// Retrained reports that the models section was damaged and the
+	// learned models were rebuilt from the intact data sections. The index
+	// answers queries correctly either way; a retrained load just paid a
+	// rebuild.
+	Retrained bool
+	// Warnings describes any degraded-recovery decisions taken.
+	Warnings []string
+}
 
 // Save serializes the built index — layout, reordered data, bucketing
 // models, cell table, and per-cell refinement models — so it can be reloaded
 // with Load without re-sorting or re-training.
-func (f *Flood) Save(out io.Writer) error {
-	w := wire.NewWriter(out)
-	w.Tag(persistMagic)
-	// Layout.
+func (f *Flood) Save(out io.Writer) error { return f.SaveSections(out, nil) }
+
+// SaveSections is Save with caller-supplied extra sections spliced between
+// the data and models sections.
+func (f *Flood) SaveSections(out io.Writer, extra []ExtraSection) error {
+	if err := wire.WriteHeader(out, PersistVersion, 3+len(extra)); err != nil {
+		return err
+	}
+	sw := wire.NewSectionWriter(out)
+	sw.Section(SectionMeta, f.encodeMeta)
+	sw.Section(SectionData, func(w *wire.Writer) { f.t.Encode(w) })
+	for _, e := range extra {
+		sw.Section(e.Tag, e.Encode)
+	}
+	var encodeErr error
+	sw.Section(SectionModels, func(w *wire.Writer) { encodeErr = f.encodeModels(w) })
+	if encodeErr != nil {
+		return encodeErr
+	}
+	return sw.Err()
+}
+
+func (f *Flood) encodeMeta(w *wire.Writer) {
 	w.Ints(f.layout.GridDims)
 	w.Ints(f.layout.GridCols)
 	w.Int(f.layout.SortDim)
 	w.Bool(f.layout.Flatten)
-	// Options.
 	w.Int(int(f.opts.Refinement))
 	w.F64(f.opts.Delta)
 	w.Int(f.opts.CDFLeaves)
-	// Data.
-	f.t.Encode(w)
-	// Bucketers.
+}
+
+func (f *Flood) encodeModels(w *wire.Writer) error {
 	for _, b := range f.buckets {
 		switch b := b.(type) {
 		case cdfBucketer:
@@ -44,9 +109,7 @@ func (f *Flood) Save(out io.Writer) error {
 			return fmt.Errorf("core: unknown bucketer type %T", b)
 		}
 	}
-	// Cell table.
 	w.I32s(f.cellStart)
-	// Refinement models (sparse).
 	w.Bool(f.models != nil)
 	if f.models != nil {
 		for _, m := range f.models {
@@ -56,14 +119,135 @@ func (f *Flood) Save(out io.Writer) error {
 			}
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
-// Load reads an index written by Save.
+// Load reads an index written by Save (either format version). A damaged
+// models section is recovered by retraining; use LoadSections to observe
+// whether that happened.
 func Load(in io.Reader) (*Flood, error) {
-	r := wire.NewReader(in)
-	r.Expect(persistMagic)
+	res, err := LoadSections(in)
+	if err != nil {
+		return nil, err
+	}
+	return res.Index, nil
+}
+
+// LoadSections reads a snapshot and returns the full LoadResult: the index,
+// any extra sections, and degraded-recovery details. Corruption surfaces as
+// an error wrapping wire.ErrTruncated, wire.ErrChecksum, or wire.ErrVersion —
+// except damage confined to the models section, which is repaired by
+// retraining from the intact data (Retrained is set and a warning recorded).
+func LoadSections(in io.Reader) (LoadResult, error) {
+	var res LoadResult
+	var h [wire.HeaderSize]byte
+	if _, err := io.ReadFull(in, h[:]); err != nil {
+		return res, fmt.Errorf("core: snapshot header: %w", wire.ErrTruncated)
+	}
+	if string(h[:]) == persistMagicV1 {
+		f, err := loadV1(wire.NewReader(in))
+		if err != nil {
+			return res, err
+		}
+		res.Index = f
+		return res, nil
+	}
+	count, err := wire.ParseHeader(h[:], PersistVersion)
+	if err != nil {
+		return res, fmt.Errorf("core: %w", err)
+	}
+
+	var meta, data, modl []byte
+	modlDamaged := false
+	sr := wire.NewSectionReader(in, count)
+	seen := 0
+sections:
+	for {
+		tag, payload, err := sr.Next()
+		switch {
+		case err == io.EOF:
+			break sections
+		case err == nil:
+		case errors.Is(err, wire.ErrChecksum) && tag == SectionModels:
+			// The models frame is present but fails its CRC; the stream
+			// is still aligned, so keep reading the remaining sections
+			// and retrain the models from the data afterwards.
+			res.Warnings = append(res.Warnings, err.Error())
+			modlDamaged = true
+			seen++
+			continue
+		case errors.Is(err, wire.ErrTruncated) && meta != nil && data != nil &&
+			seen == count-1 && (tag == SectionModels || tag == ""):
+			// The file ends inside (or just before) the final section.
+			// The models section is written last, so with every other
+			// section intact the loss is confined to reconstructible
+			// state.
+			res.Warnings = append(res.Warnings, err.Error())
+			modlDamaged = true
+			break sections
+		default:
+			return res, fmt.Errorf("core: loading snapshot: %w", err)
+		}
+		seen++
+		switch tag {
+		case SectionMeta:
+			meta = payload
+		case SectionData:
+			data = payload
+		case SectionModels:
+			modl = payload
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string][]byte)
+			}
+			res.Extra[tag] = payload
+		}
+	}
+	if meta == nil {
+		return res, fmt.Errorf("core: snapshot has no %q section: %w", SectionMeta, wire.ErrTruncated)
+	}
+	if data == nil {
+		return res, fmt.Errorf("core: snapshot has no %q section: %w", SectionData, wire.ErrTruncated)
+	}
+
 	f := &Flood{}
+	if err := f.decodeMeta(wire.NewReaderBytes(meta)); err != nil {
+		return res, err
+	}
+	if f.t, err = colstore.DecodeTable(wire.NewReaderBytes(data)); err != nil {
+		return res, err
+	}
+	if err := f.validateLayout(); err != nil {
+		return res, err
+	}
+	if modl != nil && !modlDamaged {
+		if err := f.decodeModels(wire.NewReaderBytes(modl)); err != nil {
+			// Structurally invalid despite a valid CRC: recoverable the
+			// same way as a detected flip.
+			res.Warnings = append(res.Warnings, err.Error())
+			modlDamaged = true
+		}
+	} else if modl == nil {
+		modlDamaged = true
+	}
+	if modlDamaged {
+		rebuilt, err := Build(f.t, f.layout, f.opts)
+		if err != nil {
+			return res, fmt.Errorf("core: retraining models from intact data: %w", err)
+		}
+		res.Warnings = append(res.Warnings, "models section damaged; retrained learned models from intact data sections")
+		res.Retrained = true
+		res.Index = rebuilt
+		return res, nil
+	}
+	f.computeCellStats()
+	f.computeParallelCutover()
+	res.Index = f
+	return res, nil
+}
+
+// decodeMeta reads the layout and options from the meta section.
+func (f *Flood) decodeMeta(r *wire.Reader) error {
 	f.layout.GridDims = r.Ints()
 	f.layout.GridCols = r.Ints()
 	f.layout.SortDim = r.Int()
@@ -72,16 +256,27 @@ func Load(in io.Reader) (*Flood, error) {
 	f.opts.Delta = r.F64()
 	f.opts.CDFLeaves = r.Int()
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("core: loading index header: %w", err)
+		return fmt.Errorf("core: loading index header: %w", err)
 	}
-	var err error
-	if f.t, err = colstore.DecodeTable(r); err != nil {
-		return nil, err
-	}
+	return nil
+}
+
+// validateLayout cross-checks the decoded layout against the decoded table
+// and materializes the derived grid state (cell count, strides). The cell
+// count is recomputed with an overflow guard: corrupt column counts must not
+// wrap the product into a plausible small number.
+func (f *Flood) validateLayout() error {
 	if err := f.layout.Validate(f.t.NumCols()); err != nil {
-		return nil, fmt.Errorf("core: loaded layout invalid: %w", err)
+		return fmt.Errorf("core: loaded layout invalid: %w", err)
 	}
-	f.numCells = f.layout.NumCells()
+	cells := 1
+	for _, c := range f.layout.GridCols {
+		cells *= c
+		if cells <= 0 || cells > math.MaxInt32 {
+			return fmt.Errorf("core: loaded layout declares %v grid columns", f.layout.GridCols)
+		}
+	}
+	f.numCells = cells
 	g := len(f.layout.GridDims)
 	f.strides = make([]int, g)
 	stride := 1
@@ -89,27 +284,37 @@ func Load(in io.Reader) (*Flood, error) {
 		f.strides[i] = stride
 		stride *= f.layout.GridCols[i]
 	}
-	f.buckets = make([]bucketer, g)
+	return nil
+}
+
+// decodeModels reads the learned models (bucketers, cell table, refinement
+// models) from the models section and validates the cell table against the
+// loaded data.
+func (f *Flood) decodeModels(r *wire.Reader) error {
+	f.buckets = make([]bucketer, len(f.layout.GridDims))
 	for gi := range f.buckets {
 		switch tag := r.U8(); tag {
 		case 1:
 			cdf, err := rmi.DecodeCDF(r)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			f.buckets[gi] = cdfBucketer{cdf: cdf}
 		case 2:
 			f.buckets[gi] = linearBucketer{min: r.I64(), rangeSz: r.F64()}
 		default:
-			return nil, fmt.Errorf("core: unknown bucketer tag %d", tag)
+			if err := r.Err(); err != nil {
+				return fmt.Errorf("core: loading bucketers: %w", err)
+			}
+			return fmt.Errorf("core: unknown bucketer tag %d", tag)
 		}
 	}
 	f.cellStart = r.I32s()
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("core: loading cell table: %w", err)
+		return fmt.Errorf("core: loading cell table: %w", err)
 	}
-	if len(f.cellStart) != f.numCells+1 {
-		return nil, fmt.Errorf("core: cell table has %d entries, layout needs %d", len(f.cellStart), f.numCells+1)
+	if err := f.validateCellTable(); err != nil {
+		return err
 	}
 	if r.Bool() {
 		f.models = make([]*plm.Model, f.numCells)
@@ -119,14 +324,55 @@ func Load(in io.Reader) (*Flood, error) {
 			}
 			m, err := plm.DecodeModel(r)
 			if err != nil {
-				return nil, fmt.Errorf("core: loading cell model %d: %w", c, err)
+				return fmt.Errorf("core: loading cell model %d: %w", c, err)
 			}
 			f.models[c] = m
 		}
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("core: loading index: %w", err)
+		return fmt.Errorf("core: loading index: %w", err)
+	}
+	return nil
+}
+
+// validateCellTable checks that the cell table is a monotone partition of
+// the loaded rows: corrupt start offsets would otherwise become
+// out-of-range scan bounds at query time.
+func (f *Flood) validateCellTable() error {
+	if len(f.cellStart) != f.numCells+1 {
+		return fmt.Errorf("core: cell table has %d entries, layout needs %d", len(f.cellStart), f.numCells+1)
+	}
+	n := int32(f.t.NumRows())
+	if f.cellStart[0] != 0 || f.cellStart[f.numCells] != n {
+		return fmt.Errorf("core: cell table spans [%d, %d], table has %d rows",
+			f.cellStart[0], f.cellStart[f.numCells], n)
+	}
+	for c := 0; c < f.numCells; c++ {
+		if f.cellStart[c] > f.cellStart[c+1] {
+			return fmt.Errorf("core: cell table decreases at cell %d", c)
+		}
+	}
+	return nil
+}
+
+// loadV1 reads the unframed version-1 format (no checksums); the 8-byte
+// magic has already been consumed.
+func loadV1(r *wire.Reader) (*Flood, error) {
+	f := &Flood{}
+	if err := f.decodeMeta(r); err != nil {
+		return nil, err
+	}
+	var err error
+	if f.t, err = colstore.DecodeTable(r); err != nil {
+		return nil, err
+	}
+	if err := f.validateLayout(); err != nil {
+		return nil, err
+	}
+	if err := f.decodeModels(r); err != nil {
+		return nil, err
 	}
 	f.computeCellStats()
+	f.computeParallelCutover()
 	return f, nil
 }

@@ -69,10 +69,22 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if err := idx.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, cut := range []int{8, 64, buf.Len() / 2, buf.Len() - 4} {
+	for _, cut := range []int{8, 64, buf.Len() / 2} {
 		if _, err := Load(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
 			t.Fatalf("truncation at %d bytes should fail", cut)
 		}
+	}
+	// Truncation confined to the final (models) section degrades instead:
+	// the models are retrained from the intact data sections.
+	res, err := LoadSections(bytes.NewReader(buf.Bytes()[:buf.Len()-4]))
+	if err != nil {
+		t.Fatalf("models-only truncation should recover by retraining, got %v", err)
+	}
+	if !res.Retrained || len(res.Warnings) == 0 {
+		t.Fatalf("models-only truncation should report retraining, got %+v", res)
+	}
+	if res.Index.NumCells() != idx.NumCells() {
+		t.Fatal("retrained index has different cell structure")
 	}
 }
 

@@ -36,6 +36,20 @@ func BuildDictionary(col []string) *Dictionary {
 	return d
 }
 
+// DictionaryFromValues reconstructs a dictionary from its sorted distinct
+// values (the Values of a previously built dictionary) — the snapshot decode
+// path. The slice must be strictly increasing; anything else is corrupt.
+func DictionaryFromValues(values []string) (*Dictionary, error) {
+	d := &Dictionary{values: values, codes: make(map[string]int64, len(values))}
+	for i, s := range values {
+		if i > 0 && values[i-1] >= s {
+			return nil, fmt.Errorf("encode: dictionary values not sorted and distinct at %d", i)
+		}
+		d.codes[s] = int64(i)
+	}
+	return d, nil
+}
+
 // Len returns the number of distinct values.
 func (d *Dictionary) Len() int { return len(d.values) }
 

@@ -26,13 +26,23 @@ func DecodeModel(r *wire.Reader) (*Model, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("plm: decoding model header: %w", err)
 	}
-	m.segs = make([]Segment, cnt)
-	keys := make([]int64, cnt)
-	for i := range m.segs {
-		m.segs[i].Key = r.I64()
-		m.segs[i].Base = r.F64()
-		m.segs[i].Slope = r.F64()
-		keys[i] = m.segs[i].Key
+	if m.n < 0 || cnt < 0 {
+		return nil, fmt.Errorf("plm: model declares n=%d, %d segments", m.n, cnt)
+	}
+	// Grow incrementally: a corrupt segment count must run out of input,
+	// not allocate the declared size up front.
+	m.segs = make([]Segment, 0, min(cnt, 4096))
+	keys := make([]int64, 0, min(cnt, 4096))
+	for i := 0; i < cnt; i++ {
+		var s Segment
+		s.Key = r.I64()
+		s.Base = r.F64()
+		s.Slope = r.F64()
+		if r.Err() != nil {
+			break
+		}
+		m.segs = append(m.segs, s)
+		keys = append(keys, s.Key)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("plm: decoding segments: %w", err)

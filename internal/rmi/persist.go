@@ -37,12 +37,19 @@ func DecodeCDF(r *wire.Reader) (*CDF, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("rmi: CDF with %d leaves", n)
 	}
-	m.leaves = make([]cdfLeaf, n)
-	for i := range m.leaves {
-		m.leaves[i].model.slope = r.F64()
-		m.leaves[i].model.intercept = r.F64()
-		m.leaves[i].lo = r.F64()
-		m.leaves[i].hi = r.F64()
+	// Grow incrementally: a corrupt leaf count must run out of input, not
+	// allocate the declared size up front.
+	m.leaves = make([]cdfLeaf, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		var lf cdfLeaf
+		lf.model.slope = r.F64()
+		lf.model.intercept = r.F64()
+		lf.lo = r.F64()
+		lf.hi = r.F64()
+		if r.Err() != nil {
+			break
+		}
+		m.leaves = append(m.leaves, lf)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("rmi: decoding CDF leaves: %w", err)

@@ -6,10 +6,26 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+)
+
+// Typed corruption errors. Every decode failure caused by damaged input wraps
+// one of these, so callers can distinguish a short file from a bit flip from
+// a foreign or future format with errors.Is.
+var (
+	// ErrTruncated reports input that ends before a complete structure
+	// (header, section, length-prefixed field) could be read.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrChecksum reports a section whose payload does not match its CRC.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	// ErrVersion reports input that is not a recognized flood snapshot or
+	// carries an unsupported format version.
+	ErrVersion = errors.New("wire: unsupported format or version")
 )
 
 // Writer serializes primitive fields to an underlying stream.
@@ -161,6 +177,10 @@ type Reader struct {
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1<<16)} }
 
+// NewReaderBytes reads fields from an in-memory buffer, such as a verified
+// snapshot section payload.
+func NewReaderBytes(b []byte) *Reader { return &Reader{r: bufio.NewReader(bytes.NewReader(b))} }
+
 // Err returns the first error encountered.
 func (r *Reader) Err() error { return r.err }
 
@@ -168,7 +188,12 @@ func (r *Reader) read(buf []byte) {
 	if r.err != nil {
 		return
 	}
-	_, r.err = io.ReadFull(r.r, buf)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("unexpected end of input: %w", ErrTruncated)
+		}
+		r.err = err
+	}
 }
 
 // U64 reads a fixed 8-byte unsigned integer.
@@ -225,9 +250,33 @@ func (r *Reader) Str() string {
 	if r.err != nil {
 		return ""
 	}
-	buf := make([]byte, n)
-	r.read(buf)
-	return string(buf)
+	out := make([]byte, 0, allocHint(n))
+	var buf [8 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), len(buf))
+		r.read(buf[:k])
+		if r.err != nil {
+			return ""
+		}
+		out = append(out, buf[:k]...)
+	}
+	return string(out)
+}
+
+// Slice readers grow their result incrementally in bounded batches instead
+// of trusting the length prefix with one up-front allocation: a corrupt or
+// hostile prefix claiming 2^30 elements fails with ErrTruncated after
+// reading (and allocating) only what the input actually contains. readBatch
+// is the shared chunk size in elements.
+const readBatch = 512
+
+// allocHint caps the initial capacity reserved from a length prefix before
+// any payload bytes have been validated.
+func allocHint(n int) int {
+	if n > 1<<16 {
+		return 1 << 16
+	}
+	return n
 }
 
 // I64s reads a length-prefixed int64 slice.
@@ -236,9 +285,17 @@ func (r *Reader) I64s() []int64 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = r.I64()
+	out := make([]int64, 0, allocHint(n))
+	var buf [8 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), readBatch)
+		r.read(buf[:8*k])
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
 	}
 	return out
 }
@@ -249,9 +306,17 @@ func (r *Reader) U64s() []uint64 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = r.U64()
+	out := make([]uint64, 0, allocHint(n))
+	var buf [8 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), readBatch)
+		r.read(buf[:8*k])
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[i*8:]))
+		}
 	}
 	return out
 }
@@ -262,9 +327,17 @@ func (r *Reader) U32s() []uint32 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint32, n)
-	for i := range out {
-		out[i] = r.U32()
+	out := make([]uint32, 0, allocHint(n))
+	var buf [4 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), readBatch)
+		r.read(buf[:4*k])
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[i*4:]))
+		}
 	}
 	return out
 }
@@ -275,9 +348,17 @@ func (r *Reader) I32s() []int32 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(r.U32())
+	out := make([]int32, 0, allocHint(n))
+	var buf [4 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), readBatch)
+		r.read(buf[:4*k])
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
 	}
 	return out
 }
@@ -288,8 +369,16 @@ func (r *Reader) U8s() []uint8 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint8, n)
-	r.read(out)
+	out := make([]uint8, 0, allocHint(n))
+	var buf [8 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), len(buf))
+		r.read(buf[:k])
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, buf[:k]...)
+	}
 	return out
 }
 
@@ -299,9 +388,17 @@ func (r *Reader) Ints() []int {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = r.Int()
+	out := make([]int, 0, allocHint(n))
+	var buf [8 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), readBatch)
+		r.read(buf[:8*k])
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, int(int64(binary.LittleEndian.Uint64(buf[i*8:]))))
+		}
 	}
 	return out
 }
@@ -312,9 +409,17 @@ func (r *Reader) F64s() []float64 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.F64()
+	out := make([]float64, 0, allocHint(n))
+	var buf [8 * readBatch]byte
+	for len(out) < n {
+		k := min(n-len(out), readBatch)
+		r.read(buf[:8*k])
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
 	}
 	return out
 }
@@ -325,9 +430,12 @@ func (r *Reader) Strs() []string {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]string, n)
-	for i := range out {
-		out[i] = r.Str()
+	out := make([]string, 0, allocHint(n))
+	for len(out) < n {
+		out = append(out, r.Str())
+		if r.err != nil {
+			return nil
+		}
 	}
 	return out
 }

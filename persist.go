@@ -1,23 +1,171 @@
 package flood
 
 import (
+	"bufio"
+	"errors"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"syscall"
 
 	"flood/internal/core"
 	"flood/internal/optimizer"
+	"flood/internal/wire"
 )
 
-// Save serializes the built index (layout, reordered data, and all learned
-// models) to w. The cost model and predicted cost are not persisted: a
-// loaded index answers queries immediately, but relearning needs a model
-// (see Calibrate).
-func (f *Flood) Save(w io.Writer) error { return f.idx.Save(w) }
+// Typed corruption errors, re-exported from the wire format so callers can
+// classify Load failures with errors.Is without importing internal packages.
+var (
+	// ErrTruncated reports a snapshot or log that ends before a complete
+	// structure.
+	ErrTruncated = wire.ErrTruncated
+	// ErrChecksum reports data whose checksum does not match its contents —
+	// a bit flip, torn write, or foreign bytes.
+	ErrChecksum = wire.ErrChecksum
+	// ErrVersion reports a snapshot written by an unknown format version.
+	ErrVersion = wire.ErrVersion
+)
 
-// Load reads an index written by Save.
-func Load(r io.Reader) (*Flood, error) {
-	idx, err := core.Load(r)
-	if err != nil {
-		return nil, err
+// LoadReport describes degraded-recovery decisions a Load took. A loaded
+// index answers queries correctly either way; the report says whether the
+// load had to pay a model retrain to get there.
+type LoadReport struct {
+	// Retrained is true when the snapshot's models section was damaged and
+	// the learned models were rebuilt from the intact data sections.
+	Retrained bool
+	// Warnings describes each degraded-recovery decision.
+	Warnings []string
+}
+
+// Save serializes the built index — layout, reordered data, all learned
+// models, and the attached typed schema (if any) — as a checksummed v2
+// snapshot. The cost model and predicted cost are not persisted: a loaded
+// index answers queries immediately, but relearning needs a model (see
+// Calibrate).
+func (f *Flood) Save(w io.Writer) error {
+	var extra []core.ExtraSection
+	if f.schema != nil {
+		extra = append(extra, core.ExtraSection{Tag: sectionSchema, Encode: f.schema.encodeSchema})
 	}
-	return &Flood{idx: idx, result: optimizer.Result{Layout: idx.Layout()}}, nil
+	return f.idx.SaveSections(w, extra)
+}
+
+// Load reads an index written by Save (either format version). Corruption
+// surfaces as an error wrapping ErrTruncated, ErrChecksum, or ErrVersion —
+// except damage confined to the learned-models section, which Load repairs
+// by retraining from the intact data (use LoadWithReport to observe that).
+// A schema persisted by Save is re-attached automatically.
+func Load(r io.Reader) (*Flood, error) {
+	f, _, err := LoadWithReport(r)
+	return f, err
+}
+
+// LoadWithReport is Load plus a report of any degraded-recovery decisions.
+func LoadWithReport(r io.Reader) (*Flood, LoadReport, error) {
+	res, err := core.LoadSections(r)
+	if err != nil {
+		return nil, LoadReport{}, err
+	}
+	f, err := floodFromLoadResult(res)
+	if err != nil {
+		return nil, LoadReport{}, err
+	}
+	return f, LoadReport{Retrained: res.Retrained, Warnings: res.Warnings}, nil
+}
+
+// floodFromLoadResult wraps a decoded core index in the public handle,
+// re-attaching the persisted schema if the snapshot carried one.
+func floodFromLoadResult(res core.LoadResult) (*Flood, error) {
+	f := &Flood{idx: res.Index, result: optimizer.Result{Layout: res.Index.Layout()}}
+	if payload, ok := res.Extra[sectionSchema]; ok {
+		s, err := decodeSchema(payload)
+		if err != nil {
+			return nil, err
+		}
+		f.schema = s
+	}
+	return f, nil
+}
+
+// SaveFile writes the snapshot to path atomically: the bytes go to a
+// temporary file in the same directory, which is fsynced and renamed over
+// path, and the directory is fsynced so the rename itself is durable. A
+// crash at any point leaves either the old file or the new one, never a
+// partial mix.
+func (f *Flood) SaveFile(path string) error {
+	return WriteFileAtomic(path, f.Save)
+}
+
+// LoadFile reads an index from a snapshot file written by SaveFile (or any
+// Save output on disk), with Load's corruption and recovery semantics.
+func LoadFile(path string) (*Flood, error) {
+	f, _, err := LoadFileWithReport(path)
+	return f, err
+}
+
+// LoadFileWithReport is LoadFile plus the degraded-recovery report.
+func LoadFileWithReport(path string) (*Flood, LoadReport, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, LoadReport{}, err
+	}
+	defer file.Close()
+	return LoadWithReport(bufio.NewReaderSize(file, 1<<20))
+}
+
+// WriteFileAtomic writes a file through the write-temp, fsync, rename,
+// fsync-directory sequence, so path holds either its previous contents or
+// the complete new contents — never a torn intermediate. It is the
+// building block under SaveFile and the durable checkpoint protocol.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so preceding renames and creates in it are
+// durable. Filesystems that do not support fsync on directories report
+// EINVAL; that is ignored.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncError(err) {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// ignorableSyncError reports fsync errors that mean "not supported here"
+// rather than "your data did not reach the disk".
+func ignorableSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
 }

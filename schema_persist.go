@@ -1,0 +1,102 @@
+package flood
+
+import (
+	"fmt"
+	"time"
+
+	"flood/internal/encode"
+	"flood/internal/wire"
+)
+
+// The schema snapshot section ("schm") persists the typed schema attached to
+// an index — column names and kinds plus the fitted encoders (string
+// dictionaries, decimal scalers, time codecs) — so a loaded index serves
+// typed Select and floodsql queries without the caller re-supplying the
+// schema it built with.
+const sectionSchema = "schm"
+
+// encodeSchema writes the schema as a snapshot section payload.
+func (s *Schema) encodeSchema(w *wire.Writer) {
+	w.Int(len(s.fields))
+	for i := range s.fields {
+		f := &s.fields[i]
+		w.Str(f.name)
+		w.U8(uint8(f.kind))
+		switch f.kind {
+		case KindFloat64:
+			w.I64(int64(f.digits))
+			w.Bool(f.scaler != nil)
+			if f.scaler != nil {
+				w.Int(f.scaler.Digits())
+			}
+		case KindString:
+			w.Bool(f.dict != nil)
+			if f.dict != nil {
+				w.Strs(f.dict.Values())
+			}
+		case KindTime:
+			w.I64(int64(f.tcodec.Unit))
+		}
+	}
+}
+
+// decodeSchema reconstructs a schema from a CRC-verified section payload.
+func decodeSchema(payload []byte) (*Schema, error) {
+	r := wire.NewReaderBytes(payload)
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("flood: schema section: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("flood: schema section declares %d columns", n)
+	}
+	s := NewSchema()
+	for i := 0; i < n; i++ {
+		name := r.Str()
+		kind := Kind(r.U8())
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("flood: schema column %d: %w", i, err)
+		}
+		f := field{name: name, kind: kind}
+		switch kind {
+		case KindInt64:
+		case KindFloat64:
+			f.digits = int(r.I64())
+			if r.Bool() {
+				sc, err := encode.NewDecimalScaler(r.Int())
+				if r.Err() == nil && err != nil {
+					return nil, fmt.Errorf("flood: schema column %q: %w", name, err)
+				}
+				f.scaler = sc
+			}
+		case KindString:
+			if r.Bool() {
+				d, err := encode.DictionaryFromValues(r.Strs())
+				if r.Err() == nil && err != nil {
+					return nil, fmt.Errorf("flood: schema column %q: %w", name, err)
+				}
+				f.dict = d
+			}
+		case KindTime:
+			u := time.Duration(r.I64())
+			if r.Err() == nil && u <= 0 {
+				return nil, fmt.Errorf("flood: schema column %q has non-positive time unit %d", name, u)
+			}
+			f.tcodec = encode.TimeCodec{Unit: u}
+		default:
+			return nil, fmt.Errorf("flood: schema column %q has unknown kind %d", name, kind)
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("flood: schema column %d: %w", i, err)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("flood: schema column %d has empty name", i)
+		}
+		if _, dup := s.byName[name]; dup {
+			return nil, fmt.Errorf("flood: schema has duplicate column %q", name)
+		}
+		s.byName[name] = len(s.fields)
+		s.fields = append(s.fields, f)
+	}
+	return s, nil
+}

@@ -68,7 +68,9 @@ func TestDeltaMergeSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded.SetSchema(fx.schema)
+	if loaded.Schema() == nil {
+		t.Fatal("schema not auto-restored from the snapshot (no SetSchema needed)")
+	}
 	if loaded.Table().NumRows() != 3500 {
 		t.Fatalf("loaded table has %d rows, want 3500", loaded.Table().NumRows())
 	}
