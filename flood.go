@@ -157,6 +157,13 @@ type Options struct {
 	// the morsel-driven parallel engine. 0 picks the default (32K rows);
 	// negative keeps every query sequential.
 	ParallelCutoverRows int
+	// BitmapIndexMaxCardinality is the largest per-column value spread
+	// (max-min+1) for which Build creates a bitmap index. Residual filters
+	// on bitmap-indexed columns — dictionary-coded strings, enums, flags —
+	// resolve as precomputed-bitmap ANDs in the scan kernel instead of
+	// decode-and-compare passes. 0 picks the default (64 distinct values);
+	// negative disables bitmap indexes.
+	BitmapIndexMaxCardinality int
 	// Schema attaches the typed schema the table was built with, enabling
 	// typed accessors on Select results. Equivalent to SetSchema after
 	// Build.
@@ -166,7 +173,11 @@ type Options struct {
 }
 
 func (o Options) coreOptions() core.Options {
-	return core.Options{Delta: o.Delta, ParallelCutover: o.ParallelCutoverRows}
+	return core.Options{
+		Delta:                o.Delta,
+		ParallelCutover:      o.ParallelCutoverRows,
+		BitmapMaxCardinality: o.BitmapIndexMaxCardinality,
+	}
 }
 
 func (o *Options) orDefault() Options {

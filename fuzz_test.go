@@ -69,6 +69,15 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte("FLOODIX1garbage"))
 	f.Add([]byte("FLOOD\x02\xff\xff"))
 	f.Add([]byte{})
+	// The bitmap-index section is reconstructible: a checksum-damaged copy
+	// must load through the rebuild path, a truncation inside it must fail
+	// with a typed error. Seed both shapes.
+	if at := bytes.Index(snap, []byte("bidx")); at >= 0 {
+		mut := append([]byte(nil), snap...)
+		mut[at+16] ^= 0xFF
+		f.Add(mut)
+		f.Add(snap[:at+10])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		idx, err := Load(bytes.NewReader(data))

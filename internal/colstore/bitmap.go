@@ -1,0 +1,105 @@
+package colstore
+
+// Per-column bitmap indexes for low-cardinality columns (the kelindar/column
+// technique adapted to block-delta storage): one word-packed row bitmap per
+// distinct value of a dense, narrow domain — dictionary-coded strings are the
+// canonical case. A range predicate over such a column (equality, a small IN
+// set, a dictionary prefix range) resolves per block as an OR of the matching
+// value bitmaps ANDed into the scan kernel's selection bitmap, replacing the
+// residual decode-and-compare entirely.
+
+// BlockWords is the number of 64-bit words in one block's selection bitmap
+// (the scan kernel's per-block survivor mask).
+const BlockWords = BlockSize / 64
+
+// BlockBitmap is one block's selection bitmap: bit i of word i/64 set means
+// row blockStart+i survives the filters applied so far.
+type BlockBitmap [BlockWords]uint64
+
+// BitmapIndex is a positional index over one column whose values span a
+// small dense domain [min, min+card): for each value v the index stores a
+// bitmap of the rows holding v, packed 64 rows per word. Bits at or beyond
+// the row count are always zero. A BitmapIndex is immutable after
+// construction and safe for concurrent readers.
+type BitmapIndex struct {
+	min    int64
+	card   int
+	n      int      // rows covered
+	nWords int      // words per value bitmap: ceil(n/64)
+	bits   []uint64 // card consecutive bitmaps of nWords each
+}
+
+// NewBitmapIndex builds a bitmap index over c, or returns nil when the
+// column does not qualify: empty columns, and columns whose global value
+// spread (max-min+1) exceeds maxCard, are skipped — a wide domain would cost
+// O(spread · rows/8) bytes for bitmaps that are almost all zero.
+func NewBitmapIndex(c *Column, maxCard int) *BitmapIndex {
+	if c.n == 0 || maxCard <= 0 {
+		return nil
+	}
+	minV, maxV := c.mins[0], c.maxs[0]
+	for b := 1; b < len(c.mins); b++ {
+		if c.mins[b] < minV {
+			minV = c.mins[b]
+		}
+		if c.maxs[b] > maxV {
+			maxV = c.maxs[b]
+		}
+	}
+	spread := uint64(maxV) - uint64(minV)
+	if spread >= uint64(maxCard) {
+		return nil
+	}
+	bi := &BitmapIndex{
+		min:    minV,
+		card:   int(spread) + 1,
+		n:      c.n,
+		nWords: (c.n + 63) / 64,
+	}
+	bi.bits = make([]uint64, bi.card*bi.nWords)
+	var buf [BlockSize]int64
+	for b := 0; b < len(c.mins); b++ {
+		cnt := c.DecodeBlock(b, buf[:])
+		base := b * BlockSize
+		for i := 0; i < cnt; i++ {
+			row := base + i
+			v := int(buf[i] - minV)
+			bi.bits[v*bi.nWords+row>>6] |= 1 << uint(row&63)
+		}
+	}
+	return bi
+}
+
+// Cardinality returns the size of the indexed value domain (max-min+1, which
+// bounds the number of per-value bitmaps).
+func (bi *BitmapIndex) Cardinality() int { return bi.card }
+
+// MinValue returns the smallest value of the indexed domain.
+func (bi *BitmapIndex) MinValue() int64 { return bi.min }
+
+// SizeBytes reports the in-memory footprint of the index.
+func (bi *BitmapIndex) SizeBytes() int64 { return int64(len(bi.bits)) * 8 }
+
+// AndBlock intersects sel with the set of rows of block b whose value lies
+// in [lo, hi]: the matching value bitmaps are ORed together over the block's
+// word range and ANDed into sel. Bounds outside the indexed domain clamp;
+// an empty intersection zeroes sel.
+func (bi *BitmapIndex) AndBlock(sel *BlockBitmap, b int, lo, hi int64) {
+	if lo < bi.min {
+		lo = bi.min
+	}
+	if maxV := bi.min + int64(bi.card) - 1; hi > maxV {
+		hi = maxV
+	}
+	w0 := b * BlockWords
+	var acc BlockBitmap
+	for v := lo; v <= hi; v++ {
+		row := bi.bits[int(v-bi.min)*bi.nWords:]
+		for k := 0; k < BlockWords && w0+k < bi.nWords; k++ {
+			acc[k] |= row[w0+k]
+		}
+	}
+	for k := range sel {
+		sel[k] &= acc[k]
+	}
+}

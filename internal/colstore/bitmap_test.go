@@ -1,0 +1,189 @@
+package colstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"flood/internal/wire"
+)
+
+// lowCardColumn builds a column of n values drawn from [base, base+card).
+func lowCardColumn(n int, base int64, card int, seed int64) (*Column, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = base + rng.Int63n(int64(card))
+	}
+	return NewColumn(vals), vals
+}
+
+func TestBitmapIndexSkipsUnqualifiedColumns(t *testing.T) {
+	if bi := NewBitmapIndex(NewColumn(nil), 64); bi != nil {
+		t.Fatal("empty column should not build a bitmap index")
+	}
+	c, _ := lowCardColumn(100, 0, 10, 1)
+	if bi := NewBitmapIndex(c, 0); bi != nil {
+		t.Fatal("maxCard 0 should disable bitmap indexes")
+	}
+	wide := NewColumn([]int64{0, 1 << 40})
+	if bi := NewBitmapIndex(wide, 64); bi != nil {
+		t.Fatal("wide-spread column should not build a bitmap index")
+	}
+	// maxCard bounds the value count (spread+1): exactly at the threshold
+	// builds, one over does not.
+	edge := NewColumn([]int64{5, 5 + 9}) // 10 distinct values in the domain
+	if bi := NewBitmapIndex(edge, 9); bi != nil {
+		t.Fatal("domain of 10 values should be rejected at maxCard 9")
+	}
+	if bi := NewBitmapIndex(edge, 10); bi == nil {
+		t.Fatal("domain of 10 values should build at maxCard 10")
+	} else if bi.Cardinality() != 10 || bi.MinValue() != 5 {
+		t.Fatalf("card=%d min=%d, want 10, 5", bi.Cardinality(), bi.MinValue())
+	}
+}
+
+// bruteAndBlock recomputes what AndBlock should leave in sel for block b.
+func bruteAndBlock(vals []int64, sel BlockBitmap, b int, lo, hi int64) BlockBitmap {
+	base := b * BlockSize
+	var out BlockBitmap
+	for i := 0; i < BlockSize; i++ {
+		row := base + i
+		if row >= len(vals) {
+			break
+		}
+		if sel[i/64]&(1<<uint(i%64)) == 0 {
+			continue
+		}
+		if vals[row] >= lo && vals[row] <= hi {
+			out[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return out
+}
+
+func TestBitmapIndexAndBlockMatchesBruteForce(t *testing.T) {
+	// 5 full blocks plus a partial trailing block; negative domain base
+	// exercises the signed min/max handling.
+	const n = 5*BlockSize + 37
+	c, vals := lowCardColumn(n, -3, 17, 2)
+	bi := NewBitmapIndex(c, 64)
+	if bi == nil {
+		t.Fatal("index should build")
+	}
+	rng := rand.New(rand.NewSource(3))
+	nBlocks := (n + BlockSize - 1) / BlockSize
+	for trial := 0; trial < 500; trial++ {
+		b := rng.Intn(nBlocks)
+		// Bounds beyond the domain on both sides exercise clamping.
+		lo := int64(-10 + rng.Intn(30))
+		hi := lo + int64(rng.Intn(25))
+		var sel BlockBitmap
+		for k := range sel {
+			sel[k] = rng.Uint64()
+		}
+		want := bruteAndBlock(vals, sel, b, lo, hi)
+		got := sel
+		bi.AndBlock(&got, b, lo, hi)
+		if got != want {
+			t.Fatalf("trial %d: AndBlock(b=%d, [%d,%d]) = %v, want %v", trial, b, lo, hi, got, want)
+		}
+	}
+}
+
+func TestBitmapIndexAndBlockEmptyIntersection(t *testing.T) {
+	c, _ := lowCardColumn(200, 0, 8, 4)
+	bi := NewBitmapIndex(c, 64)
+	sel := BlockBitmap{^uint64(0), ^uint64(0)}
+	bi.AndBlock(&sel, 0, 100, 200) // entirely above the domain
+	if sel != (BlockBitmap{}) {
+		t.Fatalf("disjoint range should zero sel, got %v", sel)
+	}
+	sel = BlockBitmap{^uint64(0), ^uint64(0)}
+	bi.AndBlock(&sel, 0, -50, -10) // entirely below the domain
+	if sel != (BlockBitmap{}) {
+		t.Fatalf("disjoint range should zero sel, got %v", sel)
+	}
+}
+
+func TestBitmapIndexTailBitsZero(t *testing.T) {
+	// Rows at or beyond n must never be set, even with a full-domain range.
+	const n = BlockSize + 5
+	c, _ := lowCardColumn(n, 0, 4, 5)
+	bi := NewBitmapIndex(c, 64)
+	sel := BlockBitmap{^uint64(0), ^uint64(0)}
+	bi.AndBlock(&sel, 1, 0, 3)
+	for i := n - BlockSize; i < BlockSize; i++ {
+		if sel[i/64]&(1<<uint(i%64)) != 0 {
+			t.Fatalf("bit %d set beyond row count", i)
+		}
+	}
+}
+
+func TestBitmapIndexRoundTrip(t *testing.T) {
+	const n = 3*BlockSize + 11
+	c, vals := lowCardColumn(n, 2, 23, 6)
+	bi := NewBitmapIndex(c, 64)
+
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	bi.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBitmapIndex(wire.NewReaderBytes(buf.Bytes()), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != bi.Cardinality() || got.MinValue() != bi.MinValue() {
+		t.Fatalf("round trip changed domain: card %d→%d min %d→%d",
+			bi.Cardinality(), got.Cardinality(), bi.MinValue(), got.MinValue())
+	}
+	// Decoded index answers identically.
+	sel1 := BlockBitmap{^uint64(0), ^uint64(0)}
+	sel2 := sel1
+	bi.AndBlock(&sel1, 1, 5, 9)
+	got.AndBlock(&sel2, 1, 5, 9)
+	if sel1 != sel2 {
+		t.Fatalf("decoded index disagrees: %v vs %v", sel1, sel2)
+	}
+	_ = vals
+
+	// Row-count mismatch and truncation must error, not decode garbage.
+	if _, err := DecodeBitmapIndex(wire.NewReaderBytes(buf.Bytes()), n+1); err == nil {
+		t.Fatal("want error for row-count mismatch")
+	}
+	if _, err := DecodeBitmapIndex(wire.NewReaderBytes(buf.Bytes()[:8]), n); err == nil {
+		t.Fatal("want error for truncated payload")
+	}
+}
+
+func TestEnableBitmapIndexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 400
+	low := make([]int64, n)  // qualifies: 6 distinct values
+	wide := make([]int64, n) // does not: large spread
+	for i := 0; i < n; i++ {
+		low[i] = rng.Int63n(6)
+		wide[i] = rng.Int63n(1 << 30)
+	}
+	tbl, err := NewTable([]string{"low", "wide"}, [][]int64{low, wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built := tbl.EnableBitmapIndexes(64); built != 1 {
+		t.Fatalf("built %d indexes, want 1", built)
+	}
+	if tbl.Bitmap(0) == nil || tbl.Bitmap(1) != nil {
+		t.Fatalf("Bitmap(0)=%v Bitmap(1)=%v, want index only on low column", tbl.Bitmap(0), tbl.Bitmap(1))
+	}
+	if tbl.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes should include bitmap footprint")
+	}
+	if built := tbl.EnableBitmapIndexes(-1); built != 0 {
+		t.Fatal("negative maxCard should clear indexes")
+	}
+	if tbl.Bitmap(0) != nil {
+		t.Fatal("indexes should be cleared")
+	}
+}

@@ -108,3 +108,38 @@ func (c *Column) validate() error {
 	}
 	return nil
 }
+
+// Encode serializes bi for embedding in a snapshot section.
+func (bi *BitmapIndex) Encode(w *wire.Writer) {
+	w.I64(bi.min)
+	w.Int(bi.card)
+	w.Int(bi.n)
+	w.U64s(bi.bits)
+}
+
+// DecodeBitmapIndex reads a bitmap index written by BitmapIndex.Encode and
+// validates it against a table of n rows. The payload arrives CRC-verified,
+// so validation guards structure (sizes, domain), not content.
+func DecodeBitmapIndex(r *wire.Reader, n int) (*BitmapIndex, error) {
+	bi := &BitmapIndex{
+		min:  r.I64(),
+		card: r.Int(),
+		n:    r.Int(),
+	}
+	bi.bits = r.U64s()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("colstore: decoding bitmap index: %w", err)
+	}
+	if bi.n != n {
+		return nil, fmt.Errorf("colstore: bitmap index covers %d rows, table has %d", bi.n, n)
+	}
+	if bi.card < 1 {
+		return nil, fmt.Errorf("colstore: bitmap index declares cardinality %d", bi.card)
+	}
+	bi.nWords = (n + 63) / 64
+	if len(bi.bits) != bi.card*bi.nWords {
+		return nil, fmt.Errorf("colstore: bitmap index has %d words, %d values over %d rows need %d",
+			len(bi.bits), bi.card, n, bi.card*bi.nWords)
+	}
+	return bi, nil
+}

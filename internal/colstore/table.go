@@ -13,6 +13,7 @@ type Table struct {
 	names    []string
 	cols     []*Column
 	prefixes [][]int64 // optional per-column prefix sums (len n+1), nil if absent
+	bitmaps  []*BitmapIndex // optional per-column bitmap indexes, nil if absent
 	n        int
 }
 
@@ -83,8 +84,10 @@ func (t *Table) Raw(i int) []int64 { return t.cols[i].Decode() }
 
 // Reorder returns a new table whose row r holds the original row perm[r].
 // perm must be a permutation of [0, NumRows). Aggregate columns are rebuilt
-// for the same set of columns that had them. Columns are independent, so
-// they decode, permute, and recompress in parallel.
+// for the same set of columns that had them; bitmap indexes are positional
+// and are not carried over — builders call EnableBitmapIndexes on the
+// reordered table. Columns are independent, so they decode, permute, and
+// recompress in parallel.
 func (t *Table) Reorder(perm []int) *Table {
 	nt := &Table{
 		names:    append([]string(nil), t.names...),
@@ -141,6 +144,63 @@ func (t *Table) buildPrefix(c int, raw []int64) {
 // HasAggregate reports whether column c has a cumulative-aggregation column.
 func (t *Table) HasAggregate(c int) bool { return t.prefixes[c] != nil }
 
+// EnableBitmapIndexes builds a bitmap index for every column whose value
+// spread fits maxCard (see NewBitmapIndex), replacing any existing set, and
+// returns how many columns were indexed. Columns build in parallel — each
+// pays one decode pass. The scan kernel consults the indexes automatically;
+// maxCard <= 0 clears them. Not safe to call concurrently with queries.
+func (t *Table) EnableBitmapIndexes(maxCard int) int {
+	if maxCard <= 0 {
+		t.bitmaps = nil
+		return 0
+	}
+	bitmaps := make([]*BitmapIndex, len(t.cols))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(t.cols) {
+		workers = len(t.cols)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < len(t.cols); c += workers {
+				bitmaps[c] = NewBitmapIndex(t.cols[c], maxCard)
+			}
+		}(w)
+	}
+	wg.Wait()
+	built := 0
+	for _, bi := range bitmaps {
+		if bi != nil {
+			built++
+		}
+	}
+	t.bitmaps = bitmaps
+	return built
+}
+
+// Bitmap returns column c's bitmap index, or nil when the column has none
+// (never built, or the column's domain was too wide to qualify).
+func (t *Table) Bitmap(c int) *BitmapIndex {
+	if t.bitmaps == nil {
+		return nil
+	}
+	return t.bitmaps[c]
+}
+
+// SetBitmap attaches a decoded bitmap index to column c (the snapshot-load
+// path). A nil index clears the column's entry.
+func (t *Table) SetBitmap(c int, bi *BitmapIndex) {
+	if t.bitmaps == nil {
+		if bi == nil {
+			return
+		}
+		t.bitmaps = make([]*BitmapIndex, len(t.cols))
+	}
+	t.bitmaps[c] = bi
+}
+
 // PrefixSum returns sum of column c over rows [start, end). It panics if the
 // aggregate column was not enabled.
 func (t *Table) PrefixSum(c, start, end int) int64 {
@@ -149,13 +209,16 @@ func (t *Table) PrefixSum(c, start, end int) int64 {
 }
 
 // SizeBytes reports the compressed footprint of all columns plus any
-// aggregate companions.
+// aggregate companions and bitmap indexes.
 func (t *Table) SizeBytes() int64 {
 	var s int64
 	for i, c := range t.cols {
 		s += c.SizeBytes()
 		if t.prefixes[i] != nil {
 			s += int64(len(t.prefixes[i])) * 8
+		}
+		if bi := t.Bitmap(i); bi != nil {
+			s += bi.SizeBytes()
 		}
 	}
 	return s

@@ -52,12 +52,31 @@ const defaultParallelCutover = 32 * 1024
 // helper scheduled after its job drained returns without touching the job's
 // data, so queued helpers can safely outlive the query that submitted them.
 type workerPool struct {
-	tasks   chan func()
+	tasks   chan poolTask
 	mu      sync.Mutex
 	spawned int
 }
 
-var execPool = &workerPool{tasks: make(chan func(), 1024)}
+// poolTask is one queued helper: either a plain closure (the build and
+// refinement paths) or a (job, generation) pair — morsel jobs are recycled,
+// so they submit by value instead of binding a fresh closure per query, and
+// the generation lets a stale helper detect that its job has since been
+// retired and reused (see morselJob.helperRun).
+type poolTask struct {
+	fn  func()
+	job *morselJob
+	gen uint64
+}
+
+func (t poolTask) run() {
+	if t.fn != nil {
+		t.fn()
+		return
+	}
+	t.job.helperRun(t.gen)
+}
+
+var execPool = &workerPool{tasks: make(chan poolTask, 1024)}
 
 // maxWorkers is the concurrency target, re-read on every query so tests and
 // servers that adjust GOMAXPROCS see the change without restarting the pool.
@@ -74,32 +93,38 @@ func (p *workerPool) ensure(n int) {
 }
 
 func (p *workerPool) worker() {
-	for fn := range p.tasks {
-		fn()
+	for t := range p.tasks {
+		t.run()
+	}
+}
+
+// offer enqueues up to helpers copies of t without blocking: a full queue
+// just means fewer helpers (the work still completes via the participating
+// caller and whichever helpers got in). Helpers are capped at GOMAXPROCS-1 —
+// beyond that they add no parallelism, and the cap keeps a caller-supplied
+// worker count from permanently growing the resident pool.
+func (p *workerPool) offer(helpers int, t poolTask) {
+	if max := maxWorkers() - 1; helpers > max {
+		helpers = max
+	}
+	if helpers <= 0 {
+		return
+	}
+	p.ensure(helpers)
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.tasks <- t:
+		default:
+			return
+		}
 	}
 }
 
 // fanOut offers up to helpers copies of run to the pool, then runs one claim
 // loop on the calling goroutine. run must be safe to execute concurrently
-// and must be a no-op once its job's cursor is exhausted. Helpers are capped
-// at GOMAXPROCS-1 — beyond that they add no parallelism, and the cap keeps a
-// caller-supplied worker count from permanently growing the resident pool.
+// and must be a no-op once its job's cursor is exhausted.
 func (p *workerPool) fanOut(helpers int, run func()) {
-	if max := maxWorkers() - 1; helpers > max {
-		helpers = max
-	}
-	if helpers > 0 {
-		p.ensure(helpers)
-		for i := 0; i < helpers; i++ {
-			select {
-			case p.tasks <- run:
-			default:
-				// Queue full: the work still completes via the
-				// participating caller and whichever helpers got in.
-				i = helpers
-			}
-		}
-	}
+	p.offer(helpers, poolTask{fn: run})
 	run()
 }
 
@@ -226,16 +251,58 @@ func maskDims(mask uint64, buf []int) []int {
 // claim cursor, and the merge point. wg counts morsels, not helpers — a
 // worker releases its claimed morsels only after folding its partial
 // aggregate and stats into the job, so wg.Wait() implies the merge is done.
+//
+// Jobs are pooled across queries. Helpers queued for a finished query may
+// still hold the job pointer, so reuse is guarded by (gen, entered): a
+// helper atomically registers in entered, checks that the generation it was
+// queued with is still current, and only then touches the rest of the job;
+// retire bumps gen first and then waits entered out, so a recycled job's
+// plain fields are never written while a stale helper can read them.
 type morselJob struct {
 	f                       *Flood
 	q                       query.Query
 	ctl                     *query.Control // nil: unconditioned scan
 	morsels                 []morsel
 	cursor                  atomic.Int64
+	gen                     atomic.Uint64
+	entered                 atomic.Int64
 	wg                      sync.WaitGroup
 	mu                      sync.Mutex
 	agg                     query.Mergeable
 	scanned, matched, exact int64
+}
+
+var morselJobPool = sync.Pool{New: func() any { return new(morselJob) }}
+
+// helperRun is the pool-helper entry point: it joins the job only when gen
+// still matches the generation the helper was queued with. The entered
+// counter is raised before the check and lowered after run returns, giving
+// retire a fence to wait on.
+func (j *morselJob) helperRun(gen uint64) {
+	j.entered.Add(1)
+	if j.gen.Load() == gen {
+		j.run()
+	}
+	j.entered.Add(-1)
+}
+
+// retire invalidates the job for any helper still queued (or racing in) and
+// waits out helpers already past the generation check, after which the
+// job's fields may be rewritten and the job pooled. Called after wg.Wait,
+// so the cursor is exhausted and any straggler's run() returns immediately —
+// the spin is a few scheduler yields at most.
+func (j *morselJob) retire() {
+	j.gen.Add(1)
+	for j.entered.Load() != 0 {
+		runtime.Gosched()
+	}
+	j.f = nil
+	j.q = query.Query{}
+	j.ctl = nil
+	j.morsels = nil
+	j.agg = nil
+	j.cursor.Store(0)
+	j.scanned, j.matched, j.exact = 0, 0, 0
 }
 
 // run is one worker's claim loop; it executes on the issuing goroutine and
@@ -271,12 +338,16 @@ func (j *morselJob) run() {
 		if sc == nil {
 			sc = query.GetScanner(j.f.t)
 			sc.SetControl(j.ctl)
-			// Clone under the job lock: another worker may be Merge-ing
-			// into j.agg right now, and a user-supplied Mergeable is free
-			// to read state in CloneEmpty that Merge mutates.
-			j.mu.Lock()
-			agg = j.agg.CloneEmpty()
-			j.mu.Unlock()
+			// Prefer a recycled clone (compatibility only reads immutable
+			// config, so no lock); otherwise clone under the job lock —
+			// another worker may be Merge-ing into j.agg right now, and a
+			// user-supplied Mergeable is free to read state in CloneEmpty
+			// that Merge mutates.
+			if agg = query.GetClone(j.agg); agg == nil {
+				j.mu.Lock()
+				agg = j.agg.CloneEmpty()
+				j.mu.Unlock()
+			}
 		}
 		m := j.morsels[i]
 		if m.mask == 0 {
@@ -305,6 +376,7 @@ func (j *morselJob) run() {
 		j.matched += st.Matched
 		j.exact += st.ExactMatched
 		j.mu.Unlock()
+		query.PutClone(agg)
 	}
 	j.wg.Add(-done)
 }
@@ -323,17 +395,21 @@ func (f *Flood) scanParallel(q query.Query, ranges []scanRange, agg query.Mergea
 		f.scan(q, ranges, agg, st, ctl)
 		return
 	}
-	j := &morselJob{f: f, q: q, ctl: ctl, morsels: es.morsels, agg: agg}
+	j := morselJobPool.Get().(*morselJob)
+	j.f, j.q, j.ctl, j.morsels, j.agg = f, q, ctl, es.morsels, agg
 	j.wg.Add(len(j.morsels))
 	helpers := workers - 1
 	if helpers > len(j.morsels)-1 {
 		helpers = len(j.morsels) - 1
 	}
-	execPool.fanOut(helpers, j.run)
+	execPool.offer(helpers, poolTask{job: j, gen: j.gen.Load()})
+	j.run()
 	j.wg.Wait()
 	st.Scanned += j.scanned
 	st.Matched += j.matched
 	st.ExactMatched += j.exact
+	j.retire()
+	morselJobPool.Put(j)
 }
 
 // ExecuteParallel is Execute with the scan phase forced onto the morsel

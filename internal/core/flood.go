@@ -203,6 +203,11 @@ func Build(t *colstore.Table, layout Layout, opts Options) (*Flood, error) {
 	}
 	f.t = t.Reorder(perm)
 
+	// Bitmap indexes over low-cardinality columns of the reordered data:
+	// residual filters on them become precomputed-bitmap ANDs in the scan
+	// kernel instead of decode-and-compare passes.
+	f.t.EnableBitmapIndexes(opts.bitmapMaxCard())
+
 	// Per-cell refinement models over the sort dimension (§5.2).
 	if layout.SortDim >= 0 && opts.Refinement == RefineModel {
 		sorted := f.t.Raw(layout.SortDim)

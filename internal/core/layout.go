@@ -124,4 +124,31 @@ type Options struct {
 	// morsel-driven parallel engine. 0 picks the default; negative keeps
 	// every query on the sequential path.
 	ParallelCutover int
+	// BitmapMaxCardinality is the largest per-column value spread
+	// (max-min+1) for which Build creates a bitmap index: low-cardinality
+	// columns (dictionary-coded strings, enums, flags) then resolve
+	// residual filters as precomputed-bitmap ANDs in the scan kernel.
+	// 0 picks DefaultBitmapMaxCardinality; negative disables bitmap
+	// indexes.
+	BitmapMaxCardinality int
+}
+
+// DefaultBitmapMaxCardinality is the bitmap-index cardinality threshold used
+// when Options.BitmapMaxCardinality is zero. At 64 values a one-million-row
+// column costs 8 MB of bitmaps — a fraction of the raw column — while a
+// typical equality filter replaces 1M decode-and-compares with 15.6K word
+// ANDs.
+const DefaultBitmapMaxCardinality = 64
+
+// bitmapMaxCard resolves Options.BitmapMaxCardinality to an effective
+// threshold (0 means disabled).
+func (o Options) bitmapMaxCard() int {
+	switch {
+	case o.BitmapMaxCardinality > 0:
+		return o.BitmapMaxCardinality
+	case o.BitmapMaxCardinality < 0:
+		return 0
+	default:
+		return DefaultBitmapMaxCardinality
+	}
 }

@@ -25,9 +25,15 @@ const (
 	SectionMeta = "meta"
 	// SectionData holds the reordered compressed table.
 	SectionData = "data"
+	// SectionBitmaps holds the per-column bitmap indexes of low-cardinality
+	// columns. The section is additive: snapshots written before it existed
+	// load fine (the indexes are rebuilt from the data section), and like
+	// the models section it is reconstructible, so a damaged copy degrades
+	// to a rebuild instead of failing the load.
+	SectionBitmaps = "bidx"
 	// SectionModels holds the learned models (bucketers, cell table,
 	// per-cell refinement models). It is always the final section, and it
-	// is the one section a loader can reconstruct: if it is damaged, Load
+	// is a section a loader can reconstruct: if it is damaged, Load
 	// retrains from the intact data instead of failing.
 	SectionModels = "modl"
 )
@@ -68,12 +74,13 @@ func (f *Flood) Save(out io.Writer) error { return f.SaveSections(out, nil) }
 // SaveSections is Save with caller-supplied extra sections spliced between
 // the data and models sections.
 func (f *Flood) SaveSections(out io.Writer, extra []ExtraSection) error {
-	if err := wire.WriteHeader(out, PersistVersion, 3+len(extra)); err != nil {
+	if err := wire.WriteHeader(out, PersistVersion, 4+len(extra)); err != nil {
 		return err
 	}
 	sw := wire.NewSectionWriter(out)
 	sw.Section(SectionMeta, f.encodeMeta)
 	sw.Section(SectionData, func(w *wire.Writer) { f.t.Encode(w) })
+	sw.Section(SectionBitmaps, f.encodeBitmaps)
 	for _, e := range extra {
 		sw.Section(e.Tag, e.Encode)
 	}
@@ -93,6 +100,56 @@ func (f *Flood) encodeMeta(w *wire.Writer) {
 	w.Int(int(f.opts.Refinement))
 	w.F64(f.opts.Delta)
 	w.Int(f.opts.CDFLeaves)
+}
+
+// encodeBitmaps writes the bitmap indexes: an index count, then for each
+// indexed column its column number followed by the bitmap payload. An index
+// with no bitmap-indexed columns writes a count of zero — a present-but-empty
+// section, distinct from an absent one (an older snapshot), which makes Load
+// rebuild the indexes from the data.
+func (f *Flood) encodeBitmaps(w *wire.Writer) {
+	cols := make([]int, 0, f.t.NumCols())
+	for c := 0; c < f.t.NumCols(); c++ {
+		if f.t.Bitmap(c) != nil {
+			cols = append(cols, c)
+		}
+	}
+	w.Int(len(cols))
+	for _, c := range cols {
+		w.Int(c)
+		f.t.Bitmap(c).Encode(w)
+	}
+}
+
+// decodeBitmaps reads the bitmap-index section and attaches the decoded
+// indexes to the loaded table. Any structural problem is returned as an
+// error; the caller treats it like a checksum failure and rebuilds.
+func (f *Flood) decodeBitmaps(r *wire.Reader) error {
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: loading bitmap indexes: %w", err)
+	}
+	if count < 0 || count > f.t.NumCols() {
+		return fmt.Errorf("core: bitmap section declares %d indexes, table has %d columns", count, f.t.NumCols())
+	}
+	for i := 0; i < count; i++ {
+		c := r.Int()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("core: loading bitmap index %d: %w", i, err)
+		}
+		if c < 0 || c >= f.t.NumCols() {
+			return fmt.Errorf("core: bitmap index %d targets column %d of %d", i, c, f.t.NumCols())
+		}
+		if f.t.Bitmap(c) != nil {
+			return fmt.Errorf("core: duplicate bitmap index for column %d", c)
+		}
+		bi, err := colstore.DecodeBitmapIndex(r, f.t.NumRows())
+		if err != nil {
+			return fmt.Errorf("core: loading bitmap index for column %d: %w", c, err)
+		}
+		f.t.SetBitmap(c, bi)
+	}
+	return nil
 }
 
 func (f *Flood) encodeModels(w *wire.Writer) error {
@@ -157,8 +214,9 @@ func LoadSections(in io.Reader) (LoadResult, error) {
 		return res, fmt.Errorf("core: %w", err)
 	}
 
-	var meta, data, modl []byte
+	var meta, data, bidx, modl []byte
 	modlDamaged := false
+	bidxDamaged := false
 	sr := wire.NewSectionReader(in, count)
 	seen := 0
 sections:
@@ -174,6 +232,13 @@ sections:
 			// and retrain the models from the data afterwards.
 			res.Warnings = append(res.Warnings, err.Error())
 			modlDamaged = true
+			seen++
+			continue
+		case errors.Is(err, wire.ErrChecksum) && tag == SectionBitmaps:
+			// Bitmap indexes are likewise reconstructible: note the damage
+			// and rebuild them from the data section after decoding.
+			res.Warnings = append(res.Warnings, err.Error())
+			bidxDamaged = true
 			seen++
 			continue
 		case errors.Is(err, wire.ErrTruncated) && meta != nil && data != nil &&
@@ -194,6 +259,8 @@ sections:
 			meta = payload
 		case SectionData:
 			data = payload
+		case SectionBitmaps:
+			bidx = payload
 		case SectionModels:
 			modl = payload
 		default:
@@ -219,6 +286,21 @@ sections:
 	}
 	if err := f.validateLayout(); err != nil {
 		return res, err
+	}
+	if bidx != nil && !bidxDamaged {
+		if err := f.decodeBitmaps(wire.NewReaderBytes(bidx)); err != nil {
+			// Structurally invalid despite a valid CRC: recoverable the
+			// same way as a detected flip.
+			res.Warnings = append(res.Warnings, err.Error())
+			bidxDamaged = true
+		}
+	}
+	if bidxDamaged {
+		f.t.EnableBitmapIndexes(f.opts.bitmapMaxCard())
+		res.Warnings = append(res.Warnings, "bitmap-index section damaged; rebuilt bitmap indexes from intact data sections")
+	} else if bidx == nil {
+		// Snapshot predates the bitmap section: build the indexes fresh.
+		f.t.EnableBitmapIndexes(f.opts.bitmapMaxCard())
 	}
 	if modl != nil && !modlDamaged {
 		if err := f.decodeModels(wire.NewReaderBytes(modl)); err != nil {
@@ -372,6 +454,8 @@ func loadV1(r *wire.Reader) (*Flood, error) {
 	if err := f.decodeModels(r); err != nil {
 		return nil, err
 	}
+	// Version 1 predates bitmap indexes; build them fresh.
+	f.t.EnableBitmapIndexes(f.opts.bitmapMaxCard())
 	f.computeCellStats()
 	f.computeParallelCutover()
 	return f, nil

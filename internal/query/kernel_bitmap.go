@@ -1,0 +1,9 @@
+//go:build !floodscalar
+
+package query
+
+// defaultScalarKernel selects the kernel a freshly Reset scanner uses. The
+// default build runs the word-packed bitmap kernel; building with
+// -tags floodscalar pins every scanner to the portable selection-vector
+// fallback (SetScalarKernel overrides per scanner either way).
+const defaultScalarKernel = false

@@ -1,0 +1,8 @@
+//go:build floodscalar
+
+package query
+
+// defaultScalarKernel selects the kernel a freshly Reset scanner uses. This
+// build was tagged floodscalar, so every scanner defaults to the portable
+// selection-vector kernel (SetScalarKernel overrides per scanner).
+const defaultScalarKernel = true

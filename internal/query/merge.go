@@ -1,5 +1,7 @@
 package query
 
+import "sync"
+
 // Mergeable is implemented by aggregators whose partial results can be
 // combined, enabling the parallel scan execution sketched in §8
 // ("Concurrency and parallelism"): each worker accumulates into its own
@@ -46,4 +48,60 @@ func (m *Max) Merge(other Mergeable) {
 		m.m = o.m
 	}
 	m.any = m.any || o.any
+}
+
+// Worker-clone recycling. The morsel engine needs one clone per worker per
+// query; pooling them is what keeps the parallel execute path at zero
+// steady-state allocations. A pooled clone may only stand in for a fresh
+// CloneEmpty of a prototype when it is configured identically — for the
+// built-in aggregators that is a type check plus the target column — so
+// unknown (user-supplied) Mergeable implementations always clone fresh.
+
+var clonePool = sync.Pool{}
+
+// GetClone returns a reset pooled clone compatible with proto, or nil when
+// none is available (the caller falls back to proto.CloneEmpty). Only
+// built-in aggregator clones are ever handed out; compatibility checks read
+// proto's immutable configuration, so GetClone is safe while other workers
+// merge into proto.
+func GetClone(proto Mergeable) Mergeable {
+	v := clonePool.Get()
+	if v == nil {
+		return nil
+	}
+	c := v.(Mergeable)
+	if !compatibleClone(c, proto) {
+		return nil
+	}
+	c.Reset()
+	return c
+}
+
+// PutClone recycles a worker clone after its partial result has been merged.
+// The caller must not use c afterwards.
+func PutClone(c Mergeable) { clonePool.Put(c) }
+
+// compatibleClone reports whether cached can serve as a fresh clone of
+// proto: same concrete type and, for column-targeted aggregators, the same
+// column.
+func compatibleClone(cached, proto Mergeable) bool {
+	switch p := proto.(type) {
+	case *Count:
+		_, ok := cached.(*Count)
+		return ok
+	case *Sum:
+		c, ok := cached.(*Sum)
+		return ok && c.col == p.col
+	case *Min:
+		c, ok := cached.(*Min)
+		return ok && c.col == p.col
+	case *Max:
+		c, ok := cached.(*Max)
+		return ok && c.col == p.col
+	case *RowCollector:
+		_, ok := cached.(*RowCollector)
+		return ok
+	default:
+		return false
+	}
 }

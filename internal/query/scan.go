@@ -1,6 +1,7 @@
 package query
 
 import (
+	"math/bits"
 	"sync"
 
 	"flood/internal/colstore"
@@ -14,10 +15,15 @@ import (
 // Per block, the scanner first consults each filtered column's zone map
 // (per-block min/max): blocks disjoint from a predicate are skipped without
 // decoding, and predicates that contain a block's whole value range need no
-// per-row check there. Only the remaining dimensions are decoded, each
-// refining a selection vector of surviving row offsets; survivors reach the
-// aggregator as contiguous runs so run-length fast paths (COUNT arithmetic,
-// SUM prefix lookups) apply.
+// per-row check there. The remaining dimensions refine a word-packed
+// selection bitmap (two uint64 words per 128-row block): a column with a
+// bitmap index resolves its predicate as a precomputed-bitmap AND without
+// touching the column data, every other column evaluates its range predicate
+// branchlessly over the decoded block into a 64-rows-per-word mask, and the
+// masks AND together. Survivors are emitted to the aggregator as contiguous
+// runs found with bits.TrailingZeros64, so run-length fast paths (COUNT
+// arithmetic, SUM prefix lookups) apply unchanged. SetScalarKernel selects
+// the selection-vector fallback kernel instead.
 //
 // Decode buffers are allocated lazily, one per dimension actually filtered,
 // and retained across calls: a reused or pooled Scanner performs zero
@@ -25,12 +31,15 @@ import (
 //
 // A Scanner is not safe for concurrent use.
 type Scanner struct {
-	t       *colstore.Table
-	bufs    [][]int64 // lazily allocated per-dim decode buffers (BlockSize each)
-	active  []int     // scratch: dims needing per-row checks in the current block
-	ctl     *Control  // optional execution control (nil: unconditioned scan)
-	ctlTick int       // blocks since the last cancellation poll
-	sel     [colstore.BlockSize]int32
+	t         *colstore.Table
+	bufs      [][]int64 // lazily allocated per-dim decode buffers (BlockSize each)
+	active    []int     // scratch: dims decoded and compared in the current block
+	activeIdx []int     // scratch: dims served by a bitmap index in the current block
+	ctl       *Control  // optional execution control (nil: unconditioned scan)
+	ctlTick   int       // blocks since the last cancellation poll
+	scalar    bool      // use the selection-vector fallback kernel
+	selw      colstore.BlockBitmap
+	sel       [colstore.BlockSize]int32
 }
 
 // NewScanner returns a scanner over t.
@@ -42,8 +51,10 @@ func NewScanner(t *colstore.Table) *Scanner {
 
 // Reset points the scanner at t, retaining decode buffers when possible so a
 // long-lived Scanner can serve many tables and queries without reallocating.
+// The kernel choice resets to the build default (see SetScalarKernel).
 func (s *Scanner) Reset(t *colstore.Table) {
 	s.t = t
+	s.scalar = defaultScalarKernel
 	if n := t.NumCols(); n > len(s.bufs) {
 		bufs := make([][]int64, n)
 		copy(bufs, s.bufs)
@@ -58,8 +69,16 @@ func (s *Scanner) Reset(t *colstore.Table) {
 // extra work in the per-row loops.
 func (s *Scanner) SetControl(ctl *Control) { s.ctl = ctl }
 
+// SetScalarKernel selects the portable selection-vector kernel (true) or the
+// word-packed bitmap kernel (false) for this scanner's lifetime until the
+// next Reset. The default is the bitmap kernel unless the build was tagged
+// floodscalar. Both kernels deliver identical rows, stats, and LIMIT
+// prefixes; the scalar kernel never consults bitmap indexes, which makes the
+// pair the oracle for the cross-kernel equivalence tests.
+func (s *Scanner) SetScalarKernel(on bool) { s.scalar = on }
+
 // minExactRun is the shortest survivor run delivered through AddExactRange;
-// shorter runs use per-row Add (see the run-emission loop in ScanRange).
+// shorter runs use per-row Add (see deliverRun).
 const minExactRun = 16
 
 // ctlCheckBlocks is the cancellation poll cadence: the block loop runs a
@@ -165,8 +184,10 @@ func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggre
 			i1 = colstore.BlockSize
 		}
 
-		// Zone-map pass: prune or exact-accept per dimension.
-		active := s.active[:0]
+		// Zone-map pass: prune or exact-accept per dimension; dims that
+		// need row checks split into bitmap-indexed and decoded sets (the
+		// scalar kernel decodes everything).
+		active, activeIdx := s.active[:0], s.activeIdx[:0]
 		skip := false
 		for _, d := range filterDims {
 			bmin, bmax := t.Column(d).BlockBounds(b)
@@ -178,13 +199,17 @@ func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggre
 			if bmin >= r.Min && bmax <= r.Max {
 				continue // whole block inside the predicate: no row checks
 			}
-			active = append(active, d)
+			if !s.scalar && t.Bitmap(d) != nil {
+				activeIdx = append(activeIdx, d)
+			} else {
+				active = append(active, d)
+			}
 		}
-		s.active = active
+		s.active, s.activeIdx = active, activeIdx
 		if skip {
 			continue
 		}
-		if len(active) == 0 {
+		if len(active) == 0 && len(activeIdx) == 0 {
 			n := i1 - i0
 			if s.ctl != nil {
 				n = s.ctl.Take(n)
@@ -200,75 +225,356 @@ func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggre
 			continue
 		}
 
-		// Build the selection vector from the first undecided dimension,
-		// then refine it in place with each remaining one. The membership
-		// test is branchless: v ∈ [Min, Max] becomes one unsigned compare
-		// (u64(v-Min) <= u64(Max-Min), wrap-safe for unbounded ranges), and
-		// the unconditional store + conditional increment compiles to a
-		// predicated instruction instead of a mispredicting branch.
-		d0 := active[0]
-		buf := s.buf(d0)
-		t.Column(d0).DecodeBlock(b, buf)
-		r := q.Ranges[d0]
-		rmin, span := uint64(r.Min), uint64(r.Max)-uint64(r.Min)
-		sel := s.sel[:]
-		nsel := 0
-		for i := i0; i < i1; i++ {
-			sel[nsel] = int32(i)
-			if uint64(buf[i])-rmin <= span {
-				nsel++
-			}
-		}
-		for _, d := range active[1:] {
-			if nsel == 0 {
-				break
-			}
-			buf = s.buf(d)
-			t.Column(d).DecodeBlock(b, buf)
-			r = q.Ranges[d]
-			rmin, span = uint64(r.Min), uint64(r.Max)-uint64(r.Min)
-			k := 0
-			for _, i := range sel[:nsel] {
-				sel[k] = i
-				if uint64(buf[i])-rmin <= span {
-					k++
-				}
-			}
-			nsel = k
+		var nsel, take int
+		if s.scalar {
+			nsel, take = s.filterBlockScalar(q, b, blockLo, i0, i1, agg)
+		} else {
+			nsel, take = s.filterBlockBitmap(q, b, blockLo, i0, i1, agg)
 		}
 		scanned += int64(i1 - i0)
-		take := nsel
-		if s.ctl != nil {
-			// LIMIT pushdown: deliver only as many survivors as the shared
-			// budget grants; exhausting it latches the stop that ends the
-			// scan after this block's truncated delivery.
-			take = s.ctl.Take(nsel)
-		}
 		matched += int64(take)
-
-		// Feed survivors to the aggregator in contiguous runs. Short runs
-		// go through per-row Add: an AddExactRange implementation may pay a
-		// fixed block-decode cost (e.g. SUM without a prefix aggregate)
-		// that only amortizes over longer runs.
-		for i := 0; i < take; {
-			j := i + 1
-			for j < take && sel[j] == sel[j-1]+1 {
-				j++
-			}
-			if j-i < minExactRun {
-				for k := i; k < j; k++ {
-					agg.Add(t, blockLo+int(sel[k]))
-				}
-			} else {
-				agg.AddExactRange(t, blockLo+int(sel[i]), blockLo+int(sel[j-1])+1)
-			}
-			i = j
-		}
 		if take < nsel {
+			// LIMIT pushdown: the budget ran out inside this block's
+			// delivery, latching the stop that ends the scan.
 			break
 		}
 	}
 	return scanned, matched
+}
+
+// filterBlockBitmap runs the word-packed kernel over one block: the
+// selection bitmap starts as all-ones over [i0, i1), each bitmap-indexed dim
+// ANDs its precomputed value bitmaps in, each remaining dim ANDs a
+// branchless compare mask over its decoded block, and the surviving runs are
+// emitted. Returns the survivor count and how many were delivered (the
+// control's limit budget may truncate delivery).
+func (s *Scanner) filterBlockBitmap(q Query, b, blockLo, i0, i1 int, agg Aggregator) (nsel, take int) {
+	t := s.t
+	sel := &s.selw
+	selInit(sel, i0, i1)
+	for _, d := range s.activeIdx {
+		r := q.Ranges[d]
+		t.Bitmap(d).AndBlock(sel, b, r.Min, r.Max)
+	}
+	for _, d := range s.active {
+		if !selAny(sel) {
+			break
+		}
+		buf := s.buf(d)
+		t.Column(d).DecodeBlock(b, buf)
+		r := q.Ranges[d]
+		andCompareMask(sel, buf, uint64(r.Min), uint64(r.Max)-uint64(r.Min))
+	}
+	nsel = selCount(sel)
+	if nsel == 0 {
+		return 0, 0
+	}
+	take = nsel
+	if s.ctl != nil {
+		take = s.ctl.Take(nsel)
+		if take == 0 {
+			return nsel, 0
+		}
+	}
+	if take == nsel {
+		s.emitRuns(agg, blockLo, sel)
+		return nsel, take
+	}
+
+	// The limit budget truncates delivery inside this block: emit runs with
+	// per-run budget accounting (the slow path; it runs at most once per
+	// query, on the block where the budget runs out).
+	rem := take
+	runS, runE := 0, 0 // pending run [runS, runE); empty while runE == runS
+	for wi := 0; wi < colstore.BlockWords; wi++ {
+		w := sel[wi]
+		for w != 0 {
+			lo, hi, rest := nextRun(w, wi)
+			w = rest
+			if lo == runE && runE > runS {
+				runE = hi
+				continue
+			}
+			if runE > runS {
+				rem -= s.deliverRun(agg, blockLo, runS, runE, rem)
+				if rem == 0 {
+					return nsel, take
+				}
+			}
+			runS, runE = lo, hi
+		}
+	}
+	if runE > runS {
+		s.deliverRun(agg, blockLo, runS, runE, rem)
+	}
+	return nsel, take
+}
+
+// nextRun extracts the lowest run of set bits from word wi of a selection
+// bitmap: it returns the run's block-row bounds [lo, hi) and the word with
+// the run cleared.
+func nextRun(w uint64, wi int) (lo, hi int, rest uint64) {
+	tz := bits.TrailingZeros64(w)
+	ones := bits.TrailingZeros64(^(w >> uint(tz)))
+	lo = wi*64 + tz
+	hi = lo + ones
+	if tz+ones >= 64 {
+		return lo, hi, 0
+	}
+	return lo, hi, w &^ (((1 << uint(ones)) - 1) << uint(tz))
+}
+
+// emitRuns feeds every survivor run of sel to agg, in ascending row order.
+// Runs are found with bits.TrailingZeros64; a run ending at a word boundary
+// stitches to one starting the next word, so block-spanning runs still reach
+// AddExactRange whole. Delivery is inlined here rather than a call per run —
+// scattered survivors produce a run per row, and this loop is the hot edge
+// of every selective scan.
+func (s *Scanner) emitRuns(agg Aggregator, blockLo int, sel *colstore.BlockBitmap) {
+	t := s.t
+	runS, runE := 0, 0 // pending run [runS, runE); empty while runE == runS
+	for wi := 0; wi < colstore.BlockWords; wi++ {
+		w := sel[wi]
+		if w == 0 {
+			continue
+		}
+		// A shift-AND chain detects whether the word holds any run of
+		// minExactRun (16) consecutive survivors. If not, every run here is
+		// short and would deliver per-row regardless, so skip the run
+		// bookkeeping and TrailingZeros-iterate the rows directly. (A short
+		// run stitched across a word edge may split into per-row deliveries
+		// where run tracking would have ranged it — same rows, same order,
+		// same results.)
+		r := w & (w >> 1)
+		r &= r >> 2
+		r &= r >> 4
+		if r&(r>>8) == 0 {
+			if n := runE - runS; n > 0 {
+				if n < minExactRun {
+					for i := runS; i < runE; i++ {
+						agg.Add(t, blockLo+i)
+					}
+				} else {
+					agg.AddExactRange(t, blockLo+runS, blockLo+runE)
+				}
+				runS, runE = 0, 0
+			}
+			base := blockLo + wi*64
+			for ; w != 0; w &= w - 1 {
+				agg.Add(t, base+bits.TrailingZeros64(w))
+			}
+			continue
+		}
+		for w != 0 {
+			lo, hi, rest := nextRun(w, wi)
+			w = rest
+			if lo == runE && runE > runS {
+				runE = hi
+				continue
+			}
+			if n := runE - runS; n > 0 {
+				if n < minExactRun {
+					for i := runS; i < runE; i++ {
+						agg.Add(t, blockLo+i)
+					}
+				} else {
+					agg.AddExactRange(t, blockLo+runS, blockLo+runE)
+				}
+			}
+			runS, runE = lo, hi
+		}
+	}
+	if n := runE - runS; n > 0 {
+		if n < minExactRun {
+			for i := runS; i < runE; i++ {
+				agg.Add(t, blockLo+i)
+			}
+		} else {
+			agg.AddExactRange(t, blockLo+runS, blockLo+runE)
+		}
+	}
+}
+
+// deliverRun feeds the survivor run [lo, hi) within the block at blockLo to
+// agg, truncated to the remaining delivery budget, and returns how many rows
+// it delivered. Short runs go through per-row Add: an AddExactRange
+// implementation may pay a fixed block-decode cost (e.g. SUM without a
+// prefix aggregate) that only amortizes over longer runs.
+func (s *Scanner) deliverRun(agg Aggregator, blockLo, lo, hi, rem int) int {
+	n := hi - lo
+	if n > rem {
+		n = rem
+		hi = lo + n
+	}
+	if n < minExactRun {
+		t := s.t
+		for i := lo; i < hi; i++ {
+			agg.Add(t, blockLo+i)
+		}
+	} else {
+		agg.AddExactRange(s.t, blockLo+lo, blockLo+hi)
+	}
+	return n
+}
+
+// filterBlockScalar is the portable fallback kernel: the original
+// selection-vector pipeline. It builds the vector from the first undecided
+// dimension, then refines it in place with each remaining one. The
+// membership test is branchless: v ∈ [Min, Max] becomes one unsigned
+// compare (u64(v-Min) <= u64(Max-Min), wrap-safe for unbounded ranges), and
+// the unconditional store + conditional increment compiles to a predicated
+// instruction instead of a mispredicting branch.
+func (s *Scanner) filterBlockScalar(q Query, b, blockLo, i0, i1 int, agg Aggregator) (nsel, take int) {
+	t := s.t
+	active := s.active
+	d0 := active[0]
+	buf := s.buf(d0)
+	t.Column(d0).DecodeBlock(b, buf)
+	r := q.Ranges[d0]
+	rmin, span := uint64(r.Min), uint64(r.Max)-uint64(r.Min)
+	sel := s.sel[:]
+	for i := i0; i < i1; i++ {
+		sel[nsel] = int32(i)
+		if uint64(buf[i])-rmin <= span {
+			nsel++
+		}
+	}
+	for _, d := range active[1:] {
+		if nsel == 0 {
+			break
+		}
+		buf = s.buf(d)
+		t.Column(d).DecodeBlock(b, buf)
+		r = q.Ranges[d]
+		rmin, span = uint64(r.Min), uint64(r.Max)-uint64(r.Min)
+		k := 0
+		for _, i := range sel[:nsel] {
+			sel[k] = i
+			if uint64(buf[i])-rmin <= span {
+				k++
+			}
+		}
+		nsel = k
+	}
+	take = nsel
+	if s.ctl != nil {
+		// LIMIT pushdown: deliver only as many survivors as the shared
+		// budget grants.
+		take = s.ctl.Take(nsel)
+	}
+
+	// Feed survivors to the aggregator in contiguous runs.
+	for i := 0; i < take; {
+		j := i + 1
+		for j < take && sel[j] == sel[j-1]+1 {
+			j++
+		}
+		if j-i < minExactRun {
+			for k := i; k < j; k++ {
+				agg.Add(t, blockLo+int(sel[k]))
+			}
+		} else {
+			agg.AddExactRange(t, blockLo+int(sel[i]), blockLo+int(sel[j-1])+1)
+		}
+		i = j
+	}
+	return nsel, take
+}
+
+// selInit fills sel with ones over bit positions [i0, i1) and zeros
+// elsewhere.
+func selInit(sel *colstore.BlockBitmap, i0, i1 int) {
+	for wi := range sel {
+		base := wi * 64
+		lo, hi := i0-base, i1-base
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 64 {
+			hi = 64
+		}
+		if lo >= hi {
+			sel[wi] = 0
+			continue
+		}
+		w := ^uint64(0) << uint(lo)
+		if hi < 64 {
+			w &= (1 << uint(hi)) - 1
+		}
+		sel[wi] = w
+	}
+}
+
+// selAny reports whether any bit of sel is set.
+func selAny(sel *colstore.BlockBitmap) bool {
+	var w uint64
+	for _, v := range sel {
+		w |= v
+	}
+	return w != 0
+}
+
+// selCount returns the number of set bits in sel.
+func selCount(sel *colstore.BlockBitmap) int {
+	n := 0
+	for _, v := range sel {
+		n += bits.OnesCount64(v)
+	}
+	return n
+}
+
+// sparseRefineBits is the survivor count per word at or below which
+// andCompareMask iterates set bits instead of evaluating all 64 lanes. The
+// full-lane pass costs ~64 branchless compares; the sparse pass costs one
+// TrailingZeros + compare per survivor, so it wins while survivors are a
+// minority of the word.
+const sparseRefineBits = 32
+
+// andCompareMask evaluates v ∈ [rmin, rmin+span] over one decoded block and
+// ANDs the result into sel, 64 rows per mask word. The per-row test compiles
+// branchlessly: the carry out of span - (v - rmin) (bits.Sub64 is an
+// intrinsic) is 1 exactly when the value falls outside the range, so each
+// word of the mask is built with subtract/xor/shift only — no data-dependent
+// branches for the predictor to miss. Words already empty are skipped
+// without touching their 64 rows, and words already thinned below
+// sparseRefineBits survivors are refined per set bit instead of per lane.
+func andCompareMask(sel *colstore.BlockBitmap, buf []int64, rmin, span uint64) {
+	for wi := range sel {
+		w := sel[wi]
+		if w == 0 {
+			continue
+		}
+		vals := buf[wi*64 : wi*64+64]
+		if bits.OnesCount64(w) <= sparseRefineBits {
+			m := w
+			for t := w; t != 0; t &= t - 1 {
+				k := uint(bits.TrailingZeros64(t)) & 63
+				_, borrow := bits.Sub64(span, uint64(vals[k])-rmin, 0)
+				m &^= borrow << k
+			}
+			sel[wi] = m
+			continue
+		}
+		// Full-lane pass, 8 lanes per step with compile-time shift counts:
+		// the eight compares are independent chains the CPU overlaps, and
+		// only the merge into m needs a variable shift.
+		var m uint64
+		for base := 0; base < 64; base += 8 {
+			v := vals[base : base+8 : base+8]
+			_, b0 := bits.Sub64(span, uint64(v[0])-rmin, 0)
+			_, b1 := bits.Sub64(span, uint64(v[1])-rmin, 0)
+			_, b2 := bits.Sub64(span, uint64(v[2])-rmin, 0)
+			_, b3 := bits.Sub64(span, uint64(v[3])-rmin, 0)
+			_, b4 := bits.Sub64(span, uint64(v[4])-rmin, 0)
+			_, b5 := bits.Sub64(span, uint64(v[5])-rmin, 0)
+			_, b6 := bits.Sub64(span, uint64(v[6])-rmin, 0)
+			_, b7 := bits.Sub64(span, uint64(v[7])-rmin, 0)
+			mb := (b0 ^ 1) | (b1^1)<<1 | (b2^1)<<2 | (b3^1)<<3 |
+				(b4^1)<<4 | (b5^1)<<5 | (b6^1)<<6 | (b7^1)<<7
+			m |= mb << uint(base)
+		}
+		sel[wi] = w & m
+	}
 }
 
 // ScanExactRange accumulates rows [start, end) that are all known to match

@@ -1,0 +1,234 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"flood/internal/colstore"
+)
+
+// equivTable builds a random table mixing bitmap-indexable low-cardinality
+// dims with wide ones, then enables bitmap indexes so the bitmap kernel takes
+// the precomputed-AND path on the low-card dims while the scalar kernel
+// decodes everything.
+func equivTable(rng *rand.Rand, n int) (*colstore.Table, [][]int64) {
+	cards := []int64{4, 13, 1 << 20, 50} // dims 0,1 indexed; 2 wide; 3 indexed
+	data := make([][]int64, len(cards))
+	for c, card := range cards {
+		data[c] = make([]int64, n)
+		for i := range data[c] {
+			data[c][i] = rng.Int63n(card) - card/2
+		}
+	}
+	names := []string{"a", "b", "c", "d"}
+	tbl, err := colstore.NewTable(names, data)
+	if err != nil {
+		panic(err)
+	}
+	tbl.EnableBitmapIndexes(64)
+	return tbl, data
+}
+
+// equivQuery draws a random predicate: per dim, one of unfiltered, a narrow
+// range, an equality, a full-range accept, or an empty range.
+func equivQuery(rng *rand.Rand) Query {
+	q := NewQuery(4)
+	cards := []int64{4, 13, 1 << 20, 50}
+	for d, card := range cards {
+		lo := -card / 2
+		switch rng.Intn(6) {
+		case 0: // unfiltered
+		case 1: // narrow range
+			a := lo + rng.Int63n(card)
+			q = q.WithRange(d, a, a+rng.Int63n(card/2+1))
+		case 2: // equality
+			q = q.WithEquals(d, lo+rng.Int63n(card))
+		case 3: // contains the whole domain (zone maps exact-accept)
+			q = q.WithRange(d, NegInf, PosInf)
+		case 4: // half-open
+			q = q.WithRange(d, lo+rng.Int63n(card), PosInf)
+		case 5: // matches nothing
+			q = q.WithRange(d, lo+2*card, lo+3*card)
+		}
+	}
+	return q
+}
+
+// runKernel scans [start, end) with the chosen kernel and an optional row
+// limit, returning the collected ids and stats.
+func runKernel(t *colstore.Table, q Query, start, end, limit int, scalar bool) ([]int64, int64, int64) {
+	sc := NewScanner(t)
+	sc.SetScalarKernel(scalar)
+	var ctl *Control
+	if limit > 0 {
+		ctl = GetControl(nil, limit, time.Time{})
+		sc.SetControl(ctl)
+		defer ctl.Release()
+	}
+	rc := NewRowCollector()
+	rc.PinSource(t)
+	scanned, matched := sc.ScanRange(q, q.FilteredDims(), start, end, rc)
+	ids := append([]int64(nil), rc.IDs()...)
+	return ids, scanned, matched
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBitmapKernelEquivalence is the cross-kernel property test: over random
+// tables (sizes straddling block boundaries, including sub-block tables),
+// random predicates (empty, full, narrow, equality), and random scan bounds,
+// the word-packed bitmap kernel and the selection-vector scalar kernel must
+// deliver the identical matched rows in the identical order with identical
+// stats.
+func TestBitmapKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int{
+		1, 63, 64, 65,
+		colstore.BlockSize - 1, colstore.BlockSize, colstore.BlockSize + 1,
+		3*colstore.BlockSize + 17, 8 * colstore.BlockSize,
+	}
+	for _, n := range sizes {
+		tbl, data := equivTable(rng, n)
+		for trial := 0; trial < 60; trial++ {
+			q := equivQuery(rng)
+			start := rng.Intn(n)
+			end := start + 1 + rng.Intn(n-start)
+			gotIDs, gotScanned, gotMatched := runKernel(tbl, q, start, end, 0, false)
+			wantIDs, wantScanned, wantMatched := runKernel(tbl, q, start, end, 0, true)
+			if !equalIDs(gotIDs, wantIDs) {
+				t.Fatalf("n=%d trial=%d [%d,%d): bitmap ids %v != scalar ids %v (query %+v)",
+					n, trial, start, end, gotIDs, wantIDs, q.Ranges)
+			}
+			if gotScanned != wantScanned || gotMatched != wantMatched {
+				t.Fatalf("n=%d trial=%d: stats (%d,%d) != (%d,%d)",
+					n, trial, gotScanned, gotMatched, wantScanned, wantMatched)
+			}
+			// And both kernels agree with the row-by-row oracle.
+			var want int64
+			row := make([]int64, len(data))
+			for i := start; i < end; i++ {
+				for c := range data {
+					row[c] = data[c][i]
+				}
+				if q.Matches(row) {
+					want++
+				}
+			}
+			if gotMatched != want {
+				t.Fatalf("n=%d trial=%d: matched %d, brute force %d", n, trial, gotMatched, want)
+			}
+		}
+	}
+}
+
+// TestBitmapKernelEquivalenceLimit checks LIMIT pushdown: with a delivery
+// budget attached, both kernels deliver the same prefix of the same survivor
+// sequence.
+func TestBitmapKernelEquivalenceLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 6*colstore.BlockSize + 29
+	tbl, _ := equivTable(rng, n)
+	for trial := 0; trial < 120; trial++ {
+		q := equivQuery(rng)
+		limit := 1 + rng.Intn(2*colstore.BlockSize)
+		gotIDs, _, gotMatched := runKernel(tbl, q, 0, n, limit, false)
+		wantIDs, _, wantMatched := runKernel(tbl, q, 0, n, limit, true)
+		if !equalIDs(gotIDs, wantIDs) || gotMatched != wantMatched {
+			t.Fatalf("trial=%d limit=%d: bitmap (%d ids, matched %d) != scalar (%d ids, matched %d)",
+				trial, limit, len(gotIDs), gotMatched, len(wantIDs), wantMatched)
+		}
+		if len(gotIDs) > limit {
+			t.Fatalf("trial=%d: delivered %d ids over limit %d", trial, len(gotIDs), limit)
+		}
+		// The limited run must be a prefix of the unlimited one.
+		fullIDs, _, _ := runKernel(tbl, q, 0, n, 0, false)
+		if want := min(limit, len(fullIDs)); len(gotIDs) != want || !equalIDs(gotIDs, fullIDs[:want]) {
+			t.Fatalf("trial=%d limit=%d: limited ids are not the unlimited prefix", trial, limit)
+		}
+	}
+}
+
+// TestBitmapKernelAggregates runs both kernels through each built-in
+// aggregator (exercising the run-length fast paths) and compares results.
+func TestBitmapKernelAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 5*colstore.BlockSize + 7
+	tbl, _ := equivTable(rng, n)
+	aggs := func() []Mergeable {
+		return []Mergeable{NewCount(), NewSum(2), NewMin(2), NewMax(2)}
+	}
+	for trial := 0; trial < 60; trial++ {
+		q := equivQuery(rng)
+		got, want := aggs(), aggs()
+		for i := range got {
+			sc := NewScanner(tbl)
+			sc.ScanRange(q, q.FilteredDims(), 0, n, got[i])
+			sc.SetScalarKernel(true)
+			sc.ScanRange(q, q.FilteredDims(), 0, n, want[i])
+			if got[i].Result() != want[i].Result() {
+				t.Fatalf("trial=%d agg=%T: bitmap %d != scalar %d", trial, got[i], got[i].Result(), want[i].Result())
+			}
+		}
+	}
+}
+
+// TestAndCompareMaskEdges pins the branchless compare mask on its wrap-prone
+// inputs: unbounded ranges (span wraps to ^0), single-value spans, and
+// extreme int64 values.
+func TestAndCompareMaskEdges(t *testing.T) {
+	vals := make([]int64, colstore.BlockSize)
+	for i := range vals {
+		vals[i] = int64(i - 64)
+	}
+	vals[0], vals[1] = -1<<63, 1<<63-1
+	check := func(lo, hi int64) {
+		var sel colstore.BlockBitmap
+		selInit(&sel, 0, colstore.BlockSize)
+		andCompareMask(&sel, vals, uint64(lo), uint64(hi)-uint64(lo))
+		for i, v := range vals {
+			want := v >= lo && v <= hi
+			got := sel[i/64]&(1<<uint(i%64)) != 0
+			if got != want {
+				t.Fatalf("[%d,%d] row %d (v=%d): got %v want %v", lo, hi, i, v, got, want)
+			}
+		}
+	}
+	check(NegInf, PosInf)
+	check(0, 0)
+	check(-1<<63, -1<<63)
+	check(1<<63-1, 1<<63-1)
+	check(-10, 10)
+	check(NegInf, 0)
+	check(0, PosInf)
+}
+
+// TestSelInitMaskBounds pins the selection-bitmap initializer across all
+// partial-block bounds.
+func TestSelInitMaskBounds(t *testing.T) {
+	for i0 := 0; i0 <= colstore.BlockSize; i0 += 7 {
+		for i1 := i0; i1 <= colstore.BlockSize; i1 += 9 {
+			var sel colstore.BlockBitmap
+			selInit(&sel, i0, i1)
+			if got, want := selCount(&sel), i1-i0; got != want {
+				t.Fatalf("selInit(%d,%d): %d bits set, want %d", i0, i1, got, want)
+			}
+			for i := 0; i < colstore.BlockSize; i++ {
+				set := sel[i/64]&(1<<uint(i%64)) != 0
+				if set != (i >= i0 && i < i1) {
+					t.Fatalf("selInit(%d,%d): bit %d = %v", i0, i1, i, set)
+				}
+			}
+		}
+	}
+}

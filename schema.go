@@ -377,6 +377,38 @@ func (t *TypedQuery) WithStringEquals(name string, v string) *TypedQuery {
 	return t
 }
 
+// PreparedString is a string-equality predicate whose dictionary code was
+// resolved once, at preparation time. Hot query loops that filter on the
+// same value repeatedly (a serving tier fanning out one tenant's queries, a
+// benchmark) use it to skip the per-query dictionary hash lookup that
+// WithStringEquals pays. A PreparedString is bound to the fit that produced
+// it: re-running TableBuilder.Build on the schema invalidates outstanding
+// prepared predicates along with the rest of the fitted encoders.
+type PreparedString struct {
+	col  int
+	code int64
+	ok   bool
+}
+
+// PrepareString resolves a string-equality predicate against the fitted
+// dictionary once, for reuse across queries with WithPreparedString. A value
+// absent from the dictionary is not an error: applying the prepared
+// predicate yields an unsatisfiable query, like WithStringEquals.
+func (s *Schema) PrepareString(name, v string) PreparedString {
+	col, d := s.stringDict(name)
+	c, ok := d.Code(v)
+	return PreparedString{col: col, code: c, ok: ok}
+}
+
+// WithPreparedString applies a predicate prepared by Schema.PrepareString.
+func (t *TypedQuery) WithPreparedString(p PreparedString) *TypedQuery {
+	if !p.ok {
+		return t.impossible(p.col)
+	}
+	t.q = t.q.WithEquals(p.col, p.code)
+	return t
+}
+
 // WithStringRange filters a string column to the inclusive lexicographic
 // range [lo, hi]; endpoints need not exist in the data.
 func (t *TypedQuery) WithStringRange(name string, lo, hi string) *TypedQuery {

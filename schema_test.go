@@ -315,3 +315,35 @@ func TestTimeRangeDirectedRounding(t *testing.T) {
 		t.Fatalf("sub-unit upper bound encoded to tick %d, want the 10:01 tick", r.Max)
 	}
 }
+
+func TestPreparedStringPredicate(t *testing.T) {
+	fx := newTypedFixture(t, 2000, 19)
+	// A prepared predicate encodes identically to WithStringEquals.
+	p := fx.schema.PrepareString("city", "nyc")
+	got := fx.schema.Where().WithPreparedString(p).Query()
+	want := fx.schema.Where().WithStringEquals("city", "nyc").Query()
+	col := fx.schema.ColumnIndex("city")
+	if got.Ranges[col] != want.Ranges[col] {
+		t.Fatalf("prepared predicate encoded %+v, WithStringEquals %+v", got.Ranges[col], want.Ranges[col])
+	}
+	// Reuse across many queries keeps working.
+	for i := 0; i < 3; i++ {
+		q := fx.schema.Where().WithPreparedString(p).Query()
+		if q.Ranges[col] != want.Ranges[col] {
+			t.Fatalf("reuse %d changed the predicate", i)
+		}
+	}
+	// An unknown value prepares fine and yields an unsatisfiable query.
+	if q := fx.schema.Where().WithPreparedString(fx.schema.PrepareString("city", "gotham")).Query(); !q.Empty() {
+		t.Fatal("unknown prepared string should make the query unsatisfiable")
+	}
+	// Unknown columns and kind mismatches still panic at prepare time.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("PrepareString on an int column did not panic")
+			}
+		}()
+		fx.schema.PrepareString("ts", "x")
+	}()
+}
