@@ -23,7 +23,7 @@ vet:
 docs: vet
 	$(GO) run ./cmd/doclint . ./floodsql ./datagen \
 		./internal/core ./internal/query ./internal/colstore ./internal/encode \
-		./internal/wal ./internal/faultfs
+		./internal/wal ./internal/faultfs ./internal/modeltest
 
 # bench runs the scan-kernel, build, parallel-execution, row-retrieval, and
 # context/limit benchmarks that gate perf PRs and records them in
@@ -33,7 +33,7 @@ docs: vet
 # overhead-parity pair.
 bench:
 	$(GO) test ./internal/core -run '^$$' \
-		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch' \
+		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch|DeleteHeavy' \
 		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
 	$(GO) test . -run '^$$' -bench '^BenchmarkSelect|^BenchmarkExecute|^BenchmarkSaveLoad|^BenchmarkDictEq' \
 		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt

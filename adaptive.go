@@ -153,6 +153,17 @@ type AdaptiveIndex struct {
 	// stay cheap and concurrent inserts group-commit.
 	walLog *wal.Log
 
+	// Deferred deletions, guarded by mu. A background rebuild compacts a
+	// captured image of base+log; a delete landing after that capture
+	// affects rows the fresh index will resurrect unless re-applied. While
+	// deferring is set, every delete of a captured row (base, or log row
+	// below deferFrozen) also records its value tuple here; the swap
+	// re-applies the tuples to the fresh epoch before publishing it, so no
+	// reader ever observes a deleted row coming back.
+	deferring   bool
+	deferFrozen int64
+	deferred    [][]int64
+
 	// rebuildMu guards the single-rebuild-in-flight state. It is taken
 	// only when a trigger fires or a waiter blocks, never on the query
 	// hot path.
@@ -166,6 +177,7 @@ type AdaptiveIndex struct {
 	relearns atomic.Int64
 	merges   atomic.Int64
 	lastSwap atomic.Int64 // UnixNano; 0 = never swapped
+	epochGen atomic.Int64 // completed swaps; strictly monotonic
 
 	// testHookBuilt, when set, runs after a background build finishes but
 	// before the swap — tests use it to hold the rebuilding state open.
@@ -383,6 +395,253 @@ func (a *AdaptiveIndex) Insert(row []int64) error {
 	return nil
 }
 
+// Delete tombstones every live row matching q — base index and insert log —
+// and returns how many rows were newly deleted. With a WAL attached the
+// deletion is logged (as resolved row values, which replay identically
+// against any rebuilt physical layout) before the tombstones are published,
+// and acknowledged per the log's sync policy. Safe to call concurrently with
+// queries and background rebuilds; concurrent mutators serialize on the
+// writer lock.
+func (a *AdaptiveIndex) Delete(q Query) (int64, error) {
+	a.mu.Lock()
+	ep := a.epoch.Load()
+	baseRows := ep.flood.idx.CollectWhere(q)
+	n := ep.log.rows()
+	logRows := ep.log.matchRows(q, n)
+	cnt, target, w, err := a.applyDelete(ep, baseRows, logRows, n, nil)
+	a.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if w != nil {
+		if err := w.WaitDurable(target); err != nil {
+			return cnt, fmt.Errorf("flood: wal sync: %w", err)
+		}
+	}
+	return cnt, nil
+}
+
+// DeleteRows tombstones rows by their Select ids — base rows tile first
+// [0, base), insert-log rows follow — and returns how many were newly
+// deleted. Ids already dead, duplicated, or out of range are skipped. Same
+// concurrency and durability contract as Delete, with one caveat: ids are
+// physical positions in the epoch that produced them, so they are only
+// meaningful until the next layout swap — a merge or relearn (including the
+// autonomous ones MergeFraction and drift scheduling trigger) renumbers
+// rows, and stale ids will delete the wrong rows or none. Callers that
+// cannot bracket Select→DeleteRows against rebuilds should use the
+// predicate form, which is layout-independent.
+func (a *AdaptiveIndex) DeleteRows(ids []int64) (int64, error) {
+	a.mu.Lock()
+	ep := a.epoch.Load()
+	baseN := int64(ep.flood.Table().NumRows())
+	n := ep.log.rows()
+	bt := ep.flood.idx.Tombstones()
+	lt := ep.log.tomb.Load()
+	seen := make(map[int64]struct{}, len(ids))
+	var baseRows, logRows []int
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		switch {
+		case id < 0 || id >= baseN+n:
+		case id < baseN:
+			if !bt.Has(int(id)) {
+				baseRows = append(baseRows, int(id))
+			}
+		default:
+			if !lt.Has(int(id - baseN)) {
+				logRows = append(logRows, int(id-baseN))
+			}
+		}
+	}
+	cnt, target, w, err := a.applyDelete(ep, baseRows, logRows, n, nil)
+	a.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if w != nil {
+		if err := w.WaitDurable(target); err != nil {
+			return cnt, fmt.Errorf("flood: wal sync: %w", err)
+		}
+	}
+	return cnt, nil
+}
+
+// Update rewrites every live row matching q with the assignments applied:
+// old versions are tombstoned and modified copies are appended to the insert
+// log, all under one writer-lock hold. With a WAL attached, the delete
+// record and the re-inserted rows are logged in that order, so replay
+// reproduces the rewrite. Returns the number of rows updated. Same
+// concurrency contract as Delete; a concurrent reader may observe the
+// instant between the tombstoning and a re-insert (mutations are atomic
+// per structure, not transactional — see docs/MUTATIONS.md).
+func (a *AdaptiveIndex) Update(q Query, set []Assignment) (int64, error) {
+	a.mu.Lock()
+	ep := a.epoch.Load()
+	cols := ep.flood.Table().NumCols()
+	baseRows := ep.flood.idx.CollectWhere(q)
+	n := ep.log.rows()
+	logRows := ep.log.matchRows(q, n)
+	if len(baseRows)+len(logRows) == 0 {
+		a.mu.Unlock()
+		return 0, nil
+	}
+	tuples := resolveTuples(ep, baseRows, logRows)
+	newRows := make([][]int64, len(tuples))
+	for i, tp := range tuples {
+		nr, err := applyAssignments(tp, set, cols)
+		if err != nil {
+			a.mu.Unlock()
+			return 0, err
+		}
+		newRows[i] = nr
+	}
+	cnt, target, w, err := a.applyDelete(ep, baseRows, logRows, n, tuples)
+	if err != nil {
+		a.mu.Unlock()
+		return 0, err
+	}
+	for _, row := range newRows {
+		if w != nil {
+			if target, err = w.AppendAsync(encodeWALRow(row)); err != nil {
+				a.mu.Unlock()
+				return cnt, fmt.Errorf("flood: wal append: %w", err)
+			}
+		}
+		if err := ep.log.append(row); err != nil {
+			a.mu.Unlock()
+			return cnt, err
+		}
+	}
+	pending := ep.log.rows()
+	a.mu.Unlock()
+	if w != nil {
+		if err := w.WaitDurable(target); err != nil {
+			return cnt, fmt.Errorf("flood: wal sync: %w", err)
+		}
+	}
+	base := ep.flood.Table().NumRows()
+	if a.cfg.MergeFraction > 0 && float64(pending) >= a.cfg.MergeFraction*float64(base) {
+		a.tryRebuild(rebuildMerge, 0)
+	}
+	return cnt, nil
+}
+
+// applyDelete logs (when a WAL is attached) and applies a deletion already
+// resolved to live base rows and live log rows. Caller holds mu. tuples, when
+// non-nil, are the pre-resolved row values in baseRows-then-logRows order;
+// nil resolves them on demand. Returns the count, the WAL durability target,
+// and the WAL to wait on outside the lock.
+func (a *AdaptiveIndex) applyDelete(ep *adaptiveEpoch, baseRows, logRows []int, n int64, tuples [][]int64) (int64, int64, *wal.Log, error) {
+	if len(baseRows)+len(logRows) == 0 {
+		return 0, 0, nil, nil
+	}
+	w := a.walLog
+	if tuples == nil && (w != nil || a.deferring) {
+		tuples = resolveTuples(ep, baseRows, logRows)
+	}
+	var target int64
+	if w != nil {
+		var err error
+		if target, err = w.AppendAsync(encodeWALDelete(tuples)); err != nil {
+			return 0, 0, nil, fmt.Errorf("flood: wal append: %w", err)
+		}
+	}
+	if a.deferring {
+		// The in-flight rebuild's captured image includes these rows; rows
+		// past its frozen point carry over by bitmap at the swap, the rest
+		// must be re-deleted by value (see the swap in rebuild).
+		for i := range baseRows {
+			a.deferred = append(a.deferred, tuples[i])
+		}
+		for i, r := range logRows {
+			if int64(r) < a.deferFrozen {
+				a.deferred = append(a.deferred, tuples[len(baseRows)+i])
+			}
+		}
+	}
+	cnt := int64(ep.flood.idx.DeleteRows(baseRows))
+	cnt += int64(ep.log.deleteRows(logRows, n))
+	return cnt, target, w, nil
+}
+
+// resolveTuples materializes the values of live base rows and log rows, in
+// that order. Caller holds mu (or the epoch is otherwise private).
+func resolveTuples(ep *adaptiveEpoch, baseRows, logRows []int) [][]int64 {
+	t := ep.flood.Table()
+	cols := *ep.log.cols.Load()
+	out := make([][]int64, 0, len(baseRows)+len(logRows))
+	for _, r := range baseRows {
+		out = append(out, rowValues(t, r))
+	}
+	for _, r := range logRows {
+		row := make([]int64, len(cols))
+		for c := range cols {
+			row[c] = cols[c][r]
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// deleteTuples deletes one live row per value tuple — multiset semantics:
+// k copies of a tuple delete k matching rows — scanning base rows first,
+// then the log, in physical order. It is how value-logged deletions (WAL
+// replay, deferred re-application at an epoch swap) apply against a state
+// whose physical row ids differ from the state the deletion was resolved
+// on. Returns the number of rows deleted; tuples with no remaining live
+// match are ignored (the row was already compacted away).
+func deleteTuples(ep *adaptiveEpoch, tuples [][]int64) int {
+	if len(tuples) == 0 {
+		return 0
+	}
+	want := make(map[string]int, len(tuples))
+	for _, tp := range tuples {
+		want[tupleKey(tp)]++
+	}
+	remaining := len(tuples)
+	t := ep.flood.Table()
+	bt := ep.flood.idx.Tombstones()
+	buf := make([]int64, t.NumCols())
+	var baseDel []int
+	for r := 0; r < t.NumRows() && remaining > 0; r++ {
+		if bt.Has(r) {
+			continue
+		}
+		for c := range buf {
+			buf[c] = t.Get(c, r)
+		}
+		if k := tupleKey(buf); want[k] > 0 {
+			want[k]--
+			remaining--
+			baseDel = append(baseDel, r)
+		}
+	}
+	n := ep.log.rows()
+	cols := *ep.log.cols.Load()
+	lt := ep.log.tomb.Load()
+	var logDel []int
+	for r := 0; int64(r) < n && remaining > 0; r++ {
+		if lt.Has(r) {
+			continue
+		}
+		for c := range buf {
+			buf[c] = cols[c][r]
+		}
+		if k := tupleKey(buf); want[k] > 0 {
+			want[k]--
+			remaining--
+			logDel = append(logDel, r)
+		}
+	}
+	cnt := ep.flood.idx.DeleteRows(baseDel)
+	cnt += ep.log.deleteRows(logDel, n)
+	return cnt
+}
+
 // TriggerRelearn forces a background relearn as if drift had been detected,
 // as long as at least one query has been sampled to train on. It reports
 // whether a rebuild was started; false means one was already in flight (the
@@ -436,10 +695,30 @@ func (a *AdaptiveIndex) rebuild(kind rebuildKind, done chan struct{}) {
 
 	// Snapshot: rows below the published count are immutable, so the
 	// frozen prefix of the log plus the (immutable) base table is a
-	// consistent image of the data without stopping writers.
+	// consistent image of the data without stopping writers. The tombstone
+	// sets are captured under the writer lock together with the frozen
+	// count — and deferring is raised in the same critical section — so
+	// every deletion is either compacted by this build or deferred for
+	// re-application at the swap, never both.
+	a.mu.Lock()
 	ep := a.epoch.Load()
 	frozen := ep.log.rows()
 	extra := ep.log.columns(frozen)
+	baseTomb := ep.flood.idx.Tombstones()
+	logTomb := ep.log.tomb.Load()
+	a.deferring = true
+	a.deferFrozen = frozen
+	a.mu.Unlock()
+
+	swapped := false
+	defer func() {
+		if !swapped {
+			a.mu.Lock()
+			a.deferring = false
+			a.deferred = nil
+			a.mu.Unlock()
+		}
+	}()
 
 	var fresh *Flood
 	switch kind {
@@ -452,14 +731,14 @@ func (a *AdaptiveIndex) rebuild(kind rebuildKind, done chan struct{}) {
 			return
 		}
 		var merged *Table
-		merged, err = core.MergeRows(ep.flood.idx.Table(), extra)
+		merged, err = core.MergeRowsLive(ep.flood.idx.Table(), baseTomb, extra, logTomb)
 		if err == nil {
 			opts := a.relearnOptions(ep)
 			fresh, err = Build(merged, train, &opts)
 		}
 	case rebuildMerge:
 		var idx *core.Flood
-		idx, err = ep.flood.idx.Rebuild(extra)
+		idx, err = ep.flood.idx.RebuildCompact(extra, baseTomb, logTomb)
 		if err == nil {
 			// The optimizer's predicted cost described the pre-merge table;
 			// zero it so the new epoch's monitor rebases its reference from
@@ -489,7 +768,26 @@ func (a *AdaptiveIndex) rebuild(kind rebuildKind, done chan struct{}) {
 	next := a.newEpoch(fresh)
 	total := cur.log.rows()
 	next.log.seed(cur.log.columnsRange(frozen, total), total-frozen)
+	// Deletions that landed during the build: tail-row deletions carry by
+	// re-marking the same rows at their re-based log positions; deletions
+	// of rows the build compacted re-apply by value. Both happen before
+	// the epoch pointer is stored, so no reader ever observes a deleted
+	// row transiently resurrected.
+	if lt := cur.log.tomb.Load(); lt.Dead() > 0 && total > frozen {
+		var carry []int
+		for r := frozen; r < total; r++ {
+			if lt.Has(int(r)) {
+				carry = append(carry, int(r-frozen))
+			}
+		}
+		next.log.deleteRows(carry, total-frozen)
+	}
+	deleteTuples(next, a.deferred)
+	a.deferred = nil
+	a.deferring = false
+	swapped = true
 	a.epoch.Store(next)
+	a.epochGen.Add(1)
 	a.mu.Unlock()
 
 	a.lastSwap.Store(time.Now().UnixNano())
@@ -575,11 +873,32 @@ func (a *AdaptiveIndex) SizeBytes() int64 {
 	return ep.flood.SizeBytes() + ep.log.rows()*int64(ep.flood.Table().NumCols())*8
 }
 
-// NumRows returns the total row count (base + pending inserts).
+// NumRows returns the total row count (base + pending inserts), including
+// tombstoned rows not yet compacted; LiveRows excludes them.
 func (a *AdaptiveIndex) NumRows() int {
 	ep := a.epoch.Load()
 	return ep.flood.Table().NumRows() + int(ep.log.rows())
 }
+
+// Deleted returns the number of tombstoned (not yet compacted) rows across
+// the base index and the insert log. Approximate under concurrent mutation.
+func (a *AdaptiveIndex) Deleted() int {
+	ep := a.epoch.Load()
+	return ep.flood.idx.Deleted() + ep.log.tomb.Load().Dead()
+}
+
+// LiveRows returns the number of rows queries can observe: physical rows
+// minus tombstoned rows. Approximate under concurrent mutation.
+func (a *AdaptiveIndex) LiveRows() int {
+	ep := a.epoch.Load()
+	return ep.flood.Table().NumRows() + int(ep.log.rows()) -
+		ep.flood.idx.Deleted() - ep.log.tomb.Load().Dead()
+}
+
+// Epoch returns the number of completed generation swaps. It is strictly
+// monotonic: concurrent readers can assert they never observe the epoch
+// counter move backwards across a relearn or merge.
+func (a *AdaptiveIndex) Epoch() int64 { return a.epochGen.Load() }
 
 // Layout returns the currently serving layout (it changes after a relearn).
 func (a *AdaptiveIndex) Layout() Layout { return a.epoch.Load().flood.Layout() }
@@ -592,6 +911,8 @@ func (a *AdaptiveIndex) Index() *Flood { return a.epoch.Load().flood }
 var (
 	_ Index            = (*AdaptiveIndex)(nil)
 	_ query.BatchIndex = (*AdaptiveIndex)(nil)
+	_ Deleter          = (*AdaptiveIndex)(nil)
+	_ Updater          = (*AdaptiveIndex)(nil)
 )
 
 // sideLog is the insert side of a generation: an append-only column-major
@@ -608,6 +929,12 @@ type sideLog struct {
 	cols  atomic.Pointer[[][]int64] // column-major; rows [0, count) published
 	count atomic.Int64
 	segs  atomic.Pointer[[]*logSegment] // sealed, contiguous from row 0
+	// tomb marks deleted log rows. Published values are immutable; a scan
+	// captures the pointer once, so its whole pass over segments and suffix
+	// masks against one consistent deletion snapshot. Segments start at
+	// multiples of logViewStep — a multiple of 64 — so each segment's mask
+	// is a word-aligned alias into the captured words (Tombstones.Slice).
+	tomb atomic.Pointer[colstore.Tombstones]
 }
 
 // logSegment is one sealed, encoded chunk of the log: rows [start, end).
@@ -692,6 +1019,7 @@ func (l *sideLog) scan(q Query, n int64, agg Aggregator, ctl *query.Control) Sta
 	var st Stats
 	t0 := time.Now()
 	dims := q.FilteredDims()
+	tw := l.tomb.Load()
 	l.seal(n)
 	covered := int64(0)
 	for _, sg := range *l.segs.Load() {
@@ -700,6 +1028,7 @@ func (l *sideLog) scan(q Query, n int64, agg Aggregator, ctl *query.Control) Sta
 		}
 		sc := query.GetScanner(sg.t)
 		sc.SetControl(ctl)
+		sc.SetTombstones(tw.Slice(int(sg.start) >> 6))
 		s, m := sc.ScanRange(q, dims, 0, int(sg.end-sg.start), agg)
 		sc.Release()
 		st.Scanned += s
@@ -710,6 +1039,7 @@ func (l *sideLog) scan(q Query, n int64, agg Aggregator, ctl *query.Control) Sta
 		t := colstore.MustNewTable(l.names, l.columnsRange(covered, n))
 		sc := query.GetScanner(t)
 		sc.SetControl(ctl)
+		sc.SetTombstones(tw.Slice(int(covered) >> 6))
 		s, m := sc.ScanRange(q, dims, 0, int(n-covered), agg)
 		sc.Release()
 		st.Scanned += s
@@ -718,6 +1048,41 @@ func (l *sideLog) scan(q Query, n int64, agg Aggregator, ctl *query.Control) Sta
 	st.ScanTime = time.Since(t0)
 	st.Total = st.ScanTime
 	return st
+}
+
+// deleteRows tombstones the given log rows (indices below n, the caller's
+// published-count snapshot) and returns how many were newly deleted. Callers
+// serialize with appends (the facade's writer lock); readers are never
+// blocked — they capture the previous tombstone version and keep a
+// consistent snapshot.
+func (l *sideLog) deleteRows(rows []int, n int64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	nt, added := colstore.AddTombstones(l.tomb.Load(), int(n), rows)
+	if added > 0 {
+		l.tomb.Store(nt)
+	}
+	return added
+}
+
+// matchRows returns the live log rows among the first n that satisfy q, by
+// brute-force evaluation (the log is small by construction). Caller holds
+// the facade's writer lock, so rows below n and the tombstone set are
+// stable.
+func (l *sideLog) matchRows(q Query, n int64) []int {
+	if n == 0 {
+		return nil
+	}
+	cols := *l.cols.Load()
+	tw := l.tomb.Load()
+	var rows []int
+	for i := 0; i < int(n); i++ {
+		if !tw.Has(i) && matchColumns(q, cols, i) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
 }
 
 // seal encodes any full logViewStep-sized chunks of the first n rows into

@@ -178,7 +178,7 @@ func (d *DeltaIndex) executeControl(ctl *query.Control, q Query, agg Aggregator,
 	if d.pending == 0 || ctl.Stopped() {
 		return st
 	}
-	st.Add(d.scanDelta(d.ensureDeltaTable(), q, agg, ctl))
+	st.Add(d.scanDelta(d.ensureDeltaTable(), d.tombDelta.Words(), q, agg, ctl))
 	return st
 }
 
@@ -193,8 +193,10 @@ func (d *DeltaIndex) ExecuteBatchContext(ctx context.Context, queries []Query, a
 		func(ctl *query.Control) []Stats {
 			pending := d.pending
 			var delta *Table
+			var tomb []uint64
 			if pending > 0 {
 				delta = d.ensureDeltaTable()
+				tomb = d.tombDelta.Words()
 			}
 			stats := make([]Stats, len(queries))
 			core.RunBatch(len(queries), func(i int) {
@@ -203,7 +205,7 @@ func (d *DeltaIndex) ExecuteBatchContext(ctx context.Context, queries []Query, a
 				}
 				stats[i] = d.base.ExecuteSequentialControl(ctl, queries[i], aggs[i])
 				if pending > 0 && !ctl.Stopped() {
-					stats[i].Add(d.scanDelta(delta, queries[i], aggs[i], ctl))
+					stats[i].Add(d.scanDelta(delta, tomb, queries[i], aggs[i], ctl))
 				}
 			})
 			return stats

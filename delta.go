@@ -37,6 +37,12 @@ type DeltaIndex struct {
 	// buffered (0 disables auto-merging).
 	MergeThreshold int
 
+	// tombDelta marks deleted buffered rows (base deletions live in the
+	// base index's own tombstone set). Plain field under the single-writer
+	// contract; published values are immutable, so a scan that captured the
+	// words keeps its snapshot.
+	tombDelta *colstore.Tombstones
+
 	wal *wal.Log // optional: Insert logs each row before acknowledging
 }
 
@@ -113,7 +119,7 @@ func (d *DeltaIndex) Execute(q Query, agg Aggregator) Stats {
 	if d.pending == 0 {
 		return st
 	}
-	st.Add(d.scanDelta(d.ensureDeltaTable(), q, agg, nil))
+	st.Add(d.scanDelta(d.ensureDeltaTable(), d.tombDelta.Words(), q, agg, nil))
 	return st
 }
 
@@ -131,13 +137,16 @@ func (d *DeltaIndex) ensureDeltaTable() *Table {
 // scanDelta filters the buffered rows against q. The delta table is
 // immutable once built, so concurrent calls (one per batched query) are
 // safe; the scan bound comes from the table itself, not the live pending
-// counter, so a batch stays self-consistent. ctl, when non-nil, threads the
-// query's cancellation signal and limit budget into the scan.
-func (d *DeltaIndex) scanDelta(delta *Table, q Query, agg Aggregator, ctl *query.Control) Stats {
+// counter, so a batch stays self-consistent. tomb is the tombstone word
+// snapshot captured alongside the table (nil when nothing is deleted). ctl,
+// when non-nil, threads the query's cancellation signal and limit budget
+// into the scan.
+func (d *DeltaIndex) scanDelta(delta *Table, tomb []uint64, q Query, agg Aggregator, ctl *query.Control) Stats {
 	var st Stats
 	t0 := time.Now()
 	sc := query.GetScanner(delta)
 	sc.SetControl(ctl)
+	sc.SetTombstones(tomb)
 	s, m := sc.ScanRange(q, q.FilteredDims(), 0, delta.NumRows(), agg)
 	sc.Release()
 	st.Scanned = s
@@ -158,26 +167,29 @@ func (d *DeltaIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
 	}
 	pending := d.pending
 	var delta *Table
+	var tomb []uint64
 	if pending > 0 {
 		delta = d.ensureDeltaTable()
+		tomb = d.tombDelta.Words()
 	}
 	stats := make([]Stats, len(queries))
 	core.RunBatch(len(queries), func(i int) {
 		stats[i] = d.base.ExecuteSequential(queries[i], aggs[i])
 		if pending > 0 {
-			stats[i].Add(d.scanDelta(delta, queries[i], aggs[i], nil))
+			stats[i].Add(d.scanDelta(delta, tomb, queries[i], aggs[i], nil))
 		}
 	})
 	return stats
 }
 
 // Merge folds the buffered rows into a rebuilt base index with the same
-// layout and clears the buffer.
+// layout and clears the buffer. Tombstoned rows — buffered or base — are
+// compacted away: the merged index starts with an empty tombstone set.
 func (d *DeltaIndex) Merge() error {
-	if d.pending == 0 {
+	if d.pending == 0 && d.base.Deleted() == 0 {
 		return nil
 	}
-	base, err := d.base.Rebuild(d.buffer)
+	base, err := d.base.RebuildLive(d.buffer, d.tombDelta)
 	if err != nil {
 		return fmt.Errorf("flood: merging delta: %w", err)
 	}
@@ -187,12 +199,146 @@ func (d *DeltaIndex) Merge() error {
 	}
 	d.pending = 0
 	d.deltaTable = nil
+	d.tombDelta = nil
 	return nil
+}
+
+// Deleted returns the number of tombstoned (not yet compacted) rows across
+// the base index and the insert buffer.
+func (d *DeltaIndex) Deleted() int { return d.base.Deleted() + d.tombDelta.Dead() }
+
+// LiveRows returns the number of rows queries can observe: physical rows
+// minus tombstoned rows.
+func (d *DeltaIndex) LiveRows() int { return d.NumRows() - d.Deleted() }
+
+// Delete tombstones every live row matching q — in the base index and the
+// insert buffer — and returns how many rows were newly deleted. With a WAL
+// attached, the deletion is logged (as resolved row values) before it is
+// acknowledged. Single-writer, like Insert.
+func (d *DeltaIndex) Delete(q Query) (int64, error) {
+	baseRows := d.base.CollectWhere(q)
+	var bufRows []int
+	for i := 0; i < d.pending; i++ {
+		if !d.tombDelta.Has(i) && matchColumns(q, d.buffer, i) {
+			bufRows = append(bufRows, i)
+		}
+	}
+	return d.deleteResolved(baseRows, bufRows)
+}
+
+// DeleteRows tombstones rows by their Select ids — base rows tile first
+// [0, base), buffered rows follow [base, base+pending) — and returns how
+// many were newly deleted. Ids already dead or out of range are skipped.
+func (d *DeltaIndex) DeleteRows(ids []int64) (int64, error) {
+	baseN := d.base.Table().NumRows()
+	var baseRows, bufRows []int
+	for _, id := range ids {
+		switch {
+		case id < 0 || id >= int64(baseN+d.pending):
+		case id < int64(baseN):
+			baseRows = append(baseRows, int(id))
+		default:
+			bufRows = append(bufRows, int(id)-baseN)
+		}
+	}
+	return d.deleteResolved(baseRows, bufRows)
+}
+
+// deleteResolved logs (when a WAL is attached) and applies a deletion that
+// has already been resolved to live base rows and live buffer rows.
+func (d *DeltaIndex) deleteResolved(baseRows, bufRows []int) (int64, error) {
+	if len(baseRows)+len(bufRows) == 0 {
+		return 0, nil
+	}
+	if d.wal != nil {
+		tuples := make([][]int64, 0, len(baseRows)+len(bufRows))
+		t := d.base.Table()
+		for _, r := range baseRows {
+			tuples = append(tuples, rowValues(t, r))
+		}
+		for _, r := range bufRows {
+			row := make([]int64, len(d.buffer))
+			for c := range d.buffer {
+				row[c] = d.buffer[c][r]
+			}
+			tuples = append(tuples, row)
+		}
+		if err := d.wal.Append(encodeWALDelete(tuples)); err != nil {
+			return 0, fmt.Errorf("flood: wal append: %w", err)
+		}
+	}
+	n := int64(d.base.DeleteRows(baseRows))
+	if len(bufRows) > 0 {
+		nt, added := colstore.AddTombstones(d.tombDelta, d.pending, bufRows)
+		d.tombDelta = nt
+		n += int64(added)
+	}
+	return n, nil
+}
+
+// Update rewrites every live row matching q with the assignments applied:
+// the old versions are tombstoned and modified copies are re-inserted
+// through the normal insert path (so they are WAL-logged, buffered, and may
+// trigger an automatic Merge). Returns the number of rows updated.
+// Single-writer, like Insert.
+func (d *DeltaIndex) Update(q Query, set []Assignment) (int64, error) {
+	cols := len(d.buffer)
+	baseRows := d.base.CollectWhere(q)
+	var bufRows []int
+	for i := 0; i < d.pending; i++ {
+		if !d.tombDelta.Has(i) && matchColumns(q, d.buffer, i) {
+			bufRows = append(bufRows, i)
+		}
+	}
+	if len(baseRows)+len(bufRows) == 0 {
+		return 0, nil
+	}
+	newRows := make([][]int64, 0, len(baseRows)+len(bufRows))
+	t := d.base.Table()
+	for _, r := range baseRows {
+		nr, err := applyAssignments(rowValues(t, r), set, cols)
+		if err != nil {
+			return 0, err
+		}
+		newRows = append(newRows, nr)
+	}
+	for _, r := range bufRows {
+		row := make([]int64, cols)
+		for c := range d.buffer {
+			row[c] = d.buffer[c][r]
+		}
+		nr, err := applyAssignments(row, set, cols)
+		if err != nil {
+			return 0, err
+		}
+		newRows = append(newRows, nr)
+	}
+	n, err := d.deleteResolved(baseRows, bufRows)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range newRows {
+		if err := d.Insert(row); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// rowValues materializes one stored row as a value tuple.
+func rowValues(t *Table, r int) []int64 {
+	row := make([]int64, t.NumCols())
+	for c := range row {
+		row[c] = t.Get(c, r)
+	}
+	return row
 }
 
 var (
 	_ Index            = (*DeltaIndex)(nil)
 	_ query.BatchIndex = (*DeltaIndex)(nil)
+	_ Deleter          = (*DeltaIndex)(nil)
+	_ Updater          = (*DeltaIndex)(nil)
 )
 
 // Neighbor is one k-nearest-neighbor result: a physical row in the index's

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"flood/internal/colstore"
 	"flood/internal/core"
 	"flood/internal/wal"
 	"flood/internal/wire"
@@ -43,6 +44,13 @@ const (
 	sectionDelta = "dlta"
 	// sectionMarker persists the absorbed WAL generation.
 	sectionMarker = "wmrk"
+	// sectionTomb persists the deletion state: the base index's tombstone
+	// words plus the dead rows of the captured side-log prefix. Unlike the
+	// bitmap-index section, damage here is a hard load error, not a
+	// degrade-and-rebuild: tombstones are not reconstructible from the data
+	// sections, and silently dropping them would resurrect acknowledged
+	// deletes.
+	sectionTomb = "tomb"
 )
 
 // DurableOptions configures a DurableIndex.
@@ -126,7 +134,7 @@ func CreateDurable(dir string, base *Flood, opts *DurableOptions) (*DurableIndex
 		return nil, fmt.Errorf("flood: %s already contains a snapshot (use OpenDurable)", dir)
 	}
 	d := &DurableIndex{dir: dir, a: NewAdaptiveIndex(base, o.Adaptive), opts: o}
-	if err := d.writeSnapshot(0, base.idx, base.schema, nil, 0); err != nil {
+	if err := d.writeSnapshot(0, base.idx, base.schema, nil, 0, base.idx.Tombstones(), nil); err != nil {
 		return nil, err
 	}
 	l, err := wal.Create(filepath.Join(dir, wal.SegmentName(1)), 1, o.walOptions())
@@ -187,6 +195,27 @@ func OpenDurable(dir string, opts *DurableOptions) (*DurableIndex, RecoveryRepor
 		rep.SnapshotRows = fl.Table().NumRows()
 	}
 
+	// Restore the deletion state. The base tombstones were installed by
+	// floodFromLoadResult; the side-log dead rows apply after seeding.
+	if p, ok := res.Extra[sectionTomb]; ok {
+		_, logDead, err := decodeTombSection(p, fl.Table().NumRows())
+		if err != nil {
+			return nil, rep, err
+		}
+		if len(logDead) > 0 {
+			log := d.a.epoch.Load().log
+			n := log.rows()
+			rows := make([]int, 0, len(logDead))
+			for _, r := range logDead {
+				if r < 0 || r >= n {
+					return nil, rep, fmt.Errorf("flood: snapshot tombstones mark side row %d of %d: %w", r, n, ErrChecksum)
+				}
+				rows = append(rows, int(r))
+			}
+			log.deleteRows(rows, n)
+		}
+	}
+
 	// Replay WAL segments beyond the marker, oldest first. Generations at
 	// or below the marker are absorbed by the snapshot; a crash between
 	// snapshot rename and segment deletion can leave them behind, so they
@@ -208,6 +237,14 @@ func OpenDurable(dir string, opts *DurableOptions) (*DurableIndex, RecoveryRepor
 		path := filepath.Join(dir, wal.SegmentName(g))
 		ep := d.a.epoch.Load()
 		r, err := wal.Replay(path, func(payload []byte) error {
+			if isWALDelete(payload) {
+				tuples, err := decodeWALDelete(payload, fl.Table().NumCols())
+				if err != nil {
+					return err
+				}
+				deleteTuples(ep, tuples)
+				return nil
+			}
 			row, err := decodeWALRow(payload, fl.Table().NumCols())
 			if err != nil {
 				return err
@@ -268,6 +305,13 @@ func (d *DurableIndex) Checkpoint() error {
 	frozen := ep.log.rows()
 	cols := ep.log.columns(frozen)
 	idx := ep.flood.idx
+	// Deletions are WAL-appended and tombstone-published under one writer
+	// lock hold, so relative to this capture every delete is either fully
+	// before (its marks are in these pinned tombstone versions, its record
+	// in an absorbed segment) or fully after (record in the new segment,
+	// replayed on open) — never half in each, which would double-delete.
+	baseTomb := idx.Tombstones()
+	logTomb := ep.log.tomb.Load()
 	old := a.walLog
 	a.walLog = nl
 	a.mu.Unlock()
@@ -282,7 +326,15 @@ func (d *DurableIndex) Checkpoint() error {
 	}
 	d.crash("old-closed")
 
-	if err := d.writeSnapshot(oldGen, idx, a.schema, cols, frozen); err != nil {
+	// Every mark in the captured log tombstones is on a row that existed
+	// when the mark was published, hence below frozen.
+	var logDead []int64
+	for r := int64(0); r < frozen; r++ {
+		if logTomb.Has(int(r)) {
+			logDead = append(logDead, r)
+		}
+	}
+	if err := d.writeSnapshot(oldGen, idx, a.schema, cols, frozen, baseTomb, logDead); err != nil {
 		return err
 	}
 	d.crash("snapshot")
@@ -326,6 +378,33 @@ func (d *DurableIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats 
 // the sync policy. See AdaptiveIndex.Insert.
 func (d *DurableIndex) Insert(row []int64) error { return d.a.Insert(row) }
 
+// Delete tombstones every live row matching q; the deletion is WAL-logged
+// before it is acknowledged, so acknowledged deletes survive a crash at any
+// point (they are either replayed from the log or absorbed into a snapshot's
+// tombstone section). See AdaptiveIndex.Delete.
+func (d *DurableIndex) Delete(q Query) (int64, error) { return d.a.Delete(q) }
+
+// DeleteRows tombstones rows by their Select ids, with Delete's durability
+// contract. See AdaptiveIndex.DeleteRows.
+func (d *DurableIndex) DeleteRows(ids []int64) (int64, error) { return d.a.DeleteRows(ids) }
+
+// Update rewrites every live row matching q with the assignments applied,
+// logging the delete record and the re-inserted rows before acknowledging.
+// See AdaptiveIndex.Update.
+func (d *DurableIndex) Update(q Query, set []Assignment) (int64, error) { return d.a.Update(q, set) }
+
+// Deleted returns the number of tombstoned (not yet compacted) rows.
+func (d *DurableIndex) Deleted() int { return d.a.Deleted() }
+
+// LiveRows returns the number of rows queries can observe.
+func (d *DurableIndex) LiveRows() int { return d.a.LiveRows() }
+
+// SetCrashPoint installs fn to run at the named stages of a checkpoint
+// ("rotated", "old-closed", "snapshot"). Fault-injection harnesses panic
+// from it to simulate a crash between any two durability steps; pass nil to
+// clear. Not for production use.
+func (d *DurableIndex) SetCrashPoint(fn func(stage string)) { d.crashPoint = fn }
+
 // ExecuteContext serves one query with cancellation and limit support; see
 // AdaptiveIndex.ExecuteContext.
 func (d *DurableIndex) ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error) {
@@ -341,7 +420,11 @@ func (d *DurableIndex) Name() string { return "Flood+Durable" }
 // SizeBytes implements Index.
 func (d *DurableIndex) SizeBytes() int64 { return d.a.SizeBytes() }
 
-var _ Index = (*DurableIndex)(nil)
+var (
+	_ Index   = (*DurableIndex)(nil)
+	_ Deleter = (*DurableIndex)(nil)
+	_ Updater = (*DurableIndex)(nil)
+)
 
 func (d *DurableIndex) crash(stage string) {
 	if d.crashPoint != nil {
@@ -350,8 +433,11 @@ func (d *DurableIndex) crash(stage string) {
 }
 
 // writeSnapshot atomically replaces the snapshot file with the captured
-// image: base index, schema, side rows, and the absorbed-generation marker.
-func (d *DurableIndex) writeSnapshot(marker uint64, idx *core.Flood, schema *Schema, cols [][]int64, rows int64) error {
+// image: base index, schema, side rows, deletion state, and the
+// absorbed-generation marker. baseTomb and logDead must be the versions
+// pinned at the same instant as cols/rows, never re-read at encode time — a
+// delete landing between capture and encode belongs to the new WAL segment.
+func (d *DurableIndex) writeSnapshot(marker uint64, idx *core.Flood, schema *Schema, cols [][]int64, rows int64, baseTomb *colstore.Tombstones, logDead []int64) error {
 	return WriteFileAtomic(filepath.Join(d.dir, snapshotFile), func(w io.Writer) error {
 		var extra []core.ExtraSection
 		if schema != nil {
@@ -366,11 +452,53 @@ func (d *DurableIndex) writeSnapshot(marker uint64, idx *core.Flood, schema *Sch
 				}
 			}})
 		}
+		if baseTomb.Dead() > 0 || len(logDead) > 0 {
+			extra = append(extra, core.ExtraSection{Tag: sectionTomb, Encode: encodeTombSection(baseTomb, logDead)})
+		}
 		extra = append(extra, core.ExtraSection{Tag: sectionMarker, Encode: func(fw *wire.Writer) {
 			fw.U64(marker)
 		}})
 		return idx.SaveSections(w, extra)
 	})
+}
+
+// encodeTombSection serializes the deletion state: the covered base row
+// count with the packed bitmap words, then the dead side-log row indices.
+func encodeTombSection(baseTomb *colstore.Tombstones, logDead []int64) func(*wire.Writer) {
+	return func(fw *wire.Writer) {
+		if baseTomb.Dead() > 0 {
+			fw.Int(baseTomb.Len())
+			fw.U64s(baseTomb.Words())
+		} else {
+			fw.Int(0)
+			fw.U64s(nil)
+		}
+		fw.I64s(logDead)
+	}
+}
+
+// decodeTombSection parses the deletion state, validating the bitmap's
+// structural invariants against the loaded table so corruption that survives
+// the section checksum still cannot produce phantom deletions.
+func decodeTombSection(payload []byte, baseRows int) (*colstore.Tombstones, []int64, error) {
+	r := wire.NewReaderBytes(payload)
+	n := r.Int()
+	words := r.U64s()
+	logDead := r.I64s()
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("flood: snapshot tombstones: %w", err)
+	}
+	if n == 0 && len(words) == 0 {
+		return nil, logDead, nil
+	}
+	if n != baseRows {
+		return nil, nil, fmt.Errorf("flood: snapshot tombstones cover %d rows, base has %d: %w", n, baseRows, ErrChecksum)
+	}
+	t, ok := colstore.TombstonesFromWords(n, words)
+	if !ok {
+		return nil, nil, fmt.Errorf("flood: snapshot tombstones are structurally invalid: %w", ErrChecksum)
+	}
+	return t, logDead, nil
 }
 
 // decodeSideRows reads the checkpoint-captured side-log rows.

@@ -4,10 +4,14 @@
 //	SELECT SUM(R.X) FROM MyTable
 //	WHERE (a <= R.Y AND R.Y <= b) AND (c <= R.Z AND R.Z <= d)
 //
-// The supported grammar covers single-table aggregations and row-retrieval
-// projections with conjunctive and disjunctive predicates:
+// The supported grammar covers single-table aggregations, row-retrieval
+// projections, and mutations, with conjunctive and disjunctive predicates:
 //
-//	stmt    := SELECT target FROM ident [WHERE pred] [LIMIT n]
+//	stmt    := select | delete | update
+//	select  := SELECT target FROM ident [WHERE pred] [LIMIT n]
+//	delete  := DELETE FROM ident [WHERE pred]
+//	update  := UPDATE ident SET assign (',' assign)* [WHERE pred]
+//	assign  := col = value
 //	target  := agg | proj
 //	agg     := COUNT(*) | SUM(col) | MIN(col) | MAX(col)
 //	proj    := * | col (',' col)*
@@ -18,6 +22,12 @@
 //	         | col LIKE 'prefix%'
 //	op      := = | < | <= | > | >=
 //	value   := integer | float | 'string'
+//
+// DELETE and UPDATE execute through Statement.Exec against any index facade
+// implementing flood.Deleter / flood.Updater; SET literals are encoded
+// through the schema exactly like predicate literals (an assigned string
+// must already be in the column's fitted dictionary, an assigned float must
+// be representable in the column's decimal scale).
 //
 // Statements parsed against a raw int64 table (Parse) accept only integer
 // literals and aggregation targets. Statements parsed against a typed schema
@@ -55,11 +65,13 @@ import (
 	flood "flood"
 )
 
-// Statement is a parsed, table-resolved query: either an aggregation
-// (Agg = "count", "sum", "min", "max") executed with Run, or a projection
-// (Agg = "select") executed with Select.
+// Statement is a parsed, table-resolved query: an aggregation
+// (Agg = "count", "sum", "min", "max") executed with Run, a projection
+// (Agg = "select") executed with Select, or a mutation (Agg = "delete",
+// "update") executed with Exec.
 type Statement struct {
-	// Agg is "count", "sum", "min", "max", or "select" for projections.
+	// Agg is "count", "sum", "min", "max", "select" for projections, or
+	// "delete" / "update" for mutations.
 	Agg string
 	// AggCol is the aggregated column index (-1 for COUNT(*) and
 	// projections).
@@ -76,9 +88,12 @@ type Statement struct {
 	Disjuncts []flood.Query
 	// Limit is the LIMIT clause's row count (0 = no LIMIT). Select pushes
 	// it down into the scan, stopping execution after the Limit-th match.
-	Limit  int
-	nDims  int
-	schema *flood.Schema // non-nil for ParseTyped statements
+	Limit int
+	// Assignments is the UPDATE statement's SET list, with literals already
+	// encoded into the physical int64 domain.
+	Assignments []flood.Assignment
+	nDims       int
+	schema      *flood.Schema // non-nil for ParseTyped statements
 }
 
 // Parse compiles a SQL string against tbl's raw int64 schema. Only integer
@@ -119,8 +134,53 @@ func (s *Statement) aggregator() (flood.Aggregator, error) {
 		return flood.NewMax(s.AggCol), nil
 	case "select":
 		return nil, fmt.Errorf("floodsql: projection statements execute via Select, not Run")
+	case "delete", "update":
+		return nil, fmt.Errorf("floodsql: mutation statements execute via Exec, not Run")
 	default:
 		return nil, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
+	}
+}
+
+// Exec executes a DELETE or UPDATE statement against an index facade that
+// supports mutation (flood.Deleter / flood.Updater: DeltaIndex,
+// AdaptiveIndex, DurableIndex; plain Flood supports DELETE only). It returns
+// the number of rows affected. An OR predicate executes one mutation per
+// disjunct: deletes are idempotent so overlapping disjuncts never
+// double-count, while an UPDATE whose rewritten rows still match a later
+// disjunct rewrites them again (same final values — assignments are
+// constants — but the affected count can exceed the distinct row count).
+func (s *Statement) Exec(idx flood.Index) (int64, error) {
+	switch s.Agg {
+	case "delete":
+		del, ok := idx.(flood.Deleter)
+		if !ok {
+			return 0, fmt.Errorf("floodsql: index %s does not support DELETE", idx.Name())
+		}
+		var total int64
+		for _, q := range s.queries() {
+			n, err := del.Delete(q)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	case "update":
+		up, ok := idx.(flood.Updater)
+		if !ok {
+			return 0, fmt.Errorf("floodsql: index %s does not support UPDATE", idx.Name())
+		}
+		var total int64
+		for _, q := range s.queries() {
+			n, err := up.Update(q, s.Assignments)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("floodsql: %s statements execute via Run or Select, not Exec", strings.ToUpper(s.Agg))
 	}
 }
 
@@ -341,9 +401,16 @@ func (p *parser) errAt(tok token, format string, args ...any) error {
 }
 
 func (p *parser) statement() (*Statement, error) {
-	if err := p.keyword("SELECT"); err != nil {
-		return nil, err
+	if p.isKeyword("DELETE") {
+		return p.deleteStatement()
 	}
+	if p.isKeyword("UPDATE") {
+		return p.updateStatement()
+	}
+	if !p.isKeyword("SELECT") {
+		return nil, p.errAt(p.lex.tok, "expected SELECT, DELETE, or UPDATE")
+	}
+	p.lex.next()
 	st := &Statement{AggCol: -1, nDims: p.cols.NumCols(), schema: p.schema}
 	if err := p.target(st); err != nil {
 		return nil, err
@@ -377,6 +444,119 @@ func (p *parser) statement() (*Statement, error) {
 		return nil, p.errAt(p.lex.tok, "unexpected trailing input")
 	}
 	return st, nil
+}
+
+// deleteStatement parses `DELETE FROM table [WHERE pred]`.
+func (p *parser) deleteStatement() (*Statement, error) {
+	p.lex.next()
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	st := &Statement{Agg: "delete", AggCol: -1, nDims: p.cols.NumCols(), schema: p.schema}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	return p.optionalWhere(st)
+}
+
+// updateStatement parses `UPDATE table SET col = lit, ... [WHERE pred]`.
+func (p *parser) updateStatement() (*Statement, error) {
+	p.lex.next()
+	st := &Statement{Agg: "update", AggCol: -1, nDims: p.cols.NumCols(), schema: p.schema}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		colTok := p.lex.tok
+		col, err := p.column()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.symbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		enc, err := p.encodeAssign(col, colTok, v)
+		if err != nil {
+			return nil, err
+		}
+		st.Assignments = append(st.Assignments, flood.Assignment{Col: col, Value: enc})
+		if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "," {
+			p.lex.next()
+			continue
+		}
+		break
+	}
+	return p.optionalWhere(st)
+}
+
+// optionalWhere parses the optional WHERE clause of a mutation statement and
+// rejects trailing input. Mutations take no LIMIT: "delete some of the
+// matches" has no deterministic meaning.
+func (p *parser) optionalWhere(st *Statement) (*Statement, error) {
+	if p.isKeyword("WHERE") {
+		p.lex.next()
+		dnf, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Disjuncts = dnf
+	}
+	if p.lex.tok.kind != tokEOF || p.lex.err != nil {
+		return nil, p.errAt(p.lex.tok, "unexpected trailing input")
+	}
+	return st, nil
+}
+
+// encodeAssign converts an assignment literal to the column's storage
+// encoding: dictionary code for strings, scaled integer for floats (the value
+// must land exactly on a representable code), raw int64 otherwise. Unlike
+// predicates — where a miss just selects nothing — an assignment that cannot
+// be represented exactly is an error, because storing a rounded neighbour
+// would silently change the written value.
+func (p *parser) encodeAssign(col int, colTok token, v value) (int64, error) {
+	kind := p.kindOf(col)
+	switch {
+	case v.kind == tokString:
+		if kind != flood.KindString {
+			return 0, p.errAt(v.tok, "string literal on non-string column %q", p.cols.Name(col))
+		}
+		d := p.schema.Dictionary(p.cols.Name(col))
+		if d == nil {
+			return 0, p.errAt(v.tok, "column %q has no fitted dictionary yet (build the table first)", p.cols.Name(col))
+		}
+		c, ok := d.Code(v.s)
+		if !ok {
+			return 0, p.errAt(v.tok, "value %q is not in column %q's dictionary", v.s, p.cols.Name(col))
+		}
+		return c, nil
+	case kind == flood.KindString:
+		return 0, p.errAt(v.tok, "string column %q needs a string literal", p.cols.Name(col))
+	case v.isFloat || kind == flood.KindFloat64:
+		if kind != flood.KindFloat64 {
+			return 0, p.errAt(v.tok, "float literal on non-float column %q", p.cols.Name(col))
+		}
+		sc := p.schema.Scaler(p.cols.Name(col))
+		if sc == nil {
+			return 0, p.errAt(v.tok, "column %q has no fitted scaler yet (build the table first)", p.cols.Name(col))
+		}
+		lo, hi := sc.EncodeLower(v.f), sc.EncodeUpper(v.f)
+		if lo != hi {
+			return 0, p.errAt(v.tok, "value %v is not representable in column %q's scale", v.f, p.cols.Name(col))
+		}
+		return lo, nil
+	default:
+		// Int64 columns, and time columns assigned as raw ticks.
+		return v.i, nil
+	}
 }
 
 // limitClause parses `LIMIT n`. The count must be a positive integer —

@@ -730,3 +730,167 @@ func TestRunContextCanceled(t *testing.T) {
 		t.Fatalf("background RunContext = (%d, %v)", v, err)
 	}
 }
+
+// TestDeleteStatementTyped pins the DELETE path end to end: parse against the
+// typed schema, Exec against a plain Flood index, observe masked counts.
+func TestDeleteStatementTyped(t *testing.T) {
+	s, idx, city, _, _ := typedFixture(t)
+	st, err := ParseTyped("DELETE FROM t WHERE city = 'nyc'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != "delete" || st.Table != "t" || len(st.Disjuncts) != 1 {
+		t.Fatalf("parsed DELETE = %+v", st)
+	}
+	var want int64
+	for _, c := range city {
+		if c == "nyc" {
+			want++
+		}
+	}
+	n, err := st.Exec(idx)
+	if err != nil || n != want {
+		t.Fatalf("DELETE affected %d rows (err %v), want %d", n, err, want)
+	}
+	// Deletes are idempotent: a second Exec finds nothing left to delete.
+	if n, err := st.Exec(idx); err != nil || n != 0 {
+		t.Fatalf("repeat DELETE affected %d rows (err %v), want 0", n, err)
+	}
+	count, err := ParseTyped("SELECT COUNT(*) FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := count.Run(idx); err != nil || got != int64(len(city))-want {
+		t.Fatalf("post-delete COUNT(*) = %d (err %v), want %d", got, err, int64(len(city))-want)
+	}
+}
+
+// TestDeleteStatementRaw pins DELETE parsed against a raw (schemaless) table,
+// including the no-WHERE form that deletes every row.
+func TestDeleteStatementRaw(t *testing.T) {
+	tbl, cols := testTable(t)
+	idx := testIndex(t, tbl)
+	st, err := Parse("DELETE FROM orders WHERE price < 100", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, v := range cols[0] {
+		if v < 100 {
+			want++
+		}
+	}
+	if n, err := st.Exec(idx); err != nil || n != want {
+		t.Fatalf("DELETE affected %d rows (err %v), want %d", n, err, want)
+	}
+	all, err := Parse("DELETE FROM orders", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := all.Exec(idx); err != nil || n != int64(len(cols[0]))-want {
+		t.Fatalf("unfiltered DELETE affected %d rows (err %v), want %d", n, err, int64(len(cols[0]))-want)
+	}
+	if got := mustRun(t, idx, tbl, "SELECT COUNT(*) FROM orders"); got != 0 {
+		t.Fatalf("COUNT(*) after deleting every row = %d", got)
+	}
+}
+
+// TestUpdateStatementTyped pins UPDATE through a DeltaIndex: assignments are
+// encoded through the schema (dictionary code, scaled decimal) and the
+// rewritten rows are observable through subsequent typed queries.
+func TestUpdateStatementTyped(t *testing.T) {
+	s, base, city, _, _ := typedFixture(t)
+	fl, ok := base.(*flood.Flood)
+	if !ok {
+		t.Fatalf("typedFixture returned %T", base)
+	}
+	idx := flood.NewDeltaIndex(fl, 1<<20)
+	st, err := ParseTyped("UPDATE t SET fare = 5.25, dist = 7 WHERE city = 'boston'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != "update" || len(st.Assignments) != 2 {
+		t.Fatalf("parsed UPDATE = %+v", st)
+	}
+	var want int64
+	for _, c := range city {
+		if c == "boston" {
+			want++
+		}
+	}
+	n, err := st.Exec(idx)
+	if err != nil || n != want {
+		t.Fatalf("UPDATE affected %d rows (err %v), want %d", n, err, want)
+	}
+	check, err := ParseTyped("SELECT COUNT(*) FROM t WHERE city = 'boston' AND fare = 5.25 AND dist = 7", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := check.Run(idx); err != nil || got != want {
+		t.Fatalf("post-update COUNT = %d (err %v), want %d", got, err, want)
+	}
+	total, err := ParseTyped("SELECT COUNT(*) FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := total.Run(idx); err != nil || got != int64(len(city)) {
+		t.Fatalf("row count after UPDATE = %d (err %v), want %d (updates preserve cardinality)",
+			got, err, len(city))
+	}
+}
+
+// TestMutationParseErrors pins the mutation grammar's rejection wording.
+func TestMutationParseErrors(t *testing.T) {
+	s, _, _, _, _ := typedFixture(t)
+	cases := []struct {
+		sql     string
+		wantErr string
+	}{
+		{"INSERT INTO t VALUES (1)", "expected SELECT, DELETE, or UPDATE"},
+		{"DELETE price FROM t", "FROM"},
+		{"DELETE FROM t WHERE", "expected"},
+		{"DELETE FROM t LIMIT 5", "unexpected trailing input"},
+		{"UPDATE t SET city = 5", `string column "city" needs a string literal`},
+		{"UPDATE t SET city = 'gotham'", "dictionary"},
+		{"UPDATE t SET fare = 1.234", "not representable"},
+		{"UPDATE t SET fare = 'cheap'", `string literal on non-string column "fare"`},
+		{"UPDATE t SET dist = 2.5", `float literal on non-float column "dist"`},
+		{"UPDATE t SET nosuch = 1", "unknown column"},
+		{"UPDATE t WHERE dist > 5", "SET"},
+		{"UPDATE t SET dist = 5 LIMIT 3", "unexpected trailing input"},
+	}
+	for _, tc := range cases {
+		_, err := ParseTyped(tc.sql, s)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error = %v, want containing %q", tc.sql, err, tc.wantErr)
+		}
+	}
+}
+
+// TestMutationDispatchErrors pins the Run/Exec split: mutations refuse Run,
+// queries refuse Exec, and facades without the capability refuse Exec.
+func TestMutationDispatchErrors(t *testing.T) {
+	s, idx, _, _, _ := typedFixture(t)
+	del, err := ParseTyped("DELETE FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := del.Run(idx); err == nil || !strings.Contains(err.Error(), "Exec") {
+		t.Fatalf("Run(DELETE) error = %v, want Exec redirect", err)
+	}
+	sel, err := ParseTyped("SELECT COUNT(*) FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Exec(idx); err == nil || !strings.Contains(err.Error(), "Run or Select") {
+		t.Fatalf("Exec(SELECT) error = %v, want Run redirect", err)
+	}
+	// A plain Flood has no insert path, so UPDATE is refused at Exec time.
+	up, err := ParseTyped("UPDATE t SET dist = 1", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := up.Exec(idx); err == nil || !strings.Contains(err.Error(), "does not support UPDATE") {
+		t.Fatalf("Exec(UPDATE) on plain Flood = %v, want capability error", err)
+	}
+}

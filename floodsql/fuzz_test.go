@@ -32,6 +32,13 @@ func FuzzFloodSQLParse(f *testing.F) {
 		"SELECT SUM(dist) FROM t WHERE city = 'nyc'",
 		"SELECT COUNT(*) FROM t WHERE fare < -100000000000000000000.0",
 		"SELECT city FROM t WHERE city LIKE 'bo%'",
+		"DELETE FROM t WHERE city = 'nyc' OR fare > 50.0",
+		"DELETE FROM t",
+		"UPDATE t SET fare = 5.25, dist = 7 WHERE city = 'boston'",
+		"UPDATE t SET city = 'chicago'",
+		"UPDATE t SET fare = 1.234",
+		"DELETE FROM t LIMIT 5",
+		"UPDATE t SET",
 		"SELECT * FROM",
 		"';;;'",
 		"",

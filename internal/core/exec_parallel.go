@@ -262,6 +262,7 @@ type morselJob struct {
 	f                       *Flood
 	q                       query.Query
 	ctl                     *query.Control // nil: unconditioned scan
+	tomb                    []uint64       // tombstone snapshot captured by execute
 	morsels                 []morsel
 	cursor                  atomic.Int64
 	gen                     atomic.Uint64
@@ -299,6 +300,7 @@ func (j *morselJob) retire() {
 	j.f = nil
 	j.q = query.Query{}
 	j.ctl = nil
+	j.tomb = nil
 	j.morsels = nil
 	j.agg = nil
 	j.cursor.Store(0)
@@ -338,6 +340,7 @@ func (j *morselJob) run() {
 		if sc == nil {
 			sc = query.GetScanner(j.f.t)
 			sc.SetControl(j.ctl)
+			sc.SetTombstones(j.tomb)
 			// Prefer a recycled clone (compatibility only reads immutable
 			// config, so no lock); otherwise clone under the job lock —
 			// another worker may be Merge-ing into j.agg right now, and a
@@ -386,17 +389,17 @@ func (j *morselJob) run() {
 // exact row count of ranges (already computed by the caller); workers <= 0
 // uses GOMAXPROCS. Falls back to the sequential kernel when the work does
 // not split.
-func (f *Flood) scanParallel(q query.Query, ranges []scanRange, agg query.Mergeable, st *query.Stats, workers, est int, es *execScratch, ctl *query.Control) {
+func (f *Flood) scanParallel(q query.Query, ranges []scanRange, agg query.Mergeable, st *query.Stats, workers, est int, es *execScratch, ctl *query.Control, tomb []uint64) {
 	if workers <= 0 {
 		workers = maxWorkers()
 	}
 	es.morsels = appendMorsels(es.morsels[:0], ranges, morselTarget(est, workers))
 	if len(es.morsels) <= 1 || workers == 1 {
-		f.scan(q, ranges, agg, st, ctl)
+		f.scan(q, ranges, agg, st, ctl, tomb)
 		return
 	}
 	j := morselJobPool.Get().(*morselJob)
-	j.f, j.q, j.ctl, j.morsels, j.agg = f, q, ctl, es.morsels, agg
+	j.f, j.q, j.ctl, j.tomb, j.morsels, j.agg = f, q, ctl, tomb, es.morsels, agg
 	j.wg.Add(len(j.morsels))
 	helpers := workers - 1
 	if helpers > len(j.morsels)-1 {

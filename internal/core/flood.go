@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flood/internal/colstore"
@@ -39,6 +40,13 @@ type Flood struct {
 	// Execute leaves the zero-alloc sequential scan for the morsel-driven
 	// parallel engine (see exec_parallel.go).
 	parallelCutover int
+
+	// tomb is the current tombstone set (nil until the first delete). Each
+	// published value is immutable; mutators install a copied superset (see
+	// mutate.go), and every query captures the pointer exactly once at scan
+	// setup, so one Execute observes one consistent deleted set end to end
+	// even while deletes race it.
+	tomb atomic.Pointer[colstore.Tombstones]
 }
 
 type scanRange struct {
@@ -371,6 +379,11 @@ func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int, ctl *q
 	// so the sequential cutover path, ExecuteSequential, and batch workers
 	// never touch the pool, stay allocation-free, and skip the estimate
 	// loops entirely.
+	// Capture the tombstone set once per query: the scan phase (sequential
+	// or morsel-parallel) masks against this snapshot only, giving the query
+	// a stable view of the deleted set even while deletes land concurrently.
+	tombW := f.tomb.Load().Words()
+
 	m, mergeable := agg.(query.Mergeable)
 	refineParallel := false
 	if workers != 1 {
@@ -386,16 +399,16 @@ func (f *Flood) execute(q query.Query, agg query.Aggregator, workers int, ctl *q
 	st.IndexTime = st.ProjectTime + st.RefineTime
 
 	if workers == 1 || !mergeable {
-		f.scan(q, ranges, agg, &st, ctl)
+		f.scan(q, ranges, agg, &st, ctl, tombW)
 	} else {
 		est := 0
 		for i := range ranges {
 			est += int(ranges[i].end - ranges[i].start)
 		}
 		if workers == 0 && (est < cut || maxWorkers() <= 1) {
-			f.scan(q, ranges, agg, &st, ctl)
+			f.scan(q, ranges, agg, &st, ctl, tombW)
 		} else {
-			f.scanParallel(q, ranges, m, &st, workers, est, es, ctl)
+			f.scanParallel(q, ranges, m, &st, workers, est, es, ctl, tombW)
 		}
 	}
 	es.ranges = ranges[:0]
@@ -564,9 +577,10 @@ func (f *Flood) refineRanges(q query.Query, ranges []scanRange) {
 // exact-range fast paths when no residual filters remain. ctl, when
 // non-nil, is polled between ranges (and inside the scan kernel) so a
 // cancellation or satisfied limit stops the walk early.
-func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st *query.Stats, ctl *query.Control) {
+func (f *Flood) scan(q query.Query, ranges []scanRange, agg query.Aggregator, st *query.Stats, ctl *query.Control, tomb []uint64) {
 	sc := query.GetScanner(f.t)
 	sc.SetControl(ctl)
+	sc.SetTombstones(tomb)
 	var dimsBuf [64]int
 	dims := dimsBuf[:0]
 	var lastMask uint64

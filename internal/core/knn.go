@@ -45,6 +45,9 @@ func (f *Flood) KNN(point []int64, k int) ([]Neighbor, error) {
 		home[gi] = f.buckets[gi].bucket(point[dim], f.layout.GridCols[gi])
 	}
 
+	// Tombstone snapshot: deleted rows are never reported as neighbors.
+	tw := f.tomb.Load()
+
 	best := &neighborHeap{}
 	heap.Init(best)
 	kth := math.Inf(1)
@@ -82,6 +85,9 @@ func (f *Flood) KNN(point []int64, k int) ([]Neighbor, error) {
 			}
 			cs, ce := f.cellStart[cell], f.cellStart[cell+1]
 			for r := int(cs); r < int(ce); r++ {
+				if tw.Has(r) {
+					continue
+				}
 				d := f.flatDist(uq, r)
 				if best.Len() < k {
 					heap.Push(best, Neighbor{Row: r, Dist: d})

@@ -1,0 +1,85 @@
+// Tombstone-based deletion (ROADMAP "full mutation path"). A built index's
+// physical layout is immutable — rows cannot be moved without retraining the
+// models that predict their positions — so deletion is logical: a word-packed
+// bitmap marks dead rows and the scan kernel masks them out with one AND-NOT
+// per block word (see query.Scanner.SetTombstones). Dead rows are physically
+// dropped the next time the index is rebuilt (Rebuild / the adaptive
+// relearn-merge cycle), which resets the bitmap — compaction piggybacks on
+// work the update path already does.
+//
+// Mutators follow the same single-writer contract as the delta/adaptive
+// wrappers: one writer at a time, any number of concurrent readers. Each
+// mutation copies the current bitmap, marks it, and atomically publishes the
+// new version, so an in-flight query keeps the snapshot it captured at scan
+// setup.
+
+package core
+
+import (
+	"flood/internal/colstore"
+	"flood/internal/query"
+)
+
+// Tombstones returns the index's current tombstone set (nil when nothing has
+// been deleted). The returned value is an immutable snapshot: it never
+// changes, even as further deletes publish new versions.
+func (f *Flood) Tombstones() *colstore.Tombstones { return f.tomb.Load() }
+
+// SetTombstones installs t as the index's tombstone set, replacing the
+// current one. t must cover at most the table's rows and must be treated as
+// immutable afterwards. Used by snapshot loading and by wrappers that carry
+// deletions across an epoch swap; normal deletion goes through DeleteRows or
+// DeleteWhere.
+func (f *Flood) SetTombstones(t *colstore.Tombstones) { f.tomb.Store(t) }
+
+// Deleted returns the number of tombstoned rows.
+func (f *Flood) Deleted() int { return f.tomb.Load().Dead() }
+
+// LiveRows returns the number of rows a full scan would deliver: physical
+// rows minus tombstoned rows.
+func (f *Flood) LiveRows() int { return f.t.NumRows() - f.tomb.Load().Dead() }
+
+// DeleteRows tombstones the given physical rows and returns how many were
+// newly deleted (rows already dead or out of range are skipped, not errors).
+// Queries already running keep their captured snapshot; queries starting
+// after the return observe the deletions. Single-writer: callers serialize
+// DeleteRows/DeleteWhere/SetTombstones among themselves.
+func (f *Flood) DeleteRows(rows []int) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	nt, added := colstore.AddTombstones(f.tomb.Load(), f.t.NumRows(), rows)
+	if added == 0 {
+		return 0
+	}
+	f.tomb.Store(nt)
+	return added
+}
+
+// DeleteWhere tombstones every live row matching q and returns the count.
+// The matching set is computed with a regular masked Execute, so rows already
+// dead are not re-deleted (and not re-counted). Single-writer, like
+// DeleteRows.
+func (f *Flood) DeleteWhere(q query.Query) int {
+	rows := f.CollectWhere(q)
+	if len(rows) == 0 {
+		return 0
+	}
+	return f.DeleteRows(rows)
+}
+
+// CollectWhere returns the physical rows of every live row matching q, in
+// ascending order. It is the id-resolution step shared by DeleteWhere and the
+// wrappers' update paths (collect, tombstone, re-insert modified copies).
+func (f *Flood) CollectWhere(q query.Query) []int {
+	rc := query.NewRowCollector()
+	rc.PinSource(f.t)
+	f.Execute(q, rc)
+	rc.Sort()
+	ids := rc.IDs()
+	rows := make([]int, len(ids))
+	for i, id := range ids {
+		rows[i] = int(id)
+	}
+	return rows
+}

@@ -45,14 +45,84 @@ func MergeRows(t *colstore.Table, extra [][]int64) (*colstore.Table, error) {
 	return merged, nil
 }
 
-// Rebuild constructs a fresh index over f's rows plus the given column-major
-// extra rows, reusing f's layout and options. It is the merge step of the
-// differential-update scheme (§8, "Insertions"): the grid shape is kept and
-// only the physical placement is recomputed, so it is much cheaper than a
-// full relearn. f itself is not modified and remains fully usable — callers
-// swap the returned index in when ready.
+// MergeRowsLive is MergeRows restricted to live rows: rows of t marked dead
+// in tomb and extra rows marked dead in extraTomb are dropped instead of
+// copied. Either tombstone set may be nil (nothing dead) or cover more rows
+// than its input (the extra slice is a frozen prefix of a still-growing
+// buffer); rows beyond a set's coverage are live. This is the compaction
+// step: a rebuild over the merged result physically discards deleted rows,
+// and the fresh index starts with an empty tombstone set.
+func MergeRowsLive(t *colstore.Table, tomb *colstore.Tombstones, extra [][]int64, extraTomb *colstore.Tombstones) (*colstore.Table, error) {
+	if tomb.Dead() == 0 && extraTomb.Dead() == 0 {
+		return MergeRows(t, extra)
+	}
+	if len(extra) != 0 && len(extra) != t.NumCols() {
+		return nil, fmt.Errorf("core: merge has %d columns, table has %d", len(extra), t.NumCols())
+	}
+	add := 0
+	if len(extra) > 0 {
+		add = len(extra[0])
+	}
+	n := t.NumRows()
+	cols := make([][]int64, t.NumCols())
+	for c := range cols {
+		if len(extra) > 0 && len(extra[c]) != add {
+			return nil, fmt.Errorf("core: merge column %d has %d rows, column 0 has %d", c, len(extra[c]), add)
+		}
+		col := make([]int64, 0, n+add)
+		for i, v := range t.Raw(c) {
+			if !tomb.Has(i) {
+				col = append(col, v)
+			}
+		}
+		if len(extra) > 0 {
+			for i, v := range extra[c] {
+				if !extraTomb.Has(i) {
+					col = append(col, v)
+				}
+			}
+		}
+		cols[c] = col
+	}
+	merged, err := colstore.NewTable(t.Names(), cols)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < t.NumCols(); c++ {
+		if t.HasAggregate(c) {
+			merged.EnableAggregate(c)
+		}
+	}
+	return merged, nil
+}
+
+// Rebuild constructs a fresh index over f's live rows plus the given
+// column-major extra rows, reusing f's layout and options. It is the merge
+// step of the differential-update scheme (§8, "Insertions"): the grid shape
+// is kept and only the physical placement is recomputed, so it is much
+// cheaper than a full relearn. Rows tombstoned in f are compacted away — the
+// returned index holds the same logical contents with an empty tombstone
+// set. f itself is not modified and remains fully usable — callers swap the
+// returned index in when ready.
 func (f *Flood) Rebuild(extra [][]int64) (*Flood, error) {
-	merged, err := MergeRows(f.t, extra)
+	return f.RebuildLive(extra, nil)
+}
+
+// RebuildLive is Rebuild with a tombstone set over the extra rows as well:
+// wrappers that tombstone buffered rows (the delta index's buffer, the
+// adaptive side log) pass it so their deletions compact in the same pass.
+func (f *Flood) RebuildLive(extra [][]int64, extraTomb *colstore.Tombstones) (*Flood, error) {
+	return f.RebuildCompact(extra, f.tomb.Load(), extraTomb)
+}
+
+// RebuildCompact is RebuildLive against explicitly captured tombstone sets
+// rather than f's current ones. Concurrent wrappers use it: a background
+// rebuild captures the tombstones together with its frozen row snapshot, and
+// deletions that land during the build are re-applied to the fresh index
+// separately — compacting a later tombstone version here would make those
+// deletions apply twice.
+func (f *Flood) RebuildCompact(extra [][]int64, tomb, extraTomb *colstore.Tombstones) (*Flood, error) {
+	merged, err := MergeRowsLive(f.t, tomb, extra, extraTomb)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild: %w", err)
 	}

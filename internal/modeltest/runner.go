@@ -1,0 +1,184 @@
+package modeltest
+
+import (
+	"fmt"
+
+	flood "flood"
+)
+
+// Runner drives one System and one Oracle through an op sequence in
+// lockstep, checking for divergence after every step.
+type Runner struct {
+	sys  System
+	o    *Oracle
+	cols int
+}
+
+// NewRunner pairs a system with an oracle over the same initial rows; cols
+// is the table width (needed to build full-state queries when the oracle is
+// empty).
+func NewRunner(sys System, o *Oracle, cols int) *Runner {
+	return &Runner{sys: sys, o: o, cols: cols}
+}
+
+// System returns the wrapped system (the handle may change across OpCrash).
+func (r *Runner) System() System { return r.sys }
+
+// Run applies ops in order and returns the index of the first op whose
+// outcome diverged from the oracle, with a description of the divergence;
+// (-1, nil) means the whole sequence agreed.
+func (r *Runner) Run(ops []Op) (int, error) {
+	for i, op := range ops {
+		if err := r.Apply(op); err != nil {
+			return i, fmt.Errorf("op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	return -1, nil
+}
+
+// Apply executes one op on both sides and checks agreement: affected counts
+// for mutations, full tuple multisets for reads, and — after every op — the
+// live row count, so divergence is caught at the op that caused it, not at
+// the next read.
+func (r *Runner) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		if err := r.sys.Insert(op.Row); err != nil {
+			return err
+		}
+		r.o.Insert(op.Row)
+	case OpDelete:
+		got, err := r.sys.Delete(op.Q)
+		if err != nil {
+			return err
+		}
+		if want := r.o.Delete(op.Q); got != want {
+			return fmt.Errorf("deleted %d rows, oracle %d", got, want)
+		}
+	case OpDeleteRows:
+		// Resolve the predicate to ids through the system's own Select,
+		// then delete by id — the oracle deletes by predicate, so the two
+		// agree exactly when the id space is coherent.
+		_, ids := r.sys.Select(op.Q)
+		got, err := r.sys.DeleteRows(ids)
+		if err != nil {
+			return err
+		}
+		if int(got) != len(ids) {
+			return fmt.Errorf("DeleteRows removed %d of %d just-selected ids", got, len(ids))
+		}
+		if want := r.o.Delete(op.Q); got != want {
+			return fmt.Errorf("deleted %d rows by id, oracle %d", got, want)
+		}
+	case OpUpdate:
+		got, err := r.sys.Update(op.Q, op.Set)
+		if err != nil {
+			return err
+		}
+		if want := r.o.Update(op.Q, op.Set); got != want {
+			return fmt.Errorf("updated %d rows, oracle %d", got, want)
+		}
+	case OpSelect:
+		if err := r.checkSelect(op.Q); err != nil {
+			return err
+		}
+	case OpAggregate:
+		cnt, sum := r.sys.Aggregate(op.Q)
+		wantCnt, wantSum := r.o.Aggregate(op.Q)
+		if cnt != wantCnt || sum != wantSum {
+			return fmt.Errorf("aggregate (count %d, sum %d), oracle (%d, %d)",
+				cnt, sum, wantCnt, wantSum)
+		}
+	case OpMaintain:
+		if err := r.sys.Maintain(op.Step); err != nil {
+			return err
+		}
+		if err := r.checkSelect(flood.NewQuery(r.cols)); err != nil {
+			return fmt.Errorf("after maintain: %w", err)
+		}
+	case OpCrash:
+		if err := r.sys.Crash(); err != nil {
+			return err
+		}
+		if err := r.checkSelect(flood.NewQuery(r.cols)); err != nil {
+			return fmt.Errorf("after crash recovery: %w", err)
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	if got, want := r.sys.LiveRows(), r.o.Len(); got != want {
+		return fmt.Errorf("LiveRows = %d, oracle %d", got, want)
+	}
+	return nil
+}
+
+// checkSelect compares the full tuple multiset both sides return for q.
+func (r *Runner) checkSelect(q flood.Query) error {
+	got, ids := r.sys.Select(q)
+	want := r.o.Match(q)
+	if len(got) != len(ids) {
+		return fmt.Errorf("select returned %d tuples but %d ids", len(got), len(ids))
+	}
+	if !EqualTuples(got, want) {
+		return fmt.Errorf("select returned %d rows, oracle %d (first diff %s)",
+			len(got), len(want), firstDiff(got, want))
+	}
+	return nil
+}
+
+// firstDiff renders the first position where two sorted tuple sets differ.
+func firstDiff(a, b [][]int64) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		for c := range a[i] {
+			if a[i][c] != b[i][c] {
+				return fmt.Sprintf("at %d: got %v, want %v", i, a[i], b[i])
+			}
+		}
+	}
+	return fmt.Sprintf("at %d: one side ends", n)
+}
+
+// ShrinkPrefix bisects for the shortest prefix of ops that still fails when
+// replayed on a fresh runner, assuming prefix-monotone failure (true here:
+// Apply checks divergence at every op, so a failure at index i reproduces
+// for any prefix covering i). mk must build an identical fresh runner each
+// call. It returns the shortest failing length and that replay's divergence
+// error; (0, nil) means the failure did not reproduce — a nondeterministic
+// bug, which is worth knowing too — and (0, non-nil) means mk itself failed.
+func ShrinkPrefix(mk func() (*Runner, error), ops []Op) (int, error) {
+	fails := func(n int) (bool, error) {
+		r, err := mk()
+		if err != nil {
+			return false, err
+		}
+		defer r.sys.Close()
+		at, _ := r.Run(ops[:n])
+		return at >= 0, nil
+	}
+	lo, hi := 1, len(ops) // invariant: fails(hi) believed true, fails(lo-1) false
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		bad, err := fails(mid)
+		if err != nil {
+			return 0, err
+		}
+		if bad {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	defer r.sys.Close()
+	if at, rerr := r.Run(ops[:lo]); at >= 0 {
+		return lo, rerr
+	}
+	return 0, nil
+}

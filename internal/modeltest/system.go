@@ -1,0 +1,292 @@
+package modeltest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	flood "flood"
+)
+
+// ErrUnsupported reports an operation a facade cannot perform; Generate
+// respects Caps so a runner never sees it, but adapters return it rather
+// than panic if driven by hand.
+var ErrUnsupported = errors.New("modeltest: operation not supported by this facade")
+
+// System is the face the harness drives. Each adapter wraps one public index
+// facade; the harness never reaches into internals, so whatever it observes
+// a real caller could observe too.
+type System interface {
+	// Insert appends a row.
+	Insert(row []int64) error
+	// Delete removes rows matching q, returning the affected count.
+	Delete(q flood.Query) (int64, error)
+	// DeleteRows removes rows by the Select ids in ids.
+	DeleteRows(ids []int64) (int64, error)
+	// Update rewrites rows matching q with set applied.
+	Update(q flood.Query, set []flood.Assignment) (int64, error)
+	// Select returns the matching rows' tuples and their Select ids.
+	Select(q flood.Query) (tuples [][]int64, ids []int64)
+	// Aggregate returns COUNT(*) and SUM(col 0) over rows matching q.
+	Aggregate(q flood.Query) (count, sum int64)
+	// LiveRows returns the visible row count.
+	LiveRows() int
+	// Maintain runs one facade lifecycle event (merge, relearn,
+	// checkpoint, rebuild) selected by step.
+	Maintain(step int) error
+	// Crash abandons the handle mid-flight and recovers from disk.
+	Crash() error
+	// Close releases the facade.
+	Close() error
+}
+
+// readRows drains a Select cursor into concrete tuples and ids.
+func readRows(rows *flood.Rows, cols int) ([][]int64, []int64) {
+	defer rows.Close()
+	var tuples [][]int64
+	var ids []int64
+	for rows.Next() {
+		t := make([]int64, cols)
+		for c := range t {
+			t[c] = rows.Int64(c)
+		}
+		tuples = append(tuples, t)
+		ids = append(ids, rows.RowID())
+	}
+	SortTuples(tuples)
+	return tuples, ids
+}
+
+// aggregate runs COUNT and SUM(col 0) through an Execute-shaped facade.
+func aggregate(exec func(flood.Query, flood.Aggregator) flood.Stats, q flood.Query) (int64, int64) {
+	cnt := flood.NewCount()
+	exec(q, cnt)
+	sum := flood.NewSum(0)
+	exec(q, sum)
+	return cnt.Result(), sum.Result()
+}
+
+// floodSystem adapts the immutable base facade: deletes and reads only,
+// Maintain compacts by rebuilding into a fresh handle.
+type floodSystem struct {
+	f    *flood.Flood
+	cols int
+}
+
+// NewFloodSystem wraps a plain Flood index.
+func NewFloodSystem(f *flood.Flood) System {
+	return &floodSystem{f: f, cols: f.Table().NumCols()}
+}
+
+func (s *floodSystem) Insert([]int64) error { return ErrUnsupported }
+
+func (s *floodSystem) Delete(q flood.Query) (int64, error) { return s.f.Delete(q) }
+
+func (s *floodSystem) DeleteRows(ids []int64) (int64, error) { return s.f.DeleteRows(ids) }
+
+func (s *floodSystem) Update(flood.Query, []flood.Assignment) (int64, error) {
+	return 0, ErrUnsupported
+}
+
+func (s *floodSystem) Select(q flood.Query) ([][]int64, []int64) {
+	rows, _ := s.f.Select(q)
+	return readRows(rows, s.cols)
+}
+
+func (s *floodSystem) Aggregate(q flood.Query) (int64, int64) {
+	return aggregate(s.f.Execute, q)
+}
+
+func (s *floodSystem) LiveRows() int { return s.f.LiveRows() }
+
+func (s *floodSystem) Maintain(int) error {
+	fresh, err := s.f.Rebuild()
+	if err != nil {
+		return err
+	}
+	s.f = fresh
+	return nil
+}
+
+func (s *floodSystem) Crash() error { return ErrUnsupported }
+
+func (s *floodSystem) Close() error { return nil }
+
+// deltaSystem adapts DeltaIndex; Maintain forces a merge of the buffer (and
+// with it, tombstone compaction).
+type deltaSystem struct {
+	d    *flood.DeltaIndex
+	cols int
+}
+
+// NewDeltaSystem wraps a DeltaIndex.
+func NewDeltaSystem(d *flood.DeltaIndex, cols int) System {
+	return &deltaSystem{d: d, cols: cols}
+}
+
+func (s *deltaSystem) Insert(row []int64) error { return s.d.Insert(row) }
+
+func (s *deltaSystem) Delete(q flood.Query) (int64, error) { return s.d.Delete(q) }
+
+func (s *deltaSystem) DeleteRows(ids []int64) (int64, error) { return s.d.DeleteRows(ids) }
+
+func (s *deltaSystem) Update(q flood.Query, set []flood.Assignment) (int64, error) {
+	return s.d.Update(q, set)
+}
+
+func (s *deltaSystem) Select(q flood.Query) ([][]int64, []int64) {
+	rows, _ := s.d.Select(q)
+	return readRows(rows, s.cols)
+}
+
+func (s *deltaSystem) Aggregate(q flood.Query) (int64, int64) {
+	return aggregate(s.d.Execute, q)
+}
+
+func (s *deltaSystem) LiveRows() int { return s.d.LiveRows() }
+
+func (s *deltaSystem) Maintain(int) error { return s.d.Merge() }
+
+func (s *deltaSystem) Crash() error { return ErrUnsupported }
+
+func (s *deltaSystem) Close() error { return nil }
+
+// adaptiveSystem adapts AdaptiveIndex; Maintain alternates forced merges and
+// relearns, waiting for the background swap so the next op observes it.
+type adaptiveSystem struct {
+	a    *flood.AdaptiveIndex
+	cols int
+}
+
+// NewAdaptiveSystem wraps an AdaptiveIndex.
+func NewAdaptiveSystem(a *flood.AdaptiveIndex, cols int) System {
+	return &adaptiveSystem{a: a, cols: cols}
+}
+
+func (s *adaptiveSystem) Insert(row []int64) error { return s.a.Insert(row) }
+
+func (s *adaptiveSystem) Delete(q flood.Query) (int64, error) { return s.a.Delete(q) }
+
+func (s *adaptiveSystem) DeleteRows(ids []int64) (int64, error) { return s.a.DeleteRows(ids) }
+
+func (s *adaptiveSystem) Update(q flood.Query, set []flood.Assignment) (int64, error) {
+	return s.a.Update(q, set)
+}
+
+func (s *adaptiveSystem) Select(q flood.Query) ([][]int64, []int64) {
+	rows, _ := s.a.Select(q)
+	return readRows(rows, s.cols)
+}
+
+func (s *adaptiveSystem) Aggregate(q flood.Query) (int64, int64) {
+	return aggregate(s.a.Execute, q)
+}
+
+func (s *adaptiveSystem) LiveRows() int { return s.a.LiveRows() }
+
+func (s *adaptiveSystem) Maintain(step int) error {
+	if step%2 == 0 {
+		s.a.TriggerMerge()
+	} else {
+		s.a.TriggerRelearn()
+	}
+	s.a.Wait()
+	return nil
+}
+
+func (s *adaptiveSystem) Crash() error { return ErrUnsupported }
+
+func (s *adaptiveSystem) Close() error { s.a.Close(); return nil }
+
+// durableSystem adapts DurableIndex. Crash snapshots the directory at the
+// kill instant (simulating the disk image a real crash leaves, including
+// whatever the WAL has fsynced) and recovers from the copy with OpenDurable.
+type durableSystem struct {
+	d      *flood.DurableIndex
+	dir    string
+	opts   *flood.DurableOptions
+	cols   int
+	newDir func() string
+}
+
+// NewDurableSystem wraps a DurableIndex living in dir. newDir must return a
+// fresh empty directory each call; Crash recovers into one so the abandoned
+// handle can never touch the recovered state.
+func NewDurableSystem(d *flood.DurableIndex, dir string, opts *flood.DurableOptions, cols int, newDir func() string) System {
+	return &durableSystem{d: d, dir: dir, opts: opts, cols: cols, newDir: newDir}
+}
+
+func (s *durableSystem) Insert(row []int64) error { return s.d.Insert(row) }
+
+func (s *durableSystem) Delete(q flood.Query) (int64, error) { return s.d.Delete(q) }
+
+func (s *durableSystem) DeleteRows(ids []int64) (int64, error) { return s.d.DeleteRows(ids) }
+
+func (s *durableSystem) Update(q flood.Query, set []flood.Assignment) (int64, error) {
+	return s.d.Update(q, set)
+}
+
+func (s *durableSystem) Select(q flood.Query) ([][]int64, []int64) {
+	rows, _ := s.d.Adaptive().Select(q)
+	return readRows(rows, s.cols)
+}
+
+func (s *durableSystem) Aggregate(q flood.Query) (int64, int64) {
+	return aggregate(s.d.Execute, q)
+}
+
+func (s *durableSystem) LiveRows() int { return s.d.LiveRows() }
+
+func (s *durableSystem) Maintain(step int) error {
+	switch step % 3 {
+	case 0:
+		return s.d.Checkpoint()
+	case 1:
+		s.d.Adaptive().TriggerMerge()
+	default:
+		s.d.Adaptive().TriggerRelearn()
+	}
+	s.d.Adaptive().Wait()
+	return nil
+}
+
+func (s *durableSystem) Crash() error {
+	// Copy first: the image at this instant is what a kill -9 leaves.
+	// Closing the abandoned handle afterwards only releases resources; it
+	// can no longer influence the copy we recover from.
+	dst := s.newDir()
+	if err := copyDir(s.dir, dst); err != nil {
+		return err
+	}
+	s.d.Close()
+	re, _, err := flood.OpenDurable(dst, s.opts)
+	if err != nil {
+		return fmt.Errorf("modeltest: recovery failed: %w", err)
+	}
+	s.d, s.dir = re, dst
+	return nil
+}
+
+func (s *durableSystem) Close() error { return s.d.Close() }
+
+// copyDir copies the flat durable directory (snapshot + WAL segments).
+func copyDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

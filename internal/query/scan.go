@@ -38,6 +38,7 @@ type Scanner struct {
 	ctl       *Control  // optional execution control (nil: unconditioned scan)
 	ctlTick   int       // blocks since the last cancellation poll
 	scalar    bool      // use the selection-vector fallback kernel
+	tomb      []uint64  // word-packed tombstone bitmap (nil: no deletions)
 	selw      colstore.BlockBitmap
 	sel       [colstore.BlockSize]int32
 }
@@ -55,6 +56,7 @@ func NewScanner(t *colstore.Table) *Scanner {
 func (s *Scanner) Reset(t *colstore.Table) {
 	s.t = t
 	s.scalar = defaultScalarKernel
+	s.tomb = nil
 	if n := t.NumCols(); n > len(s.bufs) {
 		bufs := make([][]int64, n)
 		copy(bufs, s.bufs)
@@ -76,6 +78,15 @@ func (s *Scanner) SetControl(ctl *Control) { s.ctl = ctl }
 // prefixes; the scalar kernel never consults bitmap indexes, which makes the
 // pair the oracle for the cross-kernel equivalence tests.
 func (s *Scanner) SetScalarKernel(on bool) { s.scalar = on }
+
+// SetTombstones attaches a word-packed tombstone bitmap (bit row&63 of word
+// row>>6 set = row deleted, see colstore.Tombstones): every scan entry point
+// masks deleted rows out before delivery, at a cost of one AND-NOT per block
+// word on the bitmap kernel. Rows at or beyond 64*len(words) are live, so a
+// bitmap covering a prefix of the table (the table grew after the last
+// delete) is valid. nil (the default) scans with zero masking overhead. The
+// caller must not mutate words while the scanner uses them.
+func (s *Scanner) SetTombstones(words []uint64) { s.tomb = words }
 
 // minExactRun is the shortest survivor run delivered through AddExactRange;
 // shorter runs use per-row Add (see deliverRun).
@@ -106,6 +117,7 @@ func (s *Scanner) Release() {
 	s.t = nil
 	s.ctl = nil
 	s.ctlTick = 0
+	s.tomb = nil
 	scannerPool.Put(s)
 }
 
@@ -132,6 +144,12 @@ func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggre
 		return 0, 0
 	}
 	if len(filterDims) == 0 {
+		if s.tomb != nil {
+			// Every live row in the range matches; dead rows must still be
+			// masked out, so route through the block-at-a-time live-run
+			// emitter instead of one whole-range AddExactRange.
+			return s.scanLiveRange(start, end, agg)
+		}
 		// Everything in the range matches: treat as exact. Poll
 		// cancellation here — there is no block loop to do it — so a
 		// canceled composite scan (delta buffer, side-log segments, OR
@@ -210,6 +228,17 @@ func (s *Scanner) ScanRange(q Query, filterDims []int, start, end int, agg Aggre
 			continue
 		}
 		if len(active) == 0 && len(activeIdx) == 0 {
+			if s.tomb != nil {
+				// Whole-block zone-map accept, but deleted rows must not be
+				// delivered: emit the block's live runs instead.
+				nsel, tk := s.scanLiveBlock(b, blockLo, i0, i1, agg)
+				scanned += int64(i1 - i0)
+				matched += int64(tk)
+				if tk < nsel || s.ctl.Stopped() {
+					break
+				}
+				continue
+			}
 			n := i1 - i0
 			if s.ctl != nil {
 				n = s.ctl.Take(n)
@@ -252,6 +281,9 @@ func (s *Scanner) filterBlockBitmap(q Query, b, blockLo, i0, i1 int, agg Aggrega
 	t := s.t
 	sel := &s.selw
 	selInit(sel, i0, i1)
+	if s.tomb != nil {
+		s.andNotTomb(sel, b)
+	}
 	for _, d := range s.activeIdx {
 		r := q.Ranges[d]
 		t.Bitmap(d).AndBlock(sel, b, r.Min, r.Max)
@@ -284,7 +316,15 @@ func (s *Scanner) filterBlockBitmap(q Query, b, blockLo, i0, i1 int, agg Aggrega
 	// The limit budget truncates delivery inside this block: emit runs with
 	// per-run budget accounting (the slow path; it runs at most once per
 	// query, on the block where the budget runs out).
-	rem := take
+	s.emitRunsBudget(agg, blockLo, sel, take)
+	return nsel, take
+}
+
+// emitRunsBudget is emitRuns with per-run budget accounting: it delivers at
+// most rem survivor rows of sel, in ascending row order, and stops once the
+// budget is spent. It is the shared slow path for the block where a LIMIT
+// budget runs out.
+func (s *Scanner) emitRunsBudget(agg Aggregator, blockLo int, sel *colstore.BlockBitmap, rem int) {
 	runS, runE := 0, 0 // pending run [runS, runE); empty while runE == runS
 	for wi := 0; wi < colstore.BlockWords; wi++ {
 		w := sel[wi]
@@ -298,7 +338,7 @@ func (s *Scanner) filterBlockBitmap(q Query, b, blockLo, i0, i1 int, agg Aggrega
 			if runE > runS {
 				rem -= s.deliverRun(agg, blockLo, runS, runE, rem)
 				if rem == 0 {
-					return nsel, take
+					return
 				}
 			}
 			runS, runE = lo, hi
@@ -307,7 +347,83 @@ func (s *Scanner) filterBlockBitmap(q Query, b, blockLo, i0, i1 int, agg Aggrega
 	if runE > runS {
 		s.deliverRun(agg, blockLo, runS, runE, rem)
 	}
+}
+
+// andNotTomb clears sel bits whose rows are tombstoned, one AND-NOT per block
+// word. Tombstone words beyond the bitmap's coverage (rows appended after the
+// last delete) are implicitly zero.
+func (s *Scanner) andNotTomb(sel *colstore.BlockBitmap, b int) {
+	base := b * colstore.BlockWords
+	for wi := range sel {
+		if base+wi < len(s.tomb) {
+			sel[wi] &^= s.tomb[base+wi]
+		}
+	}
+}
+
+// scanLiveBlock delivers the live rows of block b's range [i0, i1) — rows
+// known to match every predicate, minus tombstones — as runs, drawing
+// delivery budget from the control. Returns the live count and how many were
+// delivered.
+func (s *Scanner) scanLiveBlock(b, blockLo, i0, i1 int, agg Aggregator) (nsel, take int) {
+	sel := &s.selw
+	selInit(sel, i0, i1)
+	s.andNotTomb(sel, b)
+	nsel = selCount(sel)
+	if nsel == 0 {
+		return 0, 0
+	}
+	take = nsel
+	if s.ctl != nil {
+		take = s.ctl.Take(nsel)
+		if take == 0 {
+			return nsel, 0
+		}
+	}
+	if take == nsel {
+		s.emitRuns(agg, blockLo, sel)
+		return nsel, take
+	}
+	s.emitRunsBudget(agg, blockLo, sel, take)
 	return nsel, take
+}
+
+// scanLiveRange is the tombstone-masked form of the exact-range fast paths:
+// every live row of [start, end) matches and is delivered; dead rows are
+// skipped. It reuses the selection-bitmap scratch (zero allocations) and
+// polls the control at the usual block cadence. Scanned counts rows visited;
+// matched counts live rows delivered.
+func (s *Scanner) scanLiveRange(start, end int, agg Aggregator) (scanned, matched int64) {
+	firstBlock := start / colstore.BlockSize
+	lastBlock := (end - 1) / colstore.BlockSize
+	for b := firstBlock; b <= lastBlock; b++ {
+		if s.ctl != nil {
+			if s.ctlTick++; s.ctlTick >= ctlCheckBlocks {
+				s.ctlTick = 0
+				if s.ctl.Check() {
+					break
+				}
+			} else if s.ctl.Stopped() {
+				break
+			}
+		}
+		blockLo := b * colstore.BlockSize
+		i0 := 0
+		if blockLo < start {
+			i0 = start - blockLo
+		}
+		i1 := end - blockLo
+		if i1 > colstore.BlockSize {
+			i1 = colstore.BlockSize
+		}
+		nsel, take := s.scanLiveBlock(b, blockLo, i0, i1, agg)
+		scanned += int64(i1 - i0)
+		matched += int64(take)
+		if take < nsel {
+			break
+		}
+	}
+	return scanned, matched
 }
 
 // nextRun extracts the lowest run of set bits from word wi of a selection
@@ -427,26 +543,41 @@ func (s *Scanner) deliverRun(agg Aggregator, blockLo, lo, hi, rem int) int {
 func (s *Scanner) filterBlockScalar(q Query, b, blockLo, i0, i1 int, agg Aggregator) (nsel, take int) {
 	t := s.t
 	active := s.active
-	d0 := active[0]
-	buf := s.buf(d0)
-	t.Column(d0).DecodeBlock(b, buf)
-	r := q.Ranges[d0]
-	rmin, span := uint64(r.Min), uint64(r.Max)-uint64(r.Min)
 	sel := s.sel[:]
-	for i := i0; i < i1; i++ {
-		sel[nsel] = int32(i)
-		if uint64(buf[i])-rmin <= span {
+	rest := active
+	if s.tomb != nil {
+		// Tombstone-masked build: seed the vector with the block's live rows
+		// (one bit test each), then refine with every active dimension below.
+		for i := i0; i < i1; i++ {
+			row := blockLo + i
+			if wi := row >> 6; wi < len(s.tomb) && s.tomb[wi]>>uint(row&63)&1 == 1 {
+				continue
+			}
+			sel[nsel] = int32(i)
 			nsel++
 		}
+	} else {
+		d0 := active[0]
+		buf := s.buf(d0)
+		t.Column(d0).DecodeBlock(b, buf)
+		r := q.Ranges[d0]
+		rmin, span := uint64(r.Min), uint64(r.Max)-uint64(r.Min)
+		for i := i0; i < i1; i++ {
+			sel[nsel] = int32(i)
+			if uint64(buf[i])-rmin <= span {
+				nsel++
+			}
+		}
+		rest = active[1:]
 	}
-	for _, d := range active[1:] {
+	for _, d := range rest {
 		if nsel == 0 {
 			break
 		}
-		buf = s.buf(d)
+		buf := s.buf(d)
 		t.Column(d).DecodeBlock(b, buf)
-		r = q.Ranges[d]
-		rmin, span = uint64(r.Min), uint64(r.Max)-uint64(r.Min)
+		r := q.Ranges[d]
+		rmin, span := uint64(r.Min), uint64(r.Max)-uint64(r.Min)
 		k := 0
 		for _, i := range sel[:nsel] {
 			sel[k] = i
@@ -586,6 +717,9 @@ func andCompareMask(sel *colstore.BlockBitmap, buf []int64, rmin, span uint64) {
 func (s *Scanner) ScanExactRange(start, end int, agg Aggregator) (scanned, matched int64) {
 	if start >= end {
 		return 0, 0
+	}
+	if s.tomb != nil {
+		return s.scanLiveRange(start, end, agg)
 	}
 	n := end - start
 	if s.ctl != nil {

@@ -232,3 +232,119 @@ func TestSelInitMaskBounds(t *testing.T) {
 		}
 	}
 }
+
+// tombWords builds a tombstone bitmap over n rows where each row is dead
+// with probability density, returning the packed words, the per-row dead
+// flags, and the actual dead count.
+func tombWords(rng *rand.Rand, n int, density float64) ([]uint64, []bool, int) {
+	words := make([]uint64, (n+63)/64)
+	dead := make([]bool, n)
+	count := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			words[i>>6] |= 1 << uint(i&63)
+			dead[i] = true
+			count++
+		}
+	}
+	return words, dead, count
+}
+
+// runKernelTomb is runKernel with a tombstone mask attached.
+func runKernelTomb(t *colstore.Table, q Query, tomb []uint64, start, end, limit int, scalar bool) ([]int64, int64, int64) {
+	sc := NewScanner(t)
+	sc.SetScalarKernel(scalar)
+	sc.SetTombstones(tomb)
+	var ctl *Control
+	if limit > 0 {
+		ctl = GetControl(nil, limit, time.Time{})
+		sc.SetControl(ctl)
+		defer ctl.Release()
+	}
+	rc := NewRowCollector()
+	rc.PinSource(t)
+	scanned, matched := sc.ScanRange(q, q.FilteredDims(), start, end, rc)
+	ids := append([]int64(nil), rc.IDs()...)
+	return ids, scanned, matched
+}
+
+// TestBitmapKernelEquivalenceTombstones extends the cross-kernel property to
+// deletion masking: at tombstone densities from none to nearly-everything,
+// both kernels must deliver identical survivors, stats, aggregates, and
+// LIMIT prefixes, and must never deliver a tombstoned row.
+func TestBitmapKernelEquivalenceTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 6*colstore.BlockSize + 29
+	tbl, data := equivTable(rng, n)
+	for _, density := range []float64{0, 0.01, 0.5, 0.99} {
+		words, dead, _ := tombWords(rng, n, density)
+		for trial := 0; trial < 40; trial++ {
+			q := equivQuery(rng)
+			start := rng.Intn(n)
+			end := start + 1 + rng.Intn(n-start)
+			gotIDs, gotScanned, gotMatched := runKernelTomb(tbl, q, words, start, end, 0, false)
+			wantIDs, wantScanned, wantMatched := runKernelTomb(tbl, q, words, start, end, 0, true)
+			if !equalIDs(gotIDs, wantIDs) {
+				t.Fatalf("density=%v trial=%d [%d,%d): bitmap ids %v != scalar ids %v (query %+v)",
+					density, trial, start, end, gotIDs, wantIDs, q.Ranges)
+			}
+			if gotScanned != wantScanned || gotMatched != wantMatched {
+				t.Fatalf("density=%v trial=%d: stats (%d,%d) != (%d,%d)",
+					density, trial, gotScanned, gotMatched, wantScanned, wantMatched)
+			}
+			// Brute-force oracle over live rows only.
+			var want int64
+			row := make([]int64, len(data))
+			for i := start; i < end; i++ {
+				if dead[i] {
+					continue
+				}
+				for c := range data {
+					row[c] = data[c][i]
+				}
+				if q.Matches(row) {
+					want++
+				}
+			}
+			if gotMatched != want {
+				t.Fatalf("density=%v trial=%d: matched %d, live brute force %d", density, trial, gotMatched, want)
+			}
+			for _, id := range gotIDs {
+				if dead[id] {
+					t.Fatalf("density=%v trial=%d: delivered tombstoned row %d", density, trial, id)
+				}
+			}
+			// LIMIT prefixes agree across kernels and with the full run.
+			limit := 1 + rng.Intn(colstore.BlockSize)
+			limIDs, _, limMatched := runKernelTomb(tbl, q, words, start, end, limit, false)
+			scalIDs, _, scalMatched := runKernelTomb(tbl, q, words, start, end, limit, true)
+			if !equalIDs(limIDs, scalIDs) || limMatched != scalMatched {
+				t.Fatalf("density=%v trial=%d limit=%d: kernels disagree under limit", density, trial, limit)
+			}
+			if wantLen := min(limit, len(gotIDs)); len(limIDs) != wantLen || !equalIDs(limIDs, gotIDs[:wantLen]) {
+				t.Fatalf("density=%v trial=%d limit=%d: limited ids are not the unlimited prefix", density, trial, limit)
+			}
+		}
+		// Aggregates through the run-length fast paths agree too.
+		for trial := 0; trial < 20; trial++ {
+			q := equivQuery(rng)
+			for _, mk := range []func() Mergeable{
+				func() Mergeable { return NewCount() },
+				func() Mergeable { return NewSum(2) },
+			} {
+				got, want := mk(), mk()
+				sc := NewScanner(tbl)
+				sc.SetTombstones(words)
+				sc.ScanRange(q, q.FilteredDims(), 0, n, got)
+				sc2 := NewScanner(tbl)
+				sc2.SetScalarKernel(true)
+				sc2.SetTombstones(words)
+				sc2.ScanRange(q, q.FilteredDims(), 0, n, want)
+				if got.Result() != want.Result() {
+					t.Fatalf("density=%v trial=%d agg=%T: bitmap %d != scalar %d",
+						density, trial, got, got.Result(), want.Result())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Mutation API shared by every facade: tombstone deletes, delete-by-query,
+// and update-as-delete-plus-insert. See docs/MUTATIONS.md for the design.
+//
+// Deletion is logical everywhere — a word-packed bitmap marks dead rows and
+// the scan kernel masks them with one AND-NOT per block word — and physical
+// compaction piggybacks on the rebuilds the insert path already performs
+// (DeltaIndex.Merge, the adaptive relearn/merge cycle). Row identity follows
+// Select's global id space: base rows tile first, buffered/side-log rows
+// after them.
+
+package flood
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flood/internal/query"
+	"flood/internal/wire"
+)
+
+// Assignment sets one column to a literal value, as part of an Update. The
+// value is in storage encoding: for typed schemas, encode floats and strings
+// with the schema first (the floodsql layer does this from SQL literals).
+type Assignment struct {
+	// Col is the column index being assigned.
+	Col int
+	// Value is the new encoded value.
+	Value int64
+}
+
+// Deleter is implemented by every index facade that supports tombstone
+// deletion (Flood, DeltaIndex, AdaptiveIndex, DurableIndex). Delete removes
+// rows matching a conjunctive query; the returned count is the number of
+// rows newly deleted.
+type Deleter interface {
+	Delete(q Query) (int64, error)
+}
+
+// Updater is implemented by facades that support in-place updates
+// (DeltaIndex, AdaptiveIndex, DurableIndex — not the immutable Flood, which
+// has no insert path). Update rewrites every row matching q with the given
+// assignments applied; it is executed as a tombstone delete plus re-insert
+// of the modified copies.
+type Updater interface {
+	Update(q Query, set []Assignment) (int64, error)
+}
+
+// Delete tombstones every live row matching q and returns how many rows were
+// newly deleted. The index's physical layout is untouched — deleted rows are
+// masked out of every subsequent query (Execute, Select, KNN, aggregates)
+// and compacted away on the next Rebuild. Queries already in flight keep the
+// snapshot they captured at scan setup. Single-writer: serialize Delete
+// calls with each other, not with readers.
+func (f *Flood) Delete(q Query) (int64, error) {
+	return int64(f.idx.DeleteWhere(q)), nil
+}
+
+// DeleteRows tombstones rows by their Select ids (physical rows, for a plain
+// Flood index) and returns how many were newly deleted. Ids already deleted
+// or out of range are skipped.
+func (f *Flood) DeleteRows(ids []int64) (int64, error) {
+	rows := make([]int, 0, len(ids))
+	for _, id := range ids {
+		rows = append(rows, int(id))
+	}
+	return int64(f.idx.DeleteRows(rows)), nil
+}
+
+// Deleted returns the number of tombstoned (not yet compacted) rows.
+func (f *Flood) Deleted() int { return f.idx.Deleted() }
+
+// LiveRows returns the number of rows queries can observe: physical rows
+// minus tombstoned rows.
+func (f *Flood) LiveRows() int { return f.idx.LiveRows() }
+
+// Rebuild returns a fresh index over f's live rows with the same layout:
+// tombstoned rows are physically discarded and the new index starts with an
+// empty tombstone set. f is not modified.
+func (f *Flood) Rebuild() (*Flood, error) {
+	idx, err := f.idx.Rebuild(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Flood{idx: idx, result: f.result, model: f.model, schema: f.schema}, nil
+}
+
+// applyAssignments validates set against the column count and returns a
+// modified copy of row.
+func applyAssignments(row []int64, set []Assignment, cols int) ([]int64, error) {
+	out := make([]int64, len(row))
+	copy(out, row)
+	for _, a := range set {
+		if a.Col < 0 || a.Col >= cols {
+			return nil, fmt.Errorf("flood: update assigns column %d, table has %d", a.Col, cols)
+		}
+		out[a.Col] = a.Value
+	}
+	return out, nil
+}
+
+// matchColumns reports whether row i of the column-major data satisfies q.
+// It is the brute-force matcher for buffered rows (delta buffer, adaptive
+// side log), where no index structure exists.
+func matchColumns(q query.Query, cols [][]int64, i int) bool {
+	for c, r := range q.Ranges {
+		if r.Present {
+			if v := cols[c][i]; v < r.Min || v > r.Max {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WAL record framing. Insert records predate deletion support and are raw
+// little-endian rows — 8*NumCols bytes, no tag. Delete records are tagged:
+//
+//	walTagDelete (1 byte) | count (u32 LE) | count*NumCols values (8 bytes each)
+//
+// A delete record's length is ≡5 (mod 8) while an insert's is ≡0, so the
+// two are unambiguous for any column count and old logs replay unchanged.
+// Deletes log resolved row VALUES, never physical row ids: physical
+// placement changes across rebuilds (checkpoint replay rebuilds the side
+// log, compaction renumbers base rows), but "delete one live row equal to
+// this tuple" replays identically against any equivalent state.
+const walTagDelete = 0xD7
+
+// encodeWALDelete serializes a batch of deleted row tuples as a tagged WAL
+// record payload.
+func encodeWALDelete(rows [][]int64) []byte {
+	cols := 0
+	if len(rows) > 0 {
+		cols = len(rows[0])
+	}
+	buf := make([]byte, 5+8*len(rows)*cols)
+	buf[0] = walTagDelete
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(rows)))
+	at := 5
+	for _, row := range rows {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[at:], uint64(v))
+			at += 8
+		}
+	}
+	return buf
+}
+
+// decodeWALDelete parses a tagged delete record back into row tuples,
+// validating the count and per-row width.
+func decodeWALDelete(payload []byte, wantCols int) ([][]int64, error) {
+	if len(payload) < 5 || payload[0] != walTagDelete {
+		return nil, fmt.Errorf("flood: wal record is not a delete: %w", wire.ErrChecksum)
+	}
+	n := int(binary.LittleEndian.Uint32(payload[1:5]))
+	if len(payload) != 5+8*n*wantCols {
+		return nil, fmt.Errorf("flood: wal delete record has %d bytes for %d rows of %d columns: %w",
+			len(payload), n, wantCols, wire.ErrChecksum)
+	}
+	rows := make([][]int64, n)
+	at := 5
+	for i := range rows {
+		row := make([]int64, wantCols)
+		for c := range row {
+			row[c] = int64(binary.LittleEndian.Uint64(payload[at:]))
+			at += 8
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// isWALDelete reports whether a WAL payload is a tagged delete record rather
+// than a raw insert row. Insert rows are always a multiple of 8 bytes;
+// delete records never are.
+func isWALDelete(payload []byte) bool {
+	return len(payload) >= 5 && len(payload)%8 == 5 && payload[0] == walTagDelete
+}
+
+// tupleKey packs a row's values into a comparable map key, for multiset
+// matching of value-logged deletions (see deleteTuples).
+func tupleKey(row []int64) string {
+	b := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return string(b)
+}
+
+var (
+	_ Deleter = (*Flood)(nil)
+)

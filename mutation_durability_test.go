@@ -1,0 +1,423 @@
+package flood
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flood/internal/faultfs"
+	"flood/internal/wal"
+)
+
+// survivingInserts counts recovered inserted rows and fails the test unless
+// they are exactly the acknowledged prefix {0..total-1} minus the deleted
+// indices (checked via the ts-sum, as recoveredInserts does for prefixes).
+func survivingInserts(t *testing.T, idx Index, total int, deleted []int) int64 {
+	t.Helper()
+	q := NewQuery(4).WithRange(0, insertBase, insertBase+1_000_000)
+	cnt, sum := NewCount(), NewSum(0)
+	idx.Execute(q, cnt)
+	idx.Execute(q, sum)
+	j := int64(total - len(deleted))
+	wantSum := int64(total)*insertBase + int64(total)*int64(total-1)/2
+	for _, i := range deleted {
+		wantSum -= int64(insertBase + i)
+	}
+	if cnt.Result() != j || sum.Result() != wantSum {
+		t.Fatalf("surviving inserts: count %d ts-sum %d, want count %d ts-sum %d",
+			cnt.Result(), sum.Result(), j, wantSum)
+	}
+	return j
+}
+
+// deleteInsertedRow removes the inserted row carrying ts = insertBase+i by
+// exact-match predicate, failing unless exactly one row was affected.
+func deleteInsertedRow(t *testing.T, d Deleter, i int) {
+	t.Helper()
+	n, err := d.Delete(NewQuery(4).WithEquals(0, int64(insertBase+i)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delete of inserted row %d affected %d rows, want 1", i, n)
+	}
+}
+
+// TestDeleteSurvivesCrash is the headline durability property for the
+// mutation path: acknowledged deletes — of base rows and of WAL-logged
+// inserts alike — survive kill -9 and every subsequent checkpoint cycle.
+func TestDeleteSurvivesCrash(t *testing.T) {
+	fx := newTypedFixture(t, 64, 51)
+	idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	d, err := CreateDurable(dir, idx, &DurableOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inserts = 20
+	for i := 0; i < inserts; i++ {
+		if err := d.Insert(insertedRow(fx, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete two inserted rows and a slice of the base data.
+	deleteInsertedRow(t, d, 3)
+	deleteInsertedRow(t, d, 7)
+	baseDel, err := d.Delete(NewQuery(4).WithRange(0, 0, 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBase := baseRows(d)
+	wantLive := int64(d.LiveRows())
+
+	// kill -9: abandon the handle; every acked op is on disk (SyncAlways).
+	re, rep, err := OpenDurable(copyDir(t, dir), nil)
+	if err != nil {
+		t.Fatalf("recovery: %v (report %+v)", err, rep)
+	}
+	defer re.Close()
+	survivingInserts(t, re, inserts, []int{3, 7})
+	for _, i := range []int{3, 7} {
+		agg := NewCount()
+		re.Execute(NewQuery(4).WithEquals(0, int64(insertBase+i)), agg)
+		if agg.Result() != 0 {
+			t.Fatalf("deleted insert %d resurrected after crash", i)
+		}
+	}
+	if got := baseRows(re); got != wantBase {
+		t.Fatalf("recovered %d base rows, want %d (%d deleted)", got, wantBase, baseDel)
+	}
+	if got := int64(re.LiveRows()); got != wantLive {
+		t.Fatalf("recovered LiveRows = %d, want %d", got, wantLive)
+	}
+
+	// The tombstones also round-trip a clean checkpoint + reopen.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, _, err := OpenDurable(copyDir(t, dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re2.Close()
+}
+
+// TestDeleteKillPoints crashes a checkpoint at every stage boundary with
+// acknowledged deletes in flight — marked after the previous checkpoint, so
+// they live only in WAL records and tombstone bitmaps — and verifies every
+// one survives recovery at every kill point.
+func TestDeleteKillPoints(t *testing.T) {
+	for _, stage := range []string{"rotated", "old-closed", "snapshot"} {
+		t.Run(stage, func(t *testing.T) {
+			fx := newTypedFixture(t, 64, 52)
+			idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			d, err := CreateDurable(dir, idx, &DurableOptions{Sync: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := d.Insert(insertedRow(fx, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := d.Checkpoint(); err != nil { // deletes below postdate this
+				t.Fatal(err)
+			}
+			for i := 10; i < 20; i++ {
+				if err := d.Insert(insertedRow(fx, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// One checkpointed insert, one fresh insert, some base rows.
+			deleteInsertedRow(t, d, 4)
+			deleteInsertedRow(t, d, 14)
+			if _, err := d.Delete(NewQuery(4).WithRange(0, 0, 999)); err != nil {
+				t.Fatal(err)
+			}
+			wantBase := baseRows(d)
+			wantLive := int64(d.LiveRows())
+
+			d.SetCrashPoint(func(s string) {
+				if s == stage {
+					panic("crash:" + stage)
+				}
+			})
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("crash point did not fire")
+					}
+				}()
+				d.Checkpoint() //nolint:errcheck // panics by design
+			}()
+
+			re, rep, err := OpenDurable(dir, nil)
+			if err != nil {
+				t.Fatalf("recovery after crash at %q: %v (report %+v)", stage, err, rep)
+			}
+			defer re.Close()
+			survivingInserts(t, re, 20, []int{4, 14})
+			for _, i := range []int{4, 14} {
+				agg := NewCount()
+				re.Execute(NewQuery(4).WithEquals(0, int64(insertBase+i)), agg)
+				if agg.Result() != 0 {
+					t.Fatalf("crash at %q: deleted insert %d resurrected", stage, i)
+				}
+			}
+			if got := baseRows(re); got != wantBase {
+				t.Fatalf("crash at %q: %d base rows, want %d", stage, got, wantBase)
+			}
+			if got := int64(re.LiveRows()); got != wantLive {
+				t.Fatalf("crash at %q: LiveRows = %d, want %d", stage, got, wantLive)
+			}
+		})
+	}
+}
+
+// TestTornWALDeleteRecord truncates the live WAL segment at every byte
+// through a delete record's region: recovery must never panic and must land
+// on a clean prefix — the delete fully applied or fully absent, with every
+// earlier acknowledged operation intact.
+func TestTornWALDeleteRecord(t *testing.T) {
+	fx := newTypedFixture(t, 48, 53)
+	idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := t.TempDir()
+	d, err := CreateDurable(master, idx, &DurableOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inserts = 6
+	for i := 0; i < inserts; i++ {
+		if err := d.Insert(insertedRow(fx, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := filepath.Join(master, wal.SegmentName(1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preDelete := fi.Size() // the delete record occupies [preDelete, postDelete)
+	deleteInsertedRow(t, d, 2)
+	fi, err = os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postDelete := fi.Size()
+	if postDelete <= preDelete {
+		t.Fatalf("delete wrote no WAL record (%d -> %d bytes)", preDelete, postDelete)
+	}
+
+	for cut := preDelete; cut <= postDelete; cut++ {
+		dir := copyDir(t, master)
+		if err := faultfs.TruncateFile(filepath.Join(dir, wal.SegmentName(1)), cut); err != nil {
+			t.Fatal(err)
+		}
+		re, _, err := OpenDurable(dir, nil)
+		if err != nil {
+			if !corruptionTyped(err) {
+				t.Fatalf("cut at %d: untyped error %v", cut, err)
+			}
+			continue
+		}
+		agg := NewCount()
+		re.Execute(NewQuery(4).WithEquals(0, int64(insertBase+2)), agg)
+		gone := agg.Result() == 0
+		if gone != (cut == postDelete) {
+			t.Fatalf("cut at %d (record spans [%d,%d)): delete applied=%v, want fully-%s",
+				cut, preDelete, postDelete, gone, map[bool]string{true: "applied", false: "absent"}[cut == postDelete])
+		}
+		if gone {
+			survivingInserts(t, re, inserts, []int{2})
+		} else {
+			survivingInserts(t, re, inserts, nil)
+		}
+		re.Close()
+	}
+}
+
+// TestSnapshotTombSectionDamageIsTypedError pins the hard-error contract:
+// tombstones are not reconstructible, so — unlike the models or bitmap-index
+// sections, which degrade gracefully — damage confined to the tomb section
+// must fail the load with a typed error or load an identical index, never
+// silently resurrect deleted rows.
+func TestSnapshotTombSectionDamageIsTypedError(t *testing.T) {
+	fx := newTypedFixture(t, 64, 54)
+	idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Delete(NewQuery(4).WithRange(0, 0, 40_000)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Deleted() == 0 {
+		t.Fatal("fixture deleted nothing; widen the predicate")
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	at := bytes.Index(snap, []byte(sectionTomb))
+	if at < 0 {
+		t.Fatal("snapshot has no tomb section despite live tombstones")
+	}
+	wantLive := int64(idx.LiveRows())
+
+	for off := at; off < len(snap); off += corruptionStride {
+		loaded, err := Load(bytes.NewReader(faultfs.Flip(snap, off)))
+		if err != nil {
+			if !corruptionTyped(err) {
+				t.Fatalf("flip at %d: untyped error %v", off, err)
+			}
+			continue
+		}
+		agg := NewCount()
+		loaded.Execute(NewQuery(4), agg)
+		if agg.Result() != wantLive {
+			t.Fatalf("flip at %d: loaded index counts %d rows, want %d — deleted rows resurrected",
+				off, agg.Result(), wantLive)
+		}
+	}
+}
+
+// TestDeleteConcurrentWithRelearnAndCheckpoint races four deleting mutators
+// against query loops while the index relearns, merges, and checkpoints
+// (runs in the CI race matrix). Observed epochs must be monotonic, observed
+// counts non-increasing (a deleted row must never transiently resurrect
+// across an epoch swap), and the final state — served and recovered — must
+// account for every acknowledged delete.
+func TestDeleteConcurrentWithRelearnAndCheckpoint(t *testing.T) {
+	fx := newTypedFixture(t, 256, 55)
+	idx, err := BuildWithLayout(fx.tbl, fixtureLayout(fx), &Options{Schema: fx.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	d, err := CreateDurable(dir, idx, &DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 4, 30
+	for i := 0; i < workers*per; i++ {
+		if err := d.Insert(insertedRow(fx, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := d.Adaptive()
+	insertRange := NewQuery(4).WithRange(0, insertBase, insertBase+1_000_000)
+	// Warm the query sample so forced relearns have a workload to train on.
+	for i := 0; i < 8; i++ {
+		d.Execute(insertRange, NewCount())
+	}
+
+	var deleted atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n, err := d.Delete(NewQuery(4).WithEquals(0, int64(insertBase+w*per+i)))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				deleted.Add(n)
+			}
+		}()
+	}
+	// Readers: epochs monotonic, counts in the delete region non-increasing.
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			lastEpoch := int64(-1)
+			lastCount := int64(workers*per + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if ep := a.Epoch(); ep < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", ep, lastEpoch)
+					return
+				} else {
+					lastEpoch = ep
+				}
+				agg := NewCount()
+				d.Execute(insertRange, agg)
+				if got := agg.Result(); got > lastCount {
+					t.Errorf("count increased %d -> %d: deleted rows resurrected", lastCount, got)
+					return
+				} else {
+					lastCount = got
+				}
+			}
+		}()
+	}
+	// Lifecycle churn: forced relearns, merges, and checkpoints mid-flight.
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			a.TriggerRelearn()
+		} else {
+			a.TriggerMerge()
+		}
+		a.Wait()
+		if err := d.Checkpoint(); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	a.Wait()
+
+	if got := deleted.Load(); got != workers*per {
+		t.Fatalf("acked %d deletes, want %d", got, workers*per)
+	}
+	agg := NewCount()
+	d.Execute(insertRange, agg)
+	if agg.Result() != 0 {
+		t.Fatalf("%d inserted rows survived full deletion", agg.Result())
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, _, err := OpenDurable(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	agg.Reset()
+	re.Execute(insertRange, agg)
+	if agg.Result() != 0 {
+		t.Fatalf("recovery resurrected %d deleted rows", agg.Result())
+	}
+	if got := baseRows(re); got != 256 {
+		t.Fatalf("base data damaged: %d of 256 rows", got)
+	}
+}

@@ -39,14 +39,17 @@ type LoadReport struct {
 }
 
 // Save serializes the built index — layout, reordered data, all learned
-// models, and the attached typed schema (if any) — as a checksummed v2
-// snapshot. The cost model and predicted cost are not persisted: a loaded
-// index answers queries immediately, but relearning needs a model (see
-// Calibrate).
+// models, the attached typed schema (if any), and any tombstoned deletions —
+// as a checksummed v2 snapshot. The cost model and predicted cost are not
+// persisted: a loaded index answers queries immediately, but relearning
+// needs a model (see Calibrate).
 func (f *Flood) Save(w io.Writer) error {
 	var extra []core.ExtraSection
 	if f.schema != nil {
 		extra = append(extra, core.ExtraSection{Tag: sectionSchema, Encode: f.schema.encodeSchema})
+	}
+	if tomb := f.idx.Tombstones(); tomb.Dead() > 0 {
+		extra = append(extra, core.ExtraSection{Tag: sectionTomb, Encode: encodeTombSection(tomb, nil)})
 	}
 	return f.idx.SaveSections(w, extra)
 }
@@ -75,7 +78,9 @@ func LoadWithReport(r io.Reader) (*Flood, LoadReport, error) {
 }
 
 // floodFromLoadResult wraps a decoded core index in the public handle,
-// re-attaching the persisted schema if the snapshot carried one.
+// re-attaching the persisted schema and tombstoned deletions if the snapshot
+// carried them. A damaged tombstone section is a hard error, never a silent
+// degrade: resurrecting deleted rows would be wrong answers, not slow ones.
 func floodFromLoadResult(res core.LoadResult) (*Flood, error) {
 	f := &Flood{idx: res.Index, result: optimizer.Result{Layout: res.Index.Layout()}}
 	if payload, ok := res.Extra[sectionSchema]; ok {
@@ -84,6 +89,15 @@ func floodFromLoadResult(res core.LoadResult) (*Flood, error) {
 			return nil, err
 		}
 		f.schema = s
+	}
+	if payload, ok := res.Extra[sectionTomb]; ok {
+		tomb, _, err := decodeTombSection(payload, res.Index.Table().NumRows())
+		if err != nil {
+			return nil, err
+		}
+		if tomb != nil {
+			f.idx.SetTombstones(tomb)
+		}
 	}
 	return f, nil
 }
