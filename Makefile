@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet docs bench bench-full fuzz-smoke clean
+.PHONY: all build test vet docs bench bench-serve bench-full fuzz-smoke clean
 
 all: vet build test
 
@@ -23,7 +23,8 @@ vet:
 docs: vet
 	$(GO) run ./cmd/doclint . ./floodsql ./datagen \
 		./internal/core ./internal/query ./internal/colstore ./internal/encode \
-		./internal/wal ./internal/faultfs ./internal/modeltest
+		./internal/wal ./internal/faultfs ./internal/modeltest \
+		./internal/server ./internal/loadgen
 
 # bench runs the scan-kernel, build, parallel-execution, row-retrieval, and
 # context/limit benchmarks that gate perf PRs and records them in
@@ -40,6 +41,17 @@ bench:
 	$(GO) test ./internal/wal -run '^$$' -bench 'WALAppend' \
 		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_scan.txt > BENCH_scan.json
+
+# bench-serve records serving-tier latency under load: floodload starts an
+# in-process floodserver over a 1M-row sales dataset and drives a fixed-QPS
+# zipfian open-loop run, writing coordinated-omission-safe p50/p99 latency,
+# throughput, shed rate, cache hit rate, and the server-side batching stats
+# to BENCH_serve.json (interpreted in docs/BENCHMARKS.md). To merge it with
+# the microbenchmark snapshot into one document, pass it to benchjson:
+# `go run ./cmd/benchjson -serve BENCH_serve.json < /tmp/bench_scan.txt`.
+bench-serve:
+	$(GO) run ./cmd/floodload -inprocess 1000000 -qps 2000 -duration 30s \
+		-dist zipfian -server-batch-window 2ms -out BENCH_serve.json
 
 # fuzz-smoke gives each fuzz target a short coverage-guided run (also a CI
 # job). Minimization is capped so single-CPU runners keep mutating instead

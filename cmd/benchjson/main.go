@@ -5,11 +5,18 @@
 // Usage:
 //
 //	go test ./internal/core -bench X -benchmem -run '^$' | go run ./cmd/benchjson > BENCH_scan.json
+//
+// With -serve FILE, the serving benchmark document written by floodload
+// (BENCH_serve.json) is embedded alongside the parsed microbenchmarks, so
+// one merged document carries both scan and serving numbers:
+//
+//	... | go run ./cmd/benchjson -serve BENCH_serve.json > BENCH_all.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -32,10 +39,26 @@ type Report struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Serve embeds a floodload serving report (-serve FILE), verbatim.
+	Serve json.RawMessage `json:"serve,omitempty"`
 }
 
 func main() {
+	servePath := flag.String("serve", "", "embed this floodload BENCH_serve.json document in the output")
+	flag.Parse()
 	var rep Report
+	if *servePath != "" {
+		raw, err := os.ReadFile(*servePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *servePath)
+			os.Exit(1)
+		}
+		rep.Serve = json.RawMessage(raw)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

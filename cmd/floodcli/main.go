@@ -19,16 +19,27 @@
 //
 //	floodcli -csv orders.csv -train "day BETWEEN 0 AND 14" -save orders.flood
 //	floodcli -load orders.flood -query "SELECT COUNT(*) FROM t WHERE day < 7"
+//
+// With -addr, floodcli becomes a client for a running floodserver instead
+// of building anything locally: -query runs one statement remotely, and
+// without -query statements are read line by line from stdin:
+//
+//	floodcli -addr http://localhost:8080 -query "SELECT COUNT(*) FROM t WHERE day < 7"
+//	floodcli -addr http://localhost:8080   # then type statements, one per line
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -48,8 +59,15 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "query execution deadline (e.g. 500ms; 0 = none); a query over deadline returns its partial result and an error")
 		savePath = flag.String("save", "", "write the built index to this snapshot file (atomic write + fsync)")
 		loadPath = flag.String("load", "", "load a snapshot written by -save instead of building from -csv")
+		addr     = flag.String("addr", "", "run statements against a floodserver at this base URL instead of a local index")
 	)
 	flag.Parse()
+	if *addr != "" {
+		if err := runRemote(*addr, *query, *timeout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if (*csvPath == "" && *loadPath == "") || (*query == "" && *savePath == "") {
 		fmt.Fprintln(os.Stderr, "usage: floodcli -csv FILE [-train \"pred; pred\"] [-save SNAP] -query SQL\n       floodcli -load SNAP -query SQL")
 		os.Exit(2)
@@ -139,6 +157,93 @@ func main() {
 	}
 	fmt.Printf("%s\n  = %d\n  (%v, scanned %d of %d rows)\n",
 		*query, v, stats.Total.Round(time.Microsecond), stats.Scanned, tbl.NumRows())
+}
+
+// runRemote speaks to a floodserver: one statement with -query, or a
+// line-per-statement loop over stdin without it.
+func runRemote(addr, query string, timeout time.Duration) error {
+	client := &http.Client{}
+	run := func(sql string) error {
+		req := struct {
+			SQL           string `json:"sql"`
+			TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+		}{SQL: sql, TimeoutMillis: timeout.Milliseconds()}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			if e.Error == "" {
+				e.Error = resp.Status
+			}
+			return fmt.Errorf("server: %s", e.Error)
+		}
+		var r struct {
+			Kind      string   `json:"kind"`
+			Value     int64    `json:"value"`
+			Typed     any      `json:"typed"`
+			Matched   int64    `json:"matched"`
+			Cached    bool     `json:"cached"`
+			Columns   []string `json:"columns"`
+			Rows      [][]any  `json:"rows"`
+			Truncated bool     `json:"truncated"`
+			Affected  int64    `json:"affected"`
+			ElapsedUS int64    `json:"elapsed_us"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			return err
+		}
+		switch r.Kind {
+		case "agg":
+			note := ""
+			if r.Cached {
+				note = ", cached"
+			}
+			fmt.Printf("  = %v (matched %d rows in %dµs%s)\n", r.Typed, r.Matched, r.ElapsedUS, note)
+		case "rows":
+			fmt.Println("  " + strings.Join(r.Columns, "\t"))
+			for _, row := range r.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = fmt.Sprint(v)
+				}
+				fmt.Println("  " + strings.Join(parts, "\t"))
+			}
+			if r.Truncated {
+				fmt.Printf("  (truncated at %d rows)\n", len(r.Rows))
+			}
+		case "exec":
+			fmt.Printf("  %d rows affected (%dµs)\n", r.Affected, r.ElapsedUS)
+		default:
+			fmt.Printf("  %+v\n", r)
+		}
+		return nil
+	}
+	if query != "" {
+		fmt.Println(query)
+		return run(query)
+	}
+	fmt.Fprintf(os.Stderr, "connected to %s; one statement per line (ctrl-D to exit)\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		sql := strings.TrimSpace(sc.Text())
+		if sql == "" {
+			continue
+		}
+		if err := run(sql); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
 }
 
 // parseTrain turns "pred; pred; ..." into sample queries by parsing each

@@ -1,0 +1,245 @@
+// Command floodload drives an open-loop workload against a floodserver and
+// reports coordinated-omission-safe latency quantiles, throughput, shed
+// rate, and cache hit rate as JSON (see docs/SERVING.md).
+//
+// The arrival schedule is fixed (request i is due at start + i/qps) and
+// latency is measured from the scheduled time, so a slow server is charged
+// its backlog instead of quietly slowing the offered load. Query shapes
+// are drawn over a predicate column's domain (fetched from GET /schema)
+// with zipfian, hotspot, or uniform skew; hot shapes repeat as identical
+// SQL, exercising the server's result cache like real dashboard traffic.
+//
+//	floodload -addr http://localhost:8080 -qps 2000 -duration 30s \
+//	          -dist zipfian -column price -out BENCH_serve.json
+//
+// With -inprocess N, floodload starts its own floodserver over a fresh
+// N-row sales dataset on a loopback listener and drives it through real
+// HTTP — the one-command form used by `make bench-serve`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	flood "flood"
+	"flood/datagen"
+	"flood/internal/loadgen"
+	"flood/internal/server"
+)
+
+// output is the BENCH_serve.json document: the runner's report plus the
+// run's configuration and the server-side stats delta.
+type output struct {
+	// Config echoes the run parameters.
+	Config struct {
+		Addr     string  `json:"addr"`
+		QPS      float64 `json:"qps"`
+		Duration string  `json:"duration"`
+		Dist     string  `json:"dist"`
+		Column   string  `json:"column"`
+		Workers  int     `json:"workers"`
+		Warmup   string  `json:"warmup"`
+		Rows     int     `json:"rows,omitempty"`
+	} `json:"config"`
+	// Report is the client-side measurement.
+	Report loadgen.Report `json:"report"`
+	// Server is the server-side stats delta across the run (when the
+	// /stats endpoint was reachable).
+	Server *server.Stats `json:"server,omitempty"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "floodserver base URL, e.g. http://localhost:8080")
+		inprocess = flag.Int("inprocess", 0, "start an in-process floodserver over a sales dataset with this many rows instead of -addr")
+		qps       = flag.Float64("qps", 1000, "open-loop arrival rate")
+		duration  = flag.Duration("duration", 10*time.Second, "scheduled load duration")
+		workers   = flag.Int("workers", 64, "client-side in-flight bound")
+		warmup    = flag.Duration("warmup", time.Second, "leading portion excluded from latency quantiles")
+		dist      = flag.String("dist", "zipfian", "shape distribution: zipfian, hotspot, uniform")
+		column    = flag.String("column", "", "predicate column (default: first int64 column from /schema)")
+		buckets   = flag.Int("buckets", 256, "domain buckets for shape alignment")
+		span      = flag.Int("span", 4, "buckets covered by one predicate")
+		seed      = flag.Int64("seed", 1, "shape-drawing seed")
+		timeout   = flag.Int64("timeout-ms", 2000, "per-request timeout_ms sent to the server")
+		out       = flag.String("out", "", "write the JSON report here (default stdout)")
+		srvWindow = flag.Duration("server-batch-window", time.Millisecond, "in-process server's micro-batch gather window (-inprocess only)")
+		srvCache  = flag.Int("server-cache", 0, "in-process server's result-cache entries (0 = default, negative disables; -inprocess only)")
+	)
+	flag.Parse()
+	if *addr == "" && *inprocess <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: floodload -addr URL [flags]\n       floodload -inprocess ROWS [flags]")
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	base := *addr
+	if *inprocess > 0 {
+		hs, srv := startInProcess(*inprocess, *seed, &server.Config{
+			BatchWindow:  *srvWindow,
+			CacheEntries: *srvCache,
+		})
+		defer func() {
+			hs.Close()
+			if err := srv.Close(); err != nil {
+				log.Printf("server close: %v", err)
+			}
+		}()
+		base = hs.URL
+	}
+
+	client := &loadgen.Client{
+		Base:          base,
+		TimeoutMillis: *timeout,
+		HTTP: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		}},
+	}
+	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	schema, err := client.Schema(ctx)
+	if err != nil {
+		log.Fatalf("fetching /schema: %v", err)
+	}
+	col, err := pickColumn(schema, *column)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := int(*qps * duration.Seconds() * 1.1)
+	if total < 1024 {
+		total = 1024
+	}
+	shapes, err := loadgen.Shapes(loadgen.ShapeConfig{
+		Table: "t", Column: col.Name, Min: col.Min, Max: col.Max,
+		Buckets: *buckets, SpanBuckets: *span,
+		Dist: loadgen.Dist(*dist), Seed: *seed,
+	}, total)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, statsOK := serverStats(ctx, client)
+	log.Printf("driving %s: %.0f qps for %v (%s over %s [%d,%d])",
+		base, *qps, *duration, *dist, col.Name, col.Min, col.Max)
+	rep, err := loadgen.Run(ctx, &loadgen.RunConfig{
+		QPS: *qps, Duration: *duration, Workers: *workers, Warmup: *warmup,
+	}, shapes, client.Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var doc output
+	doc.Config.Addr = base
+	doc.Config.QPS = *qps
+	doc.Config.Duration = duration.String()
+	doc.Config.Dist = *dist
+	doc.Config.Column = col.Name
+	doc.Config.Workers = *workers
+	doc.Config.Warmup = warmup.String()
+	doc.Config.Rows = schema.Rows
+	doc.Report = rep
+	if after, ok := serverStats(ctx, client); ok && statsOK {
+		delta := statsDelta(before, after)
+		doc.Server = &delta
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %d sent, %.0f qps achieved, p50 %dµs p99 %dµs, shed %.2f%%, cache hit %.1f%%",
+		rep.Sent, rep.Throughput, rep.P50, rep.P99, 100*rep.ShedRate, 100*rep.CacheHitRate)
+}
+
+// startInProcess builds a sales index and serves it on a loopback listener
+// (real HTTP, in this process).
+func startInProcess(rows int, seed int64, cfg *server.Config) (*httptest.Server, *server.Server) {
+	ds := datagen.Sales(rows, seed)
+	queries := datagen.StandardWorkload(ds, 40, seed+1)
+	t0 := time.Now()
+	idx, err := flood.Build(ds.Table, queries, &flood.Options{Seed: seed + 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("built sales (%d rows): layout %s in %v", rows, idx.Layout(), time.Since(t0).Round(time.Millisecond))
+	srv := server.New(flood.NewAdaptiveIndex(idx, nil), cfg)
+	hs := httptest.NewServer(srv.Handler())
+	return hs, srv
+}
+
+// pickColumn resolves the predicate column: the named one, or the first
+// int64 column with a non-degenerate domain.
+func pickColumn(schema server.SchemaResponse, name string) (server.ColumnInfo, error) {
+	if name != "" {
+		for _, c := range schema.Columns {
+			if c.Name == name {
+				return c, nil
+			}
+		}
+		return server.ColumnInfo{}, fmt.Errorf("column %q not in server schema", name)
+	}
+	for _, c := range schema.Columns {
+		if c.Kind == "int64" && c.Max > c.Min {
+			return c, nil
+		}
+	}
+	for _, c := range schema.Columns {
+		if c.Max > c.Min {
+			return c, nil
+		}
+	}
+	return server.ColumnInfo{}, fmt.Errorf("no usable predicate column in server schema")
+}
+
+func serverStats(ctx context.Context, c *loadgen.Client) (server.Stats, bool) {
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Printf("fetching /stats: %v", err)
+		return server.Stats{}, false
+	}
+	return st, true
+}
+
+// statsDelta subtracts counter fields so the report shows only this run's
+// server-side activity; gauges (in-flight, epoch, rows) keep their final
+// value.
+func statsDelta(before, after server.Stats) server.Stats {
+	d := after
+	d.Requests -= before.Requests
+	d.AggQueries -= before.AggQueries
+	d.Selects -= before.Selects
+	d.Mutations -= before.Mutations
+	d.InsertedRows -= before.InsertedRows
+	d.Shed -= before.Shed
+	d.Timeouts -= before.Timeouts
+	d.Errors -= before.Errors
+	d.QueuedRequests -= before.QueuedRequests
+	d.QueueWaitMicros -= before.QueueWaitMicros
+	d.Batches -= before.Batches
+	d.BatchedQueries -= before.BatchedQueries
+	d.MultiBatches -= before.MultiBatches
+	d.CacheHits -= before.CacheHits
+	d.CacheMisses -= before.CacheMisses
+	if d.Batches > 0 {
+		d.AvgBatch = float64(d.BatchedQueries) / float64(d.Batches)
+	} else {
+		d.AvgBatch = 0
+	}
+	return d
+}

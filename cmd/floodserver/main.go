@@ -1,0 +1,165 @@
+// Command floodserver serves floodsql over HTTP against a learned adaptive
+// index, with micro-batched execution, admission control, per-request
+// deadlines, and an epoch-keyed result cache (see docs/SERVING.md).
+//
+// The store comes from one of three places: a synthetic dataset built at
+// startup (-dataset/-rows), a snapshot written by floodcli -save (-load),
+// or a durable directory (-dir) that is opened if it exists and created
+// otherwise — in durable mode every acknowledged write is WAL-fsynced and
+// shutdown checkpoints before closing.
+//
+//	floodserver -addr :8080 -dataset sales -rows 1000000
+//	floodserver -addr :8080 -load orders.flood
+//	floodserver -addr :8080 -dataset sales -rows 100000 -dir /var/lib/flood
+//
+// Endpoints: POST /query, POST /insert, GET /schema, GET /stats,
+// GET /healthz. SIGINT/SIGTERM triggers a graceful drain: the listener
+// stops accepting, in-flight requests and gathered batches finish, and the
+// store is checkpointed (durable) or closed (in-memory).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	flood "flood"
+	"flood/datagen"
+	"flood/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		datasetName = flag.String("dataset", "sales", "synthetic dataset to build when no -load/-dir store exists (sales, tpch, osm, perfmon)")
+		rows        = flag.Int("rows", 200000, "synthetic dataset row count")
+		seed        = flag.Int64("seed", 1, "dataset and layout-learning seed")
+		loadPath    = flag.String("load", "", "serve a snapshot written by floodcli -save")
+		dir         = flag.String("dir", "", "durable directory: open if it has a snapshot, else create from the built/loaded index; writes are WAL-acknowledged")
+		window      = flag.Duration("batch-window", 250*time.Microsecond, "micro-batch gather window")
+		batchMax    = flag.Int("batch-max", 64, "max queries per execution batch")
+		inflight    = flag.Int("max-inflight", 256, "admission-control in-flight bound")
+		queueWait   = flag.Duration("queue-wait", 2*time.Millisecond, "max admission queue wait before shedding with 429")
+		cacheSize   = flag.Int("cache", 1024, "result cache entries (0 = default, negative disables)")
+		reqTimeout  = flag.Duration("request-timeout", 5*time.Second, "per-request execution deadline")
+		maxRows     = flag.Int("max-rows", 10000, "row cap for one SELECT response")
+	)
+	flag.Parse()
+
+	cfg := &server.Config{
+		BatchWindow:    *window,
+		BatchMax:       *batchMax,
+		MaxInFlight:    *inflight,
+		QueueWait:      *queueWait,
+		CacheEntries:   *cacheSize,
+		RequestTimeout: *reqTimeout,
+		MaxResultRows:  *maxRows,
+	}
+
+	srv, err := buildServer(*datasetName, *rows, *seed, *loadPath, *dir, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("floodserver listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish, then
+	// flush batches and checkpoint/close the store.
+	log.Printf("shutting down: draining requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("store shutdown: %v", err)
+	}
+	log.Printf("shutdown complete")
+}
+
+// buildServer resolves the store precedence: durable directory (reopened or
+// created), then snapshot, then a freshly built synthetic dataset.
+func buildServer(datasetName string, rows int, seed int64, loadPath, dir string, cfg *server.Config) (*server.Server, error) {
+	if dir != "" {
+		if _, err := os.Stat(filepath.Join(dir, "snapshot.flood")); err == nil {
+			t0 := time.Now()
+			d, rep, err := flood.OpenDurable(dir, nil)
+			if err != nil {
+				return nil, fmt.Errorf("opening durable dir %s: %w", dir, err)
+			}
+			for _, w := range rep.Warnings {
+				log.Printf("recovery: %s", w)
+			}
+			log.Printf("opened durable store %s: %d snapshot rows + %d replayed in %v",
+				dir, rep.SnapshotRows, rep.ReplayedRows, time.Since(t0).Round(time.Millisecond))
+			return server.NewDurable(d, cfg), nil
+		}
+		base, err := buildBase(datasetName, rows, seed, loadPath)
+		if err != nil {
+			return nil, err
+		}
+		d, err := flood.CreateDurable(dir, base, nil)
+		if err != nil {
+			return nil, fmt.Errorf("creating durable dir %s: %w", dir, err)
+		}
+		log.Printf("created durable store %s", dir)
+		return server.NewDurable(d, cfg), nil
+	}
+	base, err := buildBase(datasetName, rows, seed, loadPath)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(flood.NewAdaptiveIndex(base, nil), cfg), nil
+}
+
+// buildBase loads the snapshot or builds a learned index over a synthetic
+// dataset's standard workload.
+func buildBase(datasetName string, rows int, seed int64, loadPath string) (*flood.Flood, error) {
+	if loadPath != "" {
+		t0 := time.Now()
+		idx, rep, err := flood.LoadFileWithReport(loadPath)
+		if err != nil {
+			return nil, fmt.Errorf("loading snapshot %s: %w", loadPath, err)
+		}
+		for _, w := range rep.Warnings {
+			log.Printf("recovery: %s", w)
+		}
+		log.Printf("loaded snapshot %s: %d rows, layout %s in %v",
+			loadPath, idx.Table().NumRows(), idx.Layout(), time.Since(t0).Round(time.Millisecond))
+		return idx, nil
+	}
+	ds := datagen.ByName(datasetName, rows, seed)
+	if ds == nil {
+		return nil, errors.New("unknown -dataset " + datasetName + " (try: sales, tpch, osm, perfmon)")
+	}
+	queries := datagen.StandardWorkload(ds, 40, seed+1)
+	t0 := time.Now()
+	idx, err := flood.Build(ds.Table, queries, &flood.Options{Seed: seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("built %s (%d rows): layout %s in %v",
+		datasetName, ds.Table.NumRows(), idx.Layout(), time.Since(t0).Round(time.Millisecond))
+	return idx, nil
+}

@@ -67,11 +67,11 @@ import (
 
 // Statement is a parsed, table-resolved query: an aggregation
 // (Agg = "count", "sum", "min", "max") executed with Run, a projection
-// (Agg = "select") executed with Select, or a mutation (Agg = "delete",
-// "update") executed with Exec.
+// (Agg = "select") executed with Select, or a mutation (Agg = "insert",
+// "delete", "update") executed with Exec.
 type Statement struct {
 	// Agg is "count", "sum", "min", "max", "select" for projections, or
-	// "delete" / "update" for mutations.
+	// "insert" / "delete" / "update" for mutations.
 	Agg string
 	// AggCol is the aggregated column index (-1 for COUNT(*) and
 	// projections).
@@ -92,8 +92,11 @@ type Statement struct {
 	// Assignments is the UPDATE statement's SET list, with literals already
 	// encoded into the physical int64 domain.
 	Assignments []flood.Assignment
-	nDims       int
-	schema      *flood.Schema // non-nil for ParseTyped statements
+	// InsertRows holds the INSERT statement's rows, already encoded into
+	// the physical int64 domain in schema column order.
+	InsertRows [][]int64
+	nDims      int
+	schema     *flood.Schema // non-nil for ParseTyped statements
 }
 
 // Parse compiles a SQL string against tbl's raw int64 schema. Only integer
@@ -134,16 +137,17 @@ func (s *Statement) aggregator() (flood.Aggregator, error) {
 		return flood.NewMax(s.AggCol), nil
 	case "select":
 		return nil, fmt.Errorf("floodsql: projection statements execute via Select, not Run")
-	case "delete", "update":
+	case "insert", "delete", "update":
 		return nil, fmt.Errorf("floodsql: mutation statements execute via Exec, not Run")
 	default:
 		return nil, fmt.Errorf("floodsql: unknown aggregate %q", s.Agg)
 	}
 }
 
-// Exec executes a DELETE or UPDATE statement against an index facade that
-// supports mutation (flood.Deleter / flood.Updater: DeltaIndex,
-// AdaptiveIndex, DurableIndex; plain Flood supports DELETE only). It returns
+// Exec executes an INSERT, DELETE, or UPDATE statement against an index
+// facade that supports mutation (flood.Inserter / flood.Deleter /
+// flood.Updater: DeltaIndex, AdaptiveIndex, DurableIndex; plain Flood
+// supports DELETE only). It returns
 // the number of rows affected. An OR predicate executes one mutation per
 // disjunct: deletes are idempotent so overlapping disjuncts never
 // double-count, while an UPDATE whose rewritten rows still match a later
@@ -177,6 +181,19 @@ func (s *Statement) Exec(idx flood.Index) (int64, error) {
 			if err != nil {
 				return total, err
 			}
+		}
+		return total, nil
+	case "insert":
+		ins, ok := idx.(flood.Inserter)
+		if !ok {
+			return 0, fmt.Errorf("floodsql: index %s does not support INSERT", idx.Name())
+		}
+		var total int64
+		for _, row := range s.InsertRows {
+			if err := ins.Insert(row); err != nil {
+				return total, err
+			}
+			total++
 		}
 		return total, nil
 	default:
@@ -407,8 +424,11 @@ func (p *parser) statement() (*Statement, error) {
 	if p.isKeyword("UPDATE") {
 		return p.updateStatement()
 	}
+	if p.isKeyword("INSERT") {
+		return p.insertStatement()
+	}
 	if !p.isKeyword("SELECT") {
-		return nil, p.errAt(p.lex.tok, "expected SELECT, DELETE, or UPDATE")
+		return nil, p.errAt(p.lex.tok, "expected SELECT, INSERT, DELETE, or UPDATE")
 	}
 	p.lex.next()
 	st := &Statement{AggCol: -1, nDims: p.cols.NumCols(), schema: p.schema}
@@ -496,6 +516,97 @@ func (p *parser) updateStatement() (*Statement, error) {
 		break
 	}
 	return p.optionalWhere(st)
+}
+
+// insertStatement parses
+// `INSERT INTO table [(col, ...)] VALUES (lit, ...) [, (lit, ...)]...`.
+// Literals encode exactly (encodeAssign semantics): a float that does not
+// land on a representable code, or a string missing from the column's
+// dictionary, is an error rather than a silently rounded neighbour. When a
+// column list is given it must name every column exactly once — flood rows
+// are dense, so there is no value a partial INSERT could leave behind.
+func (p *parser) insertStatement() (*Statement, error) {
+	p.lex.next()
+	if err := p.keyword("INTO"); err != nil {
+		return nil, err
+	}
+	st := &Statement{Agg: "insert", AggCol: -1, nDims: p.cols.NumCols(), schema: p.schema}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	// Optional column list: a permutation of all columns.
+	order := make([]int, 0, st.nDims)
+	if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "(" {
+		p.lex.next()
+		seen := make(map[int]bool, st.nDims)
+		for {
+			colTok := p.lex.tok
+			col, err := p.column()
+			if err != nil {
+				return nil, err
+			}
+			if seen[col] {
+				return nil, p.errAt(colTok, "column %q listed twice", p.cols.Name(col))
+			}
+			seen[col] = true
+			order = append(order, col)
+			if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "," {
+				p.lex.next()
+				continue
+			}
+			break
+		}
+		if err := p.symbol(")"); err != nil {
+			return nil, err
+		}
+		if len(order) != st.nDims {
+			return nil, p.errAt(p.lex.tok, "INSERT column list names %d of %d columns; rows are dense, list all columns or none", len(order), st.nDims)
+		}
+	} else {
+		for i := 0; i < st.nDims; i++ {
+			order = append(order, i)
+		}
+	}
+	if err := p.keyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.symbol("("); err != nil {
+			return nil, err
+		}
+		row := make([]int64, st.nDims)
+		for i, col := range order {
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			colTok := v.tok
+			enc, err := p.encodeAssign(col, colTok, v)
+			if err != nil {
+				return nil, err
+			}
+			row[col] = enc
+			if i < len(order)-1 {
+				if err := p.symbol(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.symbol(")"); err != nil {
+			return nil, err
+		}
+		st.InsertRows = append(st.InsertRows, row)
+		if p.lex.tok.kind == tokSymbol && p.lex.tok.text == "," {
+			p.lex.next()
+			continue
+		}
+		break
+	}
+	if p.lex.tok.kind != tokEOF || p.lex.err != nil {
+		return nil, p.errAt(p.lex.tok, "unexpected trailing input")
+	}
+	return st, nil
 }
 
 // optionalWhere parses the optional WHERE clause of a mutation statement and

@@ -846,7 +846,14 @@ func TestMutationParseErrors(t *testing.T) {
 		sql     string
 		wantErr string
 	}{
-		{"INSERT INTO t VALUES (1)", "expected SELECT, DELETE, or UPDATE"},
+		{"INSERT INTO t VALUES (1)", `string column "city" needs a string literal`},
+		{"INSERT t VALUES (1)", "INTO"},
+		{"INSERT INTO t (city) VALUES ('boston')", "names 1 of 3 columns"},
+		{"INSERT INTO t (city, city, dist) VALUES ('a', 'b', 1)", "listed twice"},
+		{"INSERT INTO t VALUES ('boston', 1.234, 3)", "not representable"},
+		{"INSERT INTO t VALUES ('gotham', 1.25, 3)", "dictionary"},
+		{"INSERT INTO t VALUES ('boston', 1.25)", `expected ","`},
+		{"INSERT INTO t VALUES ('boston', 1.25, 3) WHERE dist > 2", "unexpected trailing input"},
 		{"DELETE price FROM t", "FROM"},
 		{"DELETE FROM t WHERE", "expected"},
 		{"DELETE FROM t LIMIT 5", "unexpected trailing input"},
@@ -892,5 +899,56 @@ func TestMutationDispatchErrors(t *testing.T) {
 	}
 	if _, err := up.Exec(idx); err == nil || !strings.Contains(err.Error(), "does not support UPDATE") {
 		t.Fatalf("Exec(UPDATE) on plain Flood = %v, want capability error", err)
+	}
+	ins, err := ParseTyped("INSERT INTO t VALUES ('boston', 1.25, 3)", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Exec(idx); err == nil || !strings.Contains(err.Error(), "does not support INSERT") {
+		t.Fatalf("Exec(INSERT) on plain Flood = %v, want capability error", err)
+	}
+	if _, _, err := ins.Run(idx); err == nil || !strings.Contains(err.Error(), "Exec") {
+		t.Fatalf("Run(INSERT) error = %v, want Exec redirect", err)
+	}
+}
+
+// TestInsertStatement covers the INSERT grammar end to end: literal
+// encoding through the typed schema, the optional reordered column list,
+// multi-row VALUES, and execution against an insert-capable facade.
+func TestInsertStatement(t *testing.T) {
+	s, idx, city, _, _ := typedFixture(t)
+	base, ok := idx.(*flood.Flood)
+	if !ok {
+		t.Fatalf("typedFixture index is %T, want *flood.Flood", idx)
+	}
+	delta := flood.NewDeltaIndex(base, 1<<30)
+
+	st, err := ParseTyped(
+		"INSERT INTO t (dist, fare, city) VALUES (7, 5.25, 'boston'), (9, 1.25, 'nyc')", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != "insert" || len(st.InsertRows) != 2 {
+		t.Fatalf("parsed INSERT = %+v", st)
+	}
+	n, err := st.Exec(delta)
+	if err != nil || n != 2 {
+		t.Fatalf("INSERT affected %d rows (err %v), want 2", n, err)
+	}
+
+	total, err := ParseTyped("SELECT COUNT(*) FROM t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := total.Run(delta); err != nil || got != int64(len(city)+2) {
+		t.Fatalf("row count after INSERT = %d (err %v), want %d", got, err, len(city)+2)
+	}
+	check, err := ParseTyped(
+		"SELECT COUNT(*) FROM t WHERE city = 'boston' AND fare = 5.25 AND dist = 7", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := check.Run(delta); err != nil || got != 1 {
+		t.Fatalf("inserted-row COUNT = %d (err %v), want 1 (column list reordering must land values in schema order)", got, err)
 	}
 }

@@ -37,6 +37,10 @@ func FuzzFloodSQLParse(f *testing.F) {
 		"UPDATE t SET fare = 5.25, dist = 7 WHERE city = 'boston'",
 		"UPDATE t SET city = 'chicago'",
 		"UPDATE t SET fare = 1.234",
+		"INSERT INTO t VALUES ('boston', 10.5, 42)",
+		"INSERT INTO t (dist, fare, city) VALUES (1, 1.25, 'nyc'), (2, 99.99, 'chicago')",
+		"INSERT INTO t (city) VALUES ('boston')",
+		"INSERT INTO t VALUES",
 		"DELETE FROM t LIMIT 5",
 		"UPDATE t SET",
 		"SELECT * FROM",

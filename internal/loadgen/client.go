@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"flood/internal/server"
+)
+
+// Client is a floodserver HTTP client shaped for the runner: Query is a
+// RequestFunc, and the schema/stats helpers feed shape generation and
+// report enrichment.
+type Client struct {
+	// Base is the server address, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil). Point
+	// it at a pooled transport sized for the worker count.
+	HTTP *http.Client
+	// TimeoutMillis, when > 0, is sent as each query's timeout_ms.
+	TimeoutMillis int64
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Query runs one floodsql statement and maps the response onto a runner
+// Outcome: 429 → Shed, other non-2xx or transport failure → Err.
+func (c *Client) Query(ctx context.Context, sql string) Outcome {
+	body, _ := json.Marshal(server.QueryRequest{SQL: sql, TimeoutMillis: c.TimeoutMillis})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var qr server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return Outcome{Err: err}
+		}
+		return Outcome{Cached: qr.Cached, BatchSize: qr.BatchSize}
+	case http.StatusTooManyRequests:
+		return Outcome{Shed: true}
+	default:
+		return Outcome{Err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+}
+
+// Schema fetches GET /schema.
+func (c *Client) Schema(ctx context.Context) (server.SchemaResponse, error) {
+	var out server.SchemaResponse
+	err := c.getJSON(ctx, "/schema", &out)
+	return out, err
+}
+
+// Stats fetches GET /stats.
+func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
+	var out server.Stats
+	err := c.getJSON(ctx, "/stats", &out)
+	return out, err
+}
+
+// WaitReady polls GET /healthz until the server answers or the deadline
+// passes.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: server %s not ready: %w", c.Base, err)
+			}
+			return fmt.Errorf("loadgen: server %s not ready", c.Base)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histMajors covers latencies up to ~2^40 µs (~13 days) in power-of-two
+// major buckets; histSubs splits each major into linear sub-buckets, so the
+// relative quantile error is bounded by 1/histSubs (~3%) — the HDR
+// histogram arrangement, giving fixed memory and lock-free concurrent
+// recording regardless of sample count.
+const (
+	histMajors = 41
+	histSubs   = 32
+)
+
+// Histogram is a concurrency-safe HDR-style latency histogram with
+// microsecond resolution. The zero value is ready to use.
+type Histogram struct {
+	counts [histMajors * histSubs]atomic.Uint64
+	total  atomic.Uint64
+	maxUS  atomic.Uint64
+}
+
+// bucketOf maps a microsecond value to its bucket index. A major m covers
+// [2^m, 2^(m+1)); sub-buckets are linear within it (unit-width while the
+// major is narrower than histSubs).
+func bucketOf(us uint64) int {
+	if us == 0 {
+		return 0
+	}
+	m := bits.Len64(us) - 1
+	if m >= histMajors {
+		m = histMajors - 1
+	}
+	base := uint64(1) << m
+	width := base / histSubs
+	if width == 0 {
+		width = 1
+	}
+	sub := (us - base) / width
+	if sub >= histSubs {
+		sub = histSubs - 1
+	}
+	return m*histSubs + int(sub)
+}
+
+// bucketValue is the representative latency (µs) reported for a bucket: its
+// midpoint.
+func bucketValue(b int) uint64 {
+	m := b / histSubs
+	sub := uint64(b % histSubs)
+	base := uint64(1) << m
+	width := base / histSubs
+	if width == 0 {
+		width = 1
+	}
+	return base + sub*width + width/2
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.counts[bucketOf(us)].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Quantile returns the latency at quantile q in [0,1] in microseconds
+// (0 when the histogram is empty). The exact recorded maximum is returned
+// for q high enough to land in the last occupied bucket.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b := range h.counts {
+		c := h.counts[b].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			if v := h.maxUS.Load(); bucketValue(b) > v {
+				return v
+			}
+			return bucketValue(b)
+		}
+	}
+	return h.maxUS.Load()
+}
+
+// Max reports the largest recorded latency in microseconds.
+func (h *Histogram) Max() uint64 { return h.maxUS.Load() }

@@ -1,0 +1,339 @@
+// Package loadgen is flood's serving-workload harness: skewed query-shape
+// generators plus an open-loop, coordinated-omission-safe load runner.
+//
+// Shapes are drawn over a bucketed column domain so hot shapes repeat as
+// EXACTLY the same SQL text — which is what exercises a server-side result
+// cache the way real dashboard traffic does. Three distributions cover the
+// usual serving skews: zipfian (a few shapes dominate, long tail), hotspot
+// (a fixed fraction of traffic confined to a small region), and uniform
+// (the cache-hostile baseline).
+//
+// The runner is open-loop: request number i is due at start + i/QPS,
+// independent of how previous requests fared, and latency is measured from
+// that SCHEDULED time, not from when a worker got around to sending. A
+// stalled server therefore charges its stall to every request due during
+// it — the coordinated-omission correction that closed-loop harnesses get
+// wrong — and the arrival schedule never slows down to flatter the system
+// under test.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Dist names a query-shape distribution.
+type Dist string
+
+// The supported shape distributions.
+const (
+	DistZipfian Dist = "zipfian"
+	DistHotspot Dist = "hotspot"
+	DistUniform Dist = "uniform"
+)
+
+// ShapeConfig describes how to draw query shapes over one column.
+type ShapeConfig struct {
+	// Table and Column name the FROM table and predicate column.
+	Table  string
+	Column string
+	// Min and Max bound the column's physical domain (from GET /schema).
+	Min, Max int64
+	// Buckets quantizes the domain (default 256): predicates are aligned
+	// to bucket edges so a hot bucket repeats as identical SQL.
+	Buckets int
+	// SpanBuckets is how many consecutive buckets one query covers
+	// (default 4): selectivity = SpanBuckets/Buckets.
+	SpanBuckets int
+	// Dist picks the skew (default DistZipfian).
+	Dist Dist
+	// ZipfS is the zipfian exponent (default 1.2; must be > 1).
+	ZipfS float64
+	// HotFraction and HotWeight shape DistHotspot: HotWeight of traffic
+	// lands in the first HotFraction of buckets (defaults 0.1 and 0.9).
+	HotFraction, HotWeight float64
+	// Seed fixes the drawing sequence.
+	Seed int64
+}
+
+func (c *ShapeConfig) withDefaults() ShapeConfig {
+	out := *c
+	if out.Table == "" {
+		out.Table = "t"
+	}
+	if out.Buckets <= 0 {
+		out.Buckets = 256
+	}
+	if out.SpanBuckets <= 0 {
+		out.SpanBuckets = 4
+	}
+	if out.SpanBuckets > out.Buckets {
+		out.SpanBuckets = out.Buckets
+	}
+	if out.Dist == "" {
+		out.Dist = DistZipfian
+	}
+	if out.ZipfS <= 1 {
+		out.ZipfS = 1.2
+	}
+	if out.HotFraction <= 0 || out.HotFraction > 1 {
+		out.HotFraction = 0.1
+	}
+	if out.HotWeight <= 0 || out.HotWeight > 1 {
+		out.HotWeight = 0.9
+	}
+	return out
+}
+
+// Shapes pre-draws n SQL statements from the configured distribution. The
+// result is deterministic in the config (including Seed) and safe to index
+// concurrently.
+func Shapes(cfg ShapeConfig, n int) ([]string, error) {
+	c := cfg.withDefaults()
+	if c.Column == "" {
+		return nil, fmt.Errorf("loadgen: ShapeConfig.Column is required")
+	}
+	if c.Max < c.Min {
+		return nil, fmt.Errorf("loadgen: column domain [%d,%d] is empty", c.Min, c.Max)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var draw func() int
+	switch c.Dist {
+	case DistZipfian:
+		z := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Buckets-1))
+		// Scatter the zipf ranks over the domain so the hot buckets are
+		// not all clustered at the low end of the column.
+		perm := rng.Perm(c.Buckets)
+		draw = func() int { return perm[z.Uint64()] }
+	case DistHotspot:
+		hot := int(float64(c.Buckets) * c.HotFraction)
+		if hot < 1 {
+			hot = 1
+		}
+		start := rng.Intn(c.Buckets - hot + 1)
+		draw = func() int {
+			if rng.Float64() < c.HotWeight {
+				return start + rng.Intn(hot)
+			}
+			return rng.Intn(c.Buckets)
+		}
+	case DistUniform:
+		draw = func() int { return rng.Intn(c.Buckets) }
+	default:
+		return nil, fmt.Errorf("loadgen: unknown distribution %q", c.Dist)
+	}
+
+	width := (c.Max - c.Min + 1) / int64(c.Buckets)
+	if width < 1 {
+		width = 1
+	}
+	out := make([]string, n)
+	for i := range out {
+		b := draw()
+		if b > c.Buckets-c.SpanBuckets {
+			b = c.Buckets - c.SpanBuckets
+		}
+		lo := c.Min + int64(b)*width
+		hi := c.Min + int64(b+c.SpanBuckets)*width - 1
+		if hi > c.Max {
+			hi = c.Max
+		}
+		out[i] = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s BETWEEN %d AND %d",
+			c.Table, c.Column, lo, hi)
+	}
+	return out, nil
+}
+
+// Outcome is one request's result as seen by the runner.
+type Outcome struct {
+	// Err marks a hard failure (network error or 5xx).
+	Err error
+	// Shed marks a 429 admission rejection (counted separately from Err:
+	// shedding under overload is the server working as designed).
+	Shed bool
+	// Cached marks a server-side result-cache hit.
+	Cached bool
+	// BatchSize is the reported execution batch size (0 if not batched).
+	BatchSize int
+}
+
+// RequestFunc issues one request. seq indexes into the pre-drawn shape
+// list; implementations must be safe for concurrent calls.
+type RequestFunc func(ctx context.Context, sql string) Outcome
+
+// RunConfig drives an open-loop run.
+type RunConfig struct {
+	// QPS is the fixed arrival rate (default 100).
+	QPS float64
+	// Duration is how long arrivals are scheduled for (default 10s); the
+	// run ends when every scheduled request completes.
+	Duration time.Duration
+	// Workers bounds in-flight requests on the client side (default 64).
+	// With an open-loop schedule, exhausted workers do NOT slow arrivals:
+	// tickets queue with their original schedule and the wait is charged
+	// to latency.
+	Workers int
+	// Warmup discards this leading portion of the schedule from the
+	// report's latency histogram (default 0): cold caches and first-touch
+	// page faults are real but usually reported separately.
+	Warmup time.Duration
+}
+
+func (c *RunConfig) withDefaults() RunConfig {
+	out := RunConfig{}
+	if c != nil {
+		out = *c
+	}
+	if out.QPS <= 0 {
+		out.QPS = 100
+	}
+	if out.Duration <= 0 {
+		out.Duration = 10 * time.Second
+	}
+	if out.Workers <= 0 {
+		out.Workers = 64
+	}
+	if out.Warmup < 0 {
+		out.Warmup = 0
+	}
+	return out
+}
+
+// Report is the runner's measurement summary. Latency quantiles are in
+// microseconds and are coordinated-omission-safe: each request's latency
+// is completion time minus SCHEDULED send time.
+type Report struct {
+	// Sent counts scheduled requests actually issued; Completed those
+	// that returned success; Shed 429 rejections; Errors hard failures.
+	Sent      int64 `json:"sent"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	// CacheHits counts responses served from the server's result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// MaxBatch is the largest server-side execution batch observed in
+	// responses; BatchedOver1 counts responses with batch size > 1.
+	MaxBatch     int   `json:"max_batch"`
+	BatchedOver1 int64 `json:"batched_over_1"`
+	// TargetQPS is the configured arrival rate; Throughput the achieved
+	// completion rate over the measured window.
+	TargetQPS  float64 `json:"target_qps"`
+	Throughput float64 `json:"throughput"`
+	// ShedRate and ErrorRate and CacheHitRate are fractions of Sent (or
+	// of Completed for the cache).
+	ShedRate     float64 `json:"shed_rate"`
+	ErrorRate    float64 `json:"error_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// P50–P999 and Max are latency quantiles in microseconds.
+	P50  uint64 `json:"p50_us"`
+	P90  uint64 `json:"p90_us"`
+	P99  uint64 `json:"p99_us"`
+	P999 uint64 `json:"p999_us"`
+	Max  uint64 `json:"max_us"`
+	// WallSeconds is the measured wall-clock span of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Run executes an open-loop run: len(shapes) must be at least
+// QPS*Duration requests' worth (shapes are reused round-robin otherwise).
+// It returns once every scheduled request has completed.
+func Run(ctx context.Context, cfg *RunConfig, shapes []string, do RequestFunc) (Report, error) {
+	c := cfg.withDefaults()
+	if len(shapes) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no shapes")
+	}
+	total := int(c.QPS * c.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / c.QPS)
+
+	type ticket struct {
+		seq   int
+		sched time.Time
+	}
+	// The ticket queue is sized for the whole run so a stalled server
+	// never backpressures the arrival schedule (open-loop invariant):
+	// tickets pile up with their original schedule and the backlog wait
+	// is charged to latency.
+	tickets := make(chan ticket, total)
+	var hist Histogram
+	var rep Report
+	rep.TargetQPS = c.QPS
+
+	began := time.Now()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tickets {
+				out := do(ctx, shapes[t.seq%len(shapes)])
+				lat := time.Since(t.sched)
+				if t.sched.Sub(began) >= c.Warmup && out.Err == nil && !out.Shed {
+					hist.Record(lat)
+				}
+				mu.Lock()
+				rep.Sent++
+				switch {
+				case out.Shed:
+					rep.Shed++
+				case out.Err != nil:
+					rep.Errors++
+				default:
+					rep.Completed++
+					if out.Cached {
+						rep.CacheHits++
+					}
+					if out.BatchSize > 1 {
+						rep.BatchedOver1++
+					}
+					if out.BatchSize > rep.MaxBatch {
+						rep.MaxBatch = out.BatchSize
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	go func() {
+		for i := 0; i < total; i++ {
+			sched := began.Add(time.Duration(i) * interval)
+			if d := time.Until(sched); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case <-ctx.Done():
+				close(tickets)
+				return
+			case tickets <- ticket{seq: i, sched: sched}:
+			}
+		}
+		close(tickets)
+	}()
+	wg.Wait()
+
+	wall := time.Since(began)
+	rep.WallSeconds = wall.Seconds()
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Sent)
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Sent)
+	}
+	if rep.Completed > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(rep.Completed)
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.Completed) / wall.Seconds()
+	}
+	rep.P50 = hist.Quantile(0.50)
+	rep.P90 = hist.Quantile(0.90)
+	rep.P99 = hist.Quantile(0.99)
+	rep.P999 = hist.Quantile(0.999)
+	rep.Max = hist.Max()
+	return rep, nil
+}

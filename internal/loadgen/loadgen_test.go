@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 µs uniformly: quantiles land within one bucket's relative
+	// error (~1/histSubs) of the exact answer.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	within := func(got, want uint64, rel float64) bool {
+		diff := float64(got) - float64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= rel*float64(want)
+	}
+	if got := h.Quantile(0.5); !within(got, 500, 0.10) {
+		t.Fatalf("p50 = %d, want ~500", got)
+	}
+	if got := h.Quantile(0.99); !within(got, 990, 0.10) {
+		t.Fatalf("p99 = %d, want ~990", got)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Fatalf("max = %d, want 1000", got)
+	}
+	// The top quantile never exceeds the recorded maximum.
+	if got := h.Quantile(1); got > 1000 {
+		t.Fatalf("p100 = %d > recorded max", got)
+	}
+	// Empty histogram.
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	// bucketOf must be monotonic and bucketValue must land inside the
+	// bucket's range, across magnitudes.
+	prev := -1
+	for us := uint64(0); us < 1<<20; us += 97 {
+		b := bucketOf(us)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", us, b, prev)
+		}
+		prev = b
+	}
+	for _, us := range []uint64{0, 1, 2, 31, 32, 33, 1000, 123456, 1 << 30} {
+		b := bucketOf(us)
+		v := bucketValue(b)
+		if bucketOf(v) != b {
+			t.Fatalf("bucketValue(%d)=%d maps to bucket %d", b, v, bucketOf(v))
+		}
+	}
+}
+
+func TestShapesDistributions(t *testing.T) {
+	base := ShapeConfig{Table: "sales", Column: "price", Min: 0, Max: 102399, Buckets: 1024, SpanBuckets: 4, Seed: 7}
+
+	for _, dist := range []Dist{DistZipfian, DistHotspot, DistUniform} {
+		cfg := base
+		cfg.Dist = dist
+		shapes, err := Shapes(cfg, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shapes) != 5000 {
+			t.Fatalf("%s: %d shapes", dist, len(shapes))
+		}
+		// Determinism: same config, same sequence.
+		again, _ := Shapes(cfg, 5000)
+		for i := range shapes {
+			if shapes[i] != again[i] {
+				t.Fatalf("%s: shape %d not deterministic", dist, i)
+			}
+		}
+		distinct := map[string]int{}
+		for _, s := range shapes {
+			if !strings.HasPrefix(s, "SELECT COUNT(*) FROM sales WHERE price BETWEEN ") {
+				t.Fatalf("%s: malformed shape %q", dist, s)
+			}
+			distinct[s]++
+		}
+		hottest := 0
+		for _, n := range distinct {
+			if n > hottest {
+				hottest = n
+			}
+		}
+		switch dist {
+		case DistZipfian:
+			// Zipf concentrates: the hottest shape dominates and the
+			// shape count is far below the draw count (cacheable).
+			if hottest < 1000 || len(distinct) > 2000 {
+				t.Fatalf("zipfian skew off: hottest %d, distinct %d", hottest, len(distinct))
+			}
+		case DistUniform:
+			if hottest > 50 {
+				t.Fatalf("uniform too skewed: hottest %d", hottest)
+			}
+		case DistHotspot:
+			// ~90% of draws land in ~10% of buckets.
+			hot := 0
+			for _, n := range distinct {
+				if n > 10 {
+					hot += n
+				}
+			}
+			if hot < 3500 {
+				t.Fatalf("hotspot weight off: %d draws in hot shapes", hot)
+			}
+		}
+	}
+	if _, err := Shapes(ShapeConfig{Dist: "pareto", Column: "x", Max: 1}, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := Shapes(ShapeConfig{Max: 1}, 1); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+// TestLoadgenOpenLoopSchedule pins the coordinated-omission contract: with
+// one worker and a request that stalls much longer than the arrival
+// interval, requests scheduled during the stall must be charged their full
+// queue wait — the recorded p-max must approach (backlog × stall), far
+// above a single request's service time.
+func TestLoadgenOpenLoopSchedule(t *testing.T) {
+	const stall = 20 * time.Millisecond
+	var calls atomic.Int64
+	do := func(ctx context.Context, sql string) Outcome {
+		calls.Add(1)
+		time.Sleep(stall)
+		return Outcome{}
+	}
+	rep, err := Run(context.Background(), &RunConfig{
+		QPS: 200, Duration: 200 * time.Millisecond, Workers: 1,
+	}, []string{"SELECT COUNT(*) FROM t"}, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 40 || rep.Completed != 40 {
+		t.Fatalf("sent %d completed %d, want 40/40", rep.Sent, rep.Completed)
+	}
+	// 40 requests × 20ms service through one worker = the last request
+	// waits ~ 35 intervals beyond its schedule. A closed-loop (coordinated
+	// omission) measurement would report ~stall for every request.
+	if rep.Max < uint64((10 * stall).Microseconds()) {
+		t.Fatalf("max latency %dµs does not include backlog wait (CO-unsafe)", rep.Max)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestLoadgenCountsOutcomes(t *testing.T) {
+	var n atomic.Int64
+	do := func(ctx context.Context, sql string) Outcome {
+		switch n.Add(1) % 4 {
+		case 0:
+			return Outcome{Shed: true}
+		case 1:
+			return Outcome{Err: errors.New("boom")}
+		case 2:
+			return Outcome{Cached: true, BatchSize: 3}
+		default:
+			return Outcome{BatchSize: 1}
+		}
+	}
+	rep, err := Run(context.Background(), &RunConfig{QPS: 1000, Duration: 100 * time.Millisecond, Workers: 8},
+		[]string{"q"}, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 100 || rep.Shed != 25 || rep.Errors != 25 || rep.Completed != 50 {
+		t.Fatalf("outcome counts = %+v", rep)
+	}
+	if rep.CacheHits != 25 || rep.MaxBatch != 3 || rep.BatchedOver1 != 25 {
+		t.Fatalf("detail counts = %+v", rep)
+	}
+	if rep.ShedRate != 0.25 || rep.CacheHitRate != 0.5 {
+		t.Fatalf("rates = %+v", rep)
+	}
+}

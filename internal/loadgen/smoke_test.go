@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	flood "flood"
+	"flood/internal/dataset"
+	"flood/internal/server"
+	"flood/internal/workload"
+)
+
+// TestLoadgenServerSmoke is the CI smoke load test: a real floodserver
+// behind real HTTP, driven by the open-loop runner with a zipfian shape
+// mix, asserting zero hard errors and nonzero throughput. The duration
+// defaults to a tier-1-friendly second and is raised by the CI smoke step
+// via SERVE_SMOKE_DURATION (e.g. "10s").
+func TestLoadgenServerSmoke(t *testing.T) {
+	duration := time.Second
+	if v := os.Getenv("SERVE_SMOKE_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("bad SERVE_SMOKE_DURATION %q: %v", v, err)
+		}
+		duration = d
+	}
+
+	ds := dataset.Sales(5000, 41)
+	queries := workload.Standard(ds, 20, 42)
+	idx, err := flood.Build(ds.Table, queries, &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := flood.NewAdaptiveIndex(idx, &flood.AdaptiveConfig{
+		DriftFactor: 1e9,
+		Build:       &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 44},
+	})
+	srv := server.New(a, &server.Config{BatchWindow: time.Millisecond})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	ctx := context.Background()
+	client := &Client{Base: hs.URL, TimeoutMillis: 2000}
+	if err := client.WaitReady(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := client.Schema(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priceCol := schema.Columns[0]
+	for _, c := range schema.Columns {
+		if c.Name == "price" {
+			priceCol = c
+		}
+	}
+	shapes, err := Shapes(ShapeConfig{
+		Table: "sales", Column: priceCol.Name, Min: priceCol.Min, Max: priceCol.Max,
+		Dist: DistZipfian, Seed: 45,
+	}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(ctx, &RunConfig{QPS: 400, Duration: duration, Workers: 32}, shapes, client.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("smoke run had %d errors: %+v", rep.Errors, rep)
+	}
+	if rep.Completed == 0 || rep.Throughput <= 0 {
+		t.Fatalf("smoke run produced no throughput: %+v", rep)
+	}
+	if rep.P50 == 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible latency quantiles: %+v", rep)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AggQueries == 0 {
+		t.Fatalf("server saw no aggregate queries: %+v", st)
+	}
+	// The zipfian mix repeats hot shapes, so the result cache must hit.
+	if st.CacheHits == 0 {
+		t.Fatalf("zipfian smoke run never hit the cache: %+v", st)
+	}
+	t.Logf("smoke: %+v", rep)
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	flood "flood"
+	"flood/internal/dataset"
+	"flood/internal/workload"
+)
+
+// rawFixture builds a small adaptive index over the raw sales dataset (no
+// typed schema) and mounts a server over it.
+func rawFixture(t *testing.T, cfg *Config) (*Server, *httptest.Server) {
+	t.Helper()
+	ds := dataset.Sales(4000, 11)
+	queries := workload.Standard(ds, 20, 12)
+	idx, err := flood.Build(ds.Table, queries, &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := flood.NewAdaptiveIndex(idx, &flood.AdaptiveConfig{
+		DriftFactor: 1e9,
+		Build:       &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 14},
+	})
+	s := New(a, cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+// typedFixture builds a typed city/fare/dist table so projections and typed
+// literals run through the server.
+func typedFixture(t *testing.T, cfg *Config) (*Server, *httptest.Server, *flood.Schema) {
+	t.Helper()
+	cities := []string{"austin", "boston", "chicago", "nyc", "seattle"}
+	n := 2000
+	var city []string
+	var fare []float64
+	var dist []int64
+	for i := 0; i < n; i++ {
+		city = append(city, cities[i%len(cities)])
+		fare = append(fare, float64(i%5000)/100)
+		dist = append(dist, int64(i%300))
+	}
+	s := flood.NewSchema().String("city").Float64("fare", 2).Int64("dist")
+	b := s.NewTableBuilder()
+	if err := b.SetStringColumn("city", city); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetFloat64Column("fare", fare); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInt64Column("dist", dist); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []flood.Query{
+		flood.NewQuery(3).WithRange(2, 10, 100),
+		flood.NewQuery(3).WithRange(1, 100, 2000),
+	}
+	idx, err := flood.Build(tbl, queries, &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 17, Schema: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := flood.NewAdaptiveIndex(idx, &flood.AdaptiveConfig{
+		DriftFactor: 1e9,
+		Build:       &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 18},
+	})
+	srv := New(a, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs, s
+}
+
+func postQuery(t *testing.T, url, sql string) (QueryResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{SQL: sql})
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+func TestServerAggSelectMutate(t *testing.T) {
+	srv, hs, _ := typedFixture(t, nil)
+	url := hs.URL
+
+	// Aggregate with typed decode: SUM over the scaled fare column returns
+	// the scaled integer in Value and the decoded float in Typed.
+	r, code := postQuery(t, url, "SELECT COUNT(*) FROM t WHERE city = 'boston'")
+	if code != http.StatusOK || r.Kind != "agg" || r.Value != 400 {
+		t.Fatalf("COUNT boston = %+v (status %d), want 400", r, code)
+	}
+	r, _ = postQuery(t, url, "SELECT MIN(fare) FROM t WHERE dist BETWEEN 0 AND 10")
+	if f, ok := r.Typed.(float64); !ok || f < 0 {
+		t.Fatalf("MIN(fare).Typed = %#v, want decoded float", r.Typed)
+	}
+
+	// Projection with a LIMIT.
+	r, code = postQuery(t, url, "SELECT city, fare FROM t WHERE dist < 50 LIMIT 7")
+	if code != http.StatusOK || r.Kind != "rows" || len(r.Rows) != 7 || len(r.Columns) != 2 {
+		t.Fatalf("SELECT rows = %+v (status %d), want 7 rows x 2 cols", r, code)
+	}
+	if _, ok := r.Rows[0][0].(string); !ok {
+		t.Fatalf("projected city value = %#v, want string", r.Rows[0][0])
+	}
+
+	// SQL INSERT, then DELETE, through /query; counts must track.
+	r, code = postQuery(t, url, "INSERT INTO t VALUES ('boston', 1.25, 299)")
+	if code != http.StatusOK || r.Kind != "exec" || r.Affected != 1 {
+		t.Fatalf("INSERT = %+v (status %d)", r, code)
+	}
+	r, _ = postQuery(t, url, "SELECT COUNT(*) FROM t WHERE city = 'boston'")
+	if r.Value != 401 {
+		t.Fatalf("COUNT after INSERT = %d, want 401", r.Value)
+	}
+	r, code = postQuery(t, url, "DELETE FROM t WHERE city = 'boston' AND dist = 299")
+	if code != http.StatusOK || r.Affected < 1 {
+		t.Fatalf("DELETE = %+v (status %d)", r, code)
+	}
+	r, _ = postQuery(t, url, "SELECT COUNT(*) FROM t WHERE city = 'boston'")
+	if r.Value != 400 {
+		t.Fatalf("COUNT after DELETE = %d, want 400", r.Value)
+	}
+
+	// Parse errors surface as 400 with the positioned message.
+	if _, code = postQuery(t, url, "SELECT FROG(*) FROM t"); code != http.StatusBadRequest {
+		t.Fatalf("bad sql status = %d, want 400", code)
+	}
+
+	st := srv.Stats()
+	if st.AggQueries < 4 || st.Selects != 1 || st.Mutations != 2 {
+		t.Fatalf("stats dispatch counts = %+v", st)
+	}
+}
+
+func TestServerSelectRowCap(t *testing.T) {
+	_, hs, _ := typedFixture(t, &Config{MaxResultRows: 5})
+	r, code := postQuery(t, hs.URL, "SELECT dist FROM t")
+	if code != http.StatusOK || len(r.Rows) != 5 || !r.Truncated {
+		t.Fatalf("capped SELECT = %d rows truncated=%v (status %d), want 5/true", len(r.Rows), r.Truncated, code)
+	}
+	// An explicit LIMIT under the cap is not truncation.
+	r, _ = postQuery(t, hs.URL, "SELECT dist FROM t LIMIT 3")
+	if len(r.Rows) != 3 || r.Truncated {
+		t.Fatalf("LIMIT 3 = %d rows truncated=%v, want 3/false", len(r.Rows), r.Truncated)
+	}
+}
+
+func TestServerInsertEndpoint(t *testing.T) {
+	srv, hs, _ := typedFixture(t, nil)
+	body := `{"rows": [["nyc", 12.5, 42], ["austin", 0.75, 7]]}`
+	resp, err := http.Post(hs.URL+"/insert", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir InsertResponse
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.Inserted != 2 {
+		t.Fatalf("insert = %+v (status %d), want 2 rows", ir, resp.StatusCode)
+	}
+	r, _ := postQuery(t, hs.URL, "SELECT COUNT(*) FROM t WHERE city = 'nyc' AND dist = 42")
+	if r.Value != 1 {
+		t.Fatalf("COUNT inserted row = %d, want 1", r.Value)
+	}
+	// A row with a bad arity is rejected and reported with its index.
+	resp, err = http.Post(hs.URL+"/insert", "application/json", bytes.NewReader([]byte(`{"rows": [["nyc", 1.25]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-arity insert status = %d, want 400", resp.StatusCode)
+	}
+	if srv.Stats().InsertedRows != 2 {
+		t.Fatalf("InsertedRows = %d, want 2", srv.Stats().InsertedRows)
+	}
+}
+
+func TestServerSchemaEndpoint(t *testing.T) {
+	_, hs, _ := typedFixture(t, nil)
+	resp, err := http.Get(hs.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Typed || sr.Rows != 2000 || len(sr.Columns) != 3 {
+		t.Fatalf("schema = %+v", sr)
+	}
+	if sr.Columns[2].Name != "dist" || sr.Columns[2].Kind != "int64" ||
+		sr.Columns[2].Min != 0 || sr.Columns[2].Max != 299 {
+		t.Fatalf("dist column info = %+v, want [0,299] int64", sr.Columns[2])
+	}
+}
+
+// TestServerBatchMultiplex is the acceptance check that concurrent clients
+// are multiplexed onto ExecuteBatchContext: with a generous gather window,
+// a burst of distinct aggregates must produce batches with more than one
+// member, visible both in server stats and per-response batch_size.
+func TestServerBatchMultiplex(t *testing.T) {
+	srv, hs := rawFixture(t, &Config{BatchWindow: 20 * time.Millisecond, CacheEntries: -1})
+	const clients = 24
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxSeen := 0
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct predicates so no request is a cache hit.
+			r, code := postQuery(t, hs.URL, fmt.Sprintf(
+				"SELECT COUNT(*) FROM sales WHERE quantity >= %d", i%9))
+			if code != http.StatusOK {
+				t.Errorf("client %d: status %d", i, code)
+				return
+			}
+			mu.Lock()
+			if r.BatchSize > maxSeen {
+				maxSeen = r.BatchSize
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.MaxBatch < 2 || st.MultiBatches == 0 {
+		t.Fatalf("no multiplexing observed: stats = %+v", st)
+	}
+	if maxSeen < 2 {
+		t.Fatalf("no response reported batch_size > 1 (max %d)", maxSeen)
+	}
+	if st.BatchedQueries != int64(clients) {
+		t.Fatalf("batched queries = %d, want %d", st.BatchedQueries, clients)
+	}
+}
+
+// TestServerAdmissionShed pins the shedding contract: with the in-flight
+// semaphore full and no queue wait allowed, a request is refused with 429
+// and counted, without touching the index.
+func TestServerAdmissionShed(t *testing.T) {
+	srv, hs := rawFixture(t, &Config{MaxInFlight: 1, QueueWait: -1})
+	srv.sem <- struct{}{} // occupy the only slot
+	_, code := postQuery(t, hs.URL, "SELECT COUNT(*) FROM sales")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status with full semaphore = %d, want 429", code)
+	}
+	st := srv.Stats()
+	if st.Shed != 1 || st.AggQueries != 0 {
+		t.Fatalf("shed accounting = %+v, want Shed=1 and no execution", st)
+	}
+	<-srv.sem
+	if _, code = postQuery(t, hs.URL, "SELECT COUNT(*) FROM sales"); code != http.StatusOK {
+		t.Fatalf("status after release = %d, want 200", code)
+	}
+}
+
+// TestServerAdmissionQueueWait covers the queue path: a held slot released
+// shortly after a request arrives lets the waiter through, and the wait is
+// accounted.
+func TestServerAdmissionQueueWait(t *testing.T) {
+	srv, hs := rawFixture(t, &Config{MaxInFlight: 1, QueueWait: time.Second})
+	srv.sem <- struct{}{}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		<-srv.sem
+	}()
+	r, code := postQuery(t, hs.URL, "SELECT COUNT(*) FROM sales")
+	if code != http.StatusOK {
+		t.Fatalf("queued request status = %d, want 200", code)
+	}
+	if r.QueueMicros <= 0 {
+		t.Fatalf("queued request reported no queue wait: %+v", r)
+	}
+	st := srv.Stats()
+	if st.QueuedRequests != 1 || st.QueueWaitMicros <= 0 {
+		t.Fatalf("queue accounting = %+v", st)
+	}
+}
+
+// TestServerRequestDeadline pins the 504 path: a deadline that expires
+// before the batch fires answers ErrCanceled without scanning.
+func TestServerRequestDeadline(t *testing.T) {
+	// A gather window much longer than the request timeout guarantees the
+	// deadline passes while the job waits in the collector.
+	_, hs := rawFixture(t, &Config{BatchWindow: 300 * time.Millisecond, RequestTimeout: 20 * time.Millisecond})
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM sales", TimeoutMillis: 10})
+	resp, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestBatchCollectorOverload pins submit's non-blocking contract without
+// the gather loop draining the intake queue.
+func TestBatchCollectorOverload(t *testing.T) {
+	c := &collector{jobs: make(chan *aggJob, 1)}
+	if err := c.submit(&aggJob{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.submit(&aggJob{}); err != errOverloaded {
+		t.Fatalf("second submit = %v, want errOverloaded", err)
+	}
+}
+
+// TestServerCloseRefusesRequests pins the shutdown barrier: after Close,
+// requests get 503 and the underlying store is released exactly once.
+func TestServerCloseRefusesRequests(t *testing.T) {
+	srv, hs := rawFixture(t, nil)
+	if _, code := postQuery(t, hs.URL, "SELECT COUNT(*) FROM sales"); code != http.StatusOK {
+		t.Fatalf("pre-close status = %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, code := postQuery(t, hs.URL, "SELECT COUNT(*) FROM sales")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status = %d, want 503", code)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,14 @@ type Deleter interface {
 	Delete(q Query) (int64, error)
 }
 
+// Inserter is implemented by facades that accept new rows after build
+// (DeltaIndex, AdaptiveIndex, DurableIndex — not the immutable Flood). Insert
+// appends one encoded row in physical column order; callers of floodsql's
+// INSERT route through it.
+type Inserter interface {
+	Insert(row []int64) error
+}
+
 // Updater is implemented by facades that support in-place updates
 // (DeltaIndex, AdaptiveIndex, DurableIndex — not the immutable Flood, which
 // has no insert path). Update rewrites every row matching q with the given
