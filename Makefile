@@ -24,7 +24,7 @@ docs: vet
 	$(GO) run ./cmd/doclint . ./floodsql ./datagen \
 		./internal/core ./internal/query ./internal/colstore ./internal/encode \
 		./internal/wal ./internal/faultfs ./internal/modeltest \
-		./internal/server ./internal/loadgen
+		./internal/server ./internal/loadgen ./internal/shard
 
 # bench runs the scan-kernel, build, parallel-execution, row-retrieval, and
 # context/limit benchmarks that gate perf PRs and records them in
@@ -36,7 +36,7 @@ bench:
 	$(GO) test ./internal/core -run '^$$' \
 		-bench 'Residual|WideRect|SteadyState|Build1M|Build200k|Ablation|Parallel|Batch|DeleteHeavy' \
 		-benchmem -benchtime=1s | tee /tmp/bench_scan.txt
-	$(GO) test . -run '^$$' -bench '^BenchmarkSelect|^BenchmarkExecute|^BenchmarkSaveLoad|^BenchmarkDictEq' \
+	$(GO) test . -run '^$$' -bench '^BenchmarkSelect|^BenchmarkExecute|^BenchmarkSaveLoad|^BenchmarkDictEq|^BenchmarkSharded' \
 		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
 	$(GO) test ./internal/wal -run '^$$' -bench 'WALAppend' \
 		-benchmem -benchtime=1s | tee -a /tmp/bench_scan.txt
@@ -46,12 +46,16 @@ bench:
 # in-process floodserver over a 1M-row sales dataset and drives a fixed-QPS
 # zipfian open-loop run, writing coordinated-omission-safe p50/p99 latency,
 # throughput, shed rate, cache hit rate, and the server-side batching stats
-# to BENCH_serve.json (interpreted in docs/BENCHMARKS.md). To merge it with
-# the microbenchmark snapshot into one document, pass it to benchjson:
+# to BENCH_serve.json (interpreted in docs/BENCHMARKS.md). -compare-shards 4
+# repeats the identical run against a 4-shard store and embeds it as the
+# document's "sharded" variant, with per-shard routing counts and the
+# observed shard skew. To merge with the microbenchmark snapshot into one
+# document, pass it to benchjson:
 # `go run ./cmd/benchjson -serve BENCH_serve.json < /tmp/bench_scan.txt`.
 bench-serve:
 	$(GO) run ./cmd/floodload -inprocess 1000000 -qps 2000 -duration 30s \
-		-dist zipfian -server-batch-window 2ms -out BENCH_serve.json
+		-dist zipfian -server-batch-window 2ms -compare-shards 4 \
+		-out BENCH_serve.json
 
 # fuzz-smoke gives each fuzz target a short coverage-guided run (also a CI
 # job). Minimization is capped so single-CPU runners keep mutating instead

@@ -228,22 +228,78 @@ func runRemote(addr, query string, timeout time.Duration) error {
 		}
 		return nil
 	}
+	dispatch := func(sql string) error {
+		if sql == `\stats` {
+			return printServerStats(client, addr)
+		}
+		return run(sql)
+	}
 	if query != "" {
 		fmt.Println(query)
-		return run(query)
+		return dispatch(query)
 	}
-	fmt.Fprintf(os.Stderr, "connected to %s; one statement per line (ctrl-D to exit)\n", addr)
+	fmt.Fprintf(os.Stderr, "connected to %s; one statement per line (\\stats for server stats, ctrl-D to exit)\n", addr)
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		sql := strings.TrimSpace(sc.Text())
 		if sql == "" {
 			continue
 		}
-		if err := run(sql); err != nil {
+		if err := dispatch(sql); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}
 	}
 	return sc.Err()
+}
+
+// printServerStats fetches GET /stats and renders the serving counters, the
+// index lifecycle, and — on a sharded server — the per-shard block.
+func printServerStats(client *http.Client, addr string) error {
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s", resp.Status)
+	}
+	var st struct {
+		Requests    int64 `json:"requests"`
+		AggQueries  int64 `json:"agg_queries"`
+		Selects     int64 `json:"selects"`
+		Mutations   int64 `json:"mutations"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+		IndexEpoch  int64 `json:"index_epoch"`
+		BaseRows    int64 `json:"base_rows"`
+		PendingRows int64 `json:"pending_rows"`
+		Relearns    int64 `json:"relearns"`
+		Merges      int64 `json:"merges"`
+		Rebuilding  bool  `json:"rebuilding"`
+		Shards      []struct {
+			Shard    int   `json:"shard"`
+			Lo       int64 `json:"lo"`
+			Hi       int64 `json:"hi"`
+			Rows     int64 `json:"rows"`
+			Pending  int64 `json:"pending"`
+			Epoch    int64 `json:"epoch"`
+			Relearns int64 `json:"relearns"`
+			Queries  int64 `json:"queries"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("  requests %d (agg %d, select %d, mutate %d), cache %d/%d hit\n",
+		st.Requests, st.AggQueries, st.Selects, st.Mutations,
+		st.CacheHits, st.CacheHits+st.CacheMisses)
+	fmt.Printf("  index: epoch %d, %d rows (+%d pending), %d relearns, %d merges, rebuilding=%v\n",
+		st.IndexEpoch, st.BaseRows, st.PendingRows, st.Relearns, st.Merges, st.Rebuilding)
+	for _, sh := range st.Shards {
+		fmt.Printf("  shard %d [%d, %d]: %d rows (+%d pending), epoch %d, %d relearns, %d queries\n",
+			sh.Shard, sh.Lo, sh.Hi, sh.Rows, sh.Pending, sh.Epoch, sh.Relearns, sh.Queries)
+	}
+	return nil
 }
 
 // parseTrain turns "pred; pred; ..." into sample queries by parsing each

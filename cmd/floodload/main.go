@@ -47,18 +47,113 @@ type output struct {
 		Workers  int     `json:"workers"`
 		Warmup   string  `json:"warmup"`
 		Rows     int     `json:"rows,omitempty"`
+		Shards   int     `json:"shards,omitempty"`
 	} `json:"config"`
 	// Report is the client-side measurement.
 	Report loadgen.Report `json:"report"`
 	// Server is the server-side stats delta across the run (when the
 	// /stats endpoint was reachable).
 	Server *server.Stats `json:"server,omitempty"`
+	// ShardSkew is the max/mean ratio of per-shard queries served during
+	// the run: 1.0 is perfectly balanced routing, k is every query landing
+	// on one of k shards. Absent for an unsharded server.
+	ShardSkew float64 `json:"shard_skew,omitempty"`
+	// Sharded is the -compare-shards repeat of the same run against an
+	// in-process sharded server, for side-by-side flat-vs-sharded latency.
+	Sharded *output `json:"sharded,omitempty"`
+}
+
+// runParams carries the measurement knobs through a single load run.
+type runParams struct {
+	qps           float64
+	duration      time.Duration
+	warmup        time.Duration
+	workers       int
+	dist          string
+	column        string
+	buckets, span int
+	seed, timeout int64
+	shards        int
+}
+
+// runLoad drives one complete measurement against base: wait for readiness,
+// fetch the schema, draw shapes, run the open-loop schedule, and delta the
+// server-side stats.
+func runLoad(ctx context.Context, base string, p runParams) output {
+	client := &loadgen.Client{
+		Base:          base,
+		TimeoutMillis: p.timeout,
+		HTTP: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        p.workers * 2,
+			MaxIdleConnsPerHost: p.workers * 2,
+		}},
+	}
+	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	schema, err := client.Schema(ctx)
+	if err != nil {
+		log.Fatalf("fetching /schema: %v", err)
+	}
+	col, err := pickColumn(schema, p.column)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := int(p.qps * p.duration.Seconds() * 1.1)
+	if total < 1024 {
+		total = 1024
+	}
+	shapes, err := loadgen.Shapes(loadgen.ShapeConfig{
+		Table: "t", Column: col.Name, Min: col.Min, Max: col.Max,
+		Buckets: p.buckets, SpanBuckets: p.span,
+		Dist: loadgen.Dist(p.dist), Seed: p.seed,
+	}, total)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, statsOK := serverStats(ctx, client)
+	log.Printf("driving %s: %.0f qps for %v (%s over %s [%d,%d])",
+		base, p.qps, p.duration, p.dist, col.Name, col.Min, col.Max)
+	rep, err := loadgen.Run(ctx, &loadgen.RunConfig{
+		QPS: p.qps, Duration: p.duration, Workers: p.workers, Warmup: p.warmup,
+	}, shapes, client.Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var doc output
+	doc.Config.Addr = base
+	doc.Config.QPS = p.qps
+	doc.Config.Duration = p.duration.String()
+	doc.Config.Dist = p.dist
+	doc.Config.Column = col.Name
+	doc.Config.Workers = p.workers
+	doc.Config.Warmup = p.warmup.String()
+	doc.Config.Rows = schema.Rows
+	doc.Config.Shards = p.shards
+	doc.Report = rep
+	if after, ok := serverStats(ctx, client); ok && statsOK {
+		delta := statsDelta(before, after)
+		doc.Server = &delta
+		doc.ShardSkew = shardSkew(delta.Shards)
+		if doc.ShardSkew > 0 {
+			log.Printf("shard skew: %.2f (max/mean of per-shard queries across %d shards)",
+				doc.ShardSkew, len(delta.Shards))
+		}
+	}
+	log.Printf("run done: %d sent, %.0f qps achieved, p50 %dµs p99 %dµs, shed %.2f%%, cache hit %.1f%%",
+		rep.Sent, rep.Throughput, rep.P50, rep.P99, 100*rep.ShedRate, 100*rep.CacheHitRate)
+	return doc
 }
 
 func main() {
 	var (
 		addr      = flag.String("addr", "", "floodserver base URL, e.g. http://localhost:8080")
 		inprocess = flag.Int("inprocess", 0, "start an in-process floodserver over a sales dataset with this many rows instead of -addr")
+		shardsN   = flag.Int("shards", 0, "partition the in-process store into N range shards (0 = flat; -inprocess only)")
+		compare   = flag.Int("compare-shards", 0, "after the primary run, repeat it against an in-process N-shard server and embed the result as .sharded (-inprocess only)")
 		qps       = flag.Float64("qps", 1000, "open-loop arrival rate")
 		duration  = flag.Duration("duration", 10*time.Second, "scheduled load duration")
 		workers   = flag.Int("workers", 64, "client-side in-flight bound")
@@ -79,13 +174,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *compare > 0 && *inprocess <= 0 {
+		log.Fatal("-compare-shards needs -inprocess (it builds its own sharded server)")
+	}
+
 	ctx := context.Background()
+	p := runParams{
+		qps: *qps, duration: *duration, warmup: *warmup, workers: *workers,
+		dist: *dist, column: *column, buckets: *buckets, span: *span,
+		seed: *seed, timeout: *timeout, shards: *shardsN,
+	}
+	cfg := &server.Config{BatchWindow: *srvWindow, CacheEntries: *srvCache}
+
 	base := *addr
 	if *inprocess > 0 {
-		hs, srv := startInProcess(*inprocess, *seed, &server.Config{
-			BatchWindow:  *srvWindow,
-			CacheEntries: *srvCache,
-		})
+		hs, srv := startInProcess(*inprocess, *shardsN, *seed, cfg)
 		defer func() {
 			hs.Close()
 			if err := srv.Close(); err != nil {
@@ -95,62 +198,18 @@ func main() {
 		base = hs.URL
 	}
 
-	client := &loadgen.Client{
-		Base:          base,
-		TimeoutMillis: *timeout,
-		HTTP: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        *workers * 2,
-			MaxIdleConnsPerHost: *workers * 2,
-		}},
-	}
-	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
-		log.Fatal(err)
-	}
-	schema, err := client.Schema(ctx)
-	if err != nil {
-		log.Fatalf("fetching /schema: %v", err)
-	}
-	col, err := pickColumn(schema, *column)
-	if err != nil {
-		log.Fatal(err)
-	}
+	doc := runLoad(ctx, base, p)
 
-	total := int(*qps * duration.Seconds() * 1.1)
-	if total < 1024 {
-		total = 1024
-	}
-	shapes, err := loadgen.Shapes(loadgen.ShapeConfig{
-		Table: "t", Column: col.Name, Min: col.Min, Max: col.Max,
-		Buckets: *buckets, SpanBuckets: *span,
-		Dist: loadgen.Dist(*dist), Seed: *seed,
-	}, total)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	before, statsOK := serverStats(ctx, client)
-	log.Printf("driving %s: %.0f qps for %v (%s over %s [%d,%d])",
-		base, *qps, *duration, *dist, col.Name, col.Min, col.Max)
-	rep, err := loadgen.Run(ctx, &loadgen.RunConfig{
-		QPS: *qps, Duration: *duration, Workers: *workers, Warmup: *warmup,
-	}, shapes, client.Query)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var doc output
-	doc.Config.Addr = base
-	doc.Config.QPS = *qps
-	doc.Config.Duration = duration.String()
-	doc.Config.Dist = *dist
-	doc.Config.Column = col.Name
-	doc.Config.Workers = *workers
-	doc.Config.Warmup = warmup.String()
-	doc.Config.Rows = schema.Rows
-	doc.Report = rep
-	if after, ok := serverStats(ctx, client); ok && statsOK {
-		delta := statsDelta(before, after)
-		doc.Server = &delta
+	if *compare > 0 {
+		hs, srv := startInProcess(*inprocess, *compare, *seed, cfg)
+		ps := p
+		ps.shards = *compare
+		sharded := runLoad(ctx, hs.URL, ps)
+		doc.Sharded = &sharded
+		hs.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("sharded server close: %v", err)
+		}
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
@@ -163,22 +222,32 @@ func main() {
 	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("done: %d sent, %.0f qps achieved, p50 %dµs p99 %dµs, shed %.2f%%, cache hit %.1f%%",
-		rep.Sent, rep.Throughput, rep.P50, rep.P99, 100*rep.ShedRate, 100*rep.CacheHitRate)
 }
 
-// startInProcess builds a sales index and serves it on a loopback listener
-// (real HTTP, in this process).
-func startInProcess(rows int, seed int64, cfg *server.Config) (*httptest.Server, *server.Server) {
+// startInProcess builds a sales index — flat, or sharded when shards > 0 —
+// and serves it on a loopback listener (real HTTP, in this process).
+func startInProcess(rows, shards int, seed int64, cfg *server.Config) (*httptest.Server, *server.Server) {
 	ds := datagen.Sales(rows, seed)
 	queries := datagen.StandardWorkload(ds, 40, seed+1)
 	t0 := time.Now()
-	idx, err := flood.Build(ds.Table, queries, &flood.Options{Seed: seed + 2})
-	if err != nil {
-		log.Fatal(err)
+	var srv *server.Server
+	if shards > 0 {
+		sh, err := flood.NewSharded(ds.Table, queries,
+			&flood.ShardedOptions{Shards: shards, Build: &flood.Options{Seed: seed + 2}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built sales (%d rows): %d shards split on %s in %v",
+			rows, sh.NumShards(), ds.Table.Name(sh.SplitDim()), time.Since(t0).Round(time.Millisecond))
+		srv = server.NewSharded(sh, cfg)
+	} else {
+		idx, err := flood.Build(ds.Table, queries, &flood.Options{Seed: seed + 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built sales (%d rows): layout %s in %v", rows, idx.Layout(), time.Since(t0).Round(time.Millisecond))
+		srv = server.New(flood.NewAdaptiveIndex(idx, nil), cfg)
 	}
-	log.Printf("built sales (%d rows): layout %s in %v", rows, idx.Layout(), time.Since(t0).Round(time.Millisecond))
-	srv := server.New(flood.NewAdaptiveIndex(idx, nil), cfg)
 	hs := httptest.NewServer(srv.Handler())
 	return hs, srv
 }
@@ -216,9 +285,29 @@ func serverStats(ctx context.Context, c *loadgen.Client) (server.Stats, bool) {
 	return st, true
 }
 
+// shardSkew is the max/mean ratio of per-shard queries in a stats delta's
+// shard block (0 when unsharded or no shard saw a query).
+func shardSkew(shards []server.ShardInfo) float64 {
+	if len(shards) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, s := range shards {
+		sum += s.Queries
+		if s.Queries > max {
+			max = s.Queries
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(shards)) / float64(sum)
+}
+
 // statsDelta subtracts counter fields so the report shows only this run's
 // server-side activity; gauges (in-flight, epoch, rows) keep their final
-// value.
+// value. Per-shard query/relearn/merge counters are deltaed the same way
+// so the skew reflects only this run's routing.
 func statsDelta(before, after server.Stats) server.Stats {
 	d := after
 	d.Requests -= before.Requests
@@ -236,6 +325,14 @@ func statsDelta(before, after server.Stats) server.Stats {
 	d.MultiBatches -= before.MultiBatches
 	d.CacheHits -= before.CacheHits
 	d.CacheMisses -= before.CacheMisses
+	if len(before.Shards) == len(after.Shards) {
+		d.Shards = append([]server.ShardInfo(nil), after.Shards...)
+		for i := range d.Shards {
+			d.Shards[i].Queries -= before.Shards[i].Queries
+			d.Shards[i].Relearns -= before.Shards[i].Relearns
+			d.Shards[i].Merges -= before.Shards[i].Merges
+		}
+	}
 	if d.Batches > 0 {
 		d.AvgBatch = float64(d.BatchedQueries) / float64(d.Batches)
 	} else {

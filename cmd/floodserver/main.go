@@ -8,7 +8,14 @@
 // otherwise — in durable mode every acknowledged write is WAL-fsynced and
 // shutdown checkpoints before closing.
 //
+// -shards N partitions the store into N range shards with learned-CDF
+// splits (see docs/SHARDING.md): queries prune to the shards their split-
+// dimension predicate can touch, and GET /stats grows a per-shard block.
+// A durable directory remembers its own partitioning — a dir with a shard
+// manifest reopens sharded regardless of the flag.
+//
 //	floodserver -addr :8080 -dataset sales -rows 1000000
+//	floodserver -addr :8080 -dataset sales -rows 1000000 -shards 4
 //	floodserver -addr :8080 -load orders.flood
 //	floodserver -addr :8080 -dataset sales -rows 100000 -dir /var/lib/flood
 //
@@ -34,6 +41,7 @@ import (
 	flood "flood"
 	"flood/datagen"
 	"flood/internal/server"
+	"flood/internal/shard"
 )
 
 func main() {
@@ -44,6 +52,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "dataset and layout-learning seed")
 		loadPath    = flag.String("load", "", "serve a snapshot written by floodcli -save")
 		dir         = flag.String("dir", "", "durable directory: open if it has a snapshot, else create from the built/loaded index; writes are WAL-acknowledged")
+		shards      = flag.Int("shards", 0, "partition the store into N range shards with learned-CDF splits (0 = flat; incompatible with -load)")
 		window      = flag.Duration("batch-window", 250*time.Microsecond, "micro-batch gather window")
 		batchMax    = flag.Int("batch-max", 64, "max queries per execution batch")
 		inflight    = flag.Int("max-inflight", 256, "admission-control in-flight bound")
@@ -64,7 +73,7 @@ func main() {
 		MaxResultRows:  *maxRows,
 	}
 
-	srv, err := buildServer(*datasetName, *rows, *seed, *loadPath, *dir, cfg)
+	srv, err := buildServer(*datasetName, *rows, *seed, *loadPath, *dir, *shards, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,10 +108,36 @@ func main() {
 }
 
 // buildServer resolves the store precedence: durable directory (reopened or
-// created), then snapshot, then a freshly built synthetic dataset.
-func buildServer(datasetName string, rows int, seed int64, loadPath, dir string, cfg *server.Config) (*server.Server, error) {
+// created), then snapshot, then a freshly built synthetic dataset. A
+// durable directory's own layout wins over the -shards flag: a shard
+// manifest reopens sharded, a flat snapshot reopens flat.
+func buildServer(datasetName string, rows int, seed int64, loadPath, dir string, shards int, cfg *server.Config) (*server.Server, error) {
+	if shards > 0 && loadPath != "" {
+		return nil, errors.New("-shards cannot repartition a flat snapshot; use -dataset/-rows or a sharded -dir")
+	}
 	if dir != "" {
+		if _, err := os.Stat(filepath.Join(dir, shard.ManifestName)); err == nil {
+			t0 := time.Now()
+			sh, rep, err := flood.OpenShardedDurable(dir, nil)
+			if err != nil {
+				return nil, fmt.Errorf("opening sharded dir %s: %w", dir, err)
+			}
+			for i, sr := range rep.Shards {
+				for _, w := range sr.Warnings {
+					log.Printf("recovery shard %d: %s", i, w)
+				}
+			}
+			if shards > 0 && sh.NumShards() != shards {
+				log.Printf("-shards %d ignored: %s already holds %d shards", shards, dir, sh.NumShards())
+			}
+			log.Printf("opened sharded store %s: %d shards, %d rows in %v",
+				dir, sh.NumShards(), sh.NumRows(), time.Since(t0).Round(time.Millisecond))
+			return server.NewSharded(sh, cfg), nil
+		}
 		if _, err := os.Stat(filepath.Join(dir, "snapshot.flood")); err == nil {
+			if shards > 0 {
+				return nil, fmt.Errorf("-shards %d: %s already holds a flat store; point -dir at an empty directory", shards, dir)
+			}
 			t0 := time.Now()
 			d, rep, err := flood.OpenDurable(dir, nil)
 			if err != nil {
@@ -115,6 +150,21 @@ func buildServer(datasetName string, rows int, seed int64, loadPath, dir string,
 				dir, rep.SnapshotRows, rep.ReplayedRows, time.Since(t0).Round(time.Millisecond))
 			return server.NewDurable(d, cfg), nil
 		}
+		if shards > 0 {
+			ds, queries, err := syntheticWorkload(datasetName, rows, seed)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			sh, err := flood.CreateShardedDurable(dir, ds.Table, queries,
+				&flood.ShardedOptions{Shards: shards, Build: &flood.Options{Seed: seed + 2}}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("creating sharded dir %s: %w", dir, err)
+			}
+			log.Printf("created sharded store %s: %d shards over %d rows in %v",
+				dir, sh.NumShards(), sh.NumRows(), time.Since(t0).Round(time.Millisecond))
+			return server.NewSharded(sh, cfg), nil
+		}
 		base, err := buildBase(datasetName, rows, seed, loadPath)
 		if err != nil {
 			return nil, err
@@ -126,11 +176,36 @@ func buildServer(datasetName string, rows int, seed int64, loadPath, dir string,
 		log.Printf("created durable store %s", dir)
 		return server.NewDurable(d, cfg), nil
 	}
+	if shards > 0 {
+		ds, queries, err := syntheticWorkload(datasetName, rows, seed)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		sh, err := flood.NewSharded(ds.Table, queries,
+			&flood.ShardedOptions{Shards: shards, Build: &flood.Options{Seed: seed + 2}})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("built sharded %s (%d rows): %d shards split on %s in %v",
+			datasetName, sh.NumRows(), sh.NumShards(), ds.Table.Name(sh.SplitDim()), time.Since(t0).Round(time.Millisecond))
+		return server.NewSharded(sh, cfg), nil
+	}
 	base, err := buildBase(datasetName, rows, seed, loadPath)
 	if err != nil {
 		return nil, err
 	}
 	return server.New(flood.NewAdaptiveIndex(base, nil), cfg), nil
+}
+
+// syntheticWorkload materializes the named dataset and its standard training
+// workload for the sharded build paths, which partition the raw table.
+func syntheticWorkload(datasetName string, rows int, seed int64) (*datagen.Dataset, []flood.Query, error) {
+	ds := datagen.ByName(datasetName, rows, seed)
+	if ds == nil {
+		return nil, nil, errors.New("unknown -dataset " + datasetName + " (try: sales, tpch, osm, perfmon)")
+	}
+	return ds, datagen.StandardWorkload(ds, 40, seed+1), nil
 }
 
 // buildBase loads the snapshot or builds a learned index over a synthetic

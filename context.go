@@ -351,6 +351,8 @@ func executeControl(idx Index, ctl *query.Control, q Query, agg Aggregator, cuto
 		return t.executeControl(ctl, q, agg, cutover)
 	case *AdaptiveIndex:
 		return executeEpochControl(t.epoch.Load(), ctl, q, agg, cutover)
+	case *ShardedIndex:
+		return t.executeControl(ctl, q, agg, cutover)
 	}
 	if ctl == nil {
 		return idx.Execute(q, agg)

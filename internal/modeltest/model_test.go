@@ -142,6 +142,41 @@ func TestModelDurable(t *testing.T) {
 	})
 }
 
+// TestModelSharded drives the durable sharded engine end to end: inserts,
+// deletes, and updates routed by split point (the 64/128/192 splits sit
+// inside the generator's value domain, so boundary values and cross-shard
+// moves occur naturally), per-shard merges and relearns plus whole-store
+// checkpoints forced by OpMaintain, and kill -9 crash-recovery through the
+// manifest — the root is snapshotted at the kill instant and every shard
+// recovers from its own WAL.
+func TestModelSharded(t *testing.T) {
+	const seed = 6
+	runModel(t, seed, Caps{Insert: true, Maintain: true, Crash: true}, func() (*Runner, error) {
+		cols, rows := baseData(seed)
+		tbl, err := flood.NewTable([]string{"a", "b", "c"}, cols)
+		if err != nil {
+			return nil, err
+		}
+		train := []flood.Query{
+			flood.NewQuery(nCols).WithRange(0, 0, 100),
+			flood.NewQuery(nCols).WithRange(1, 50, 150),
+			flood.NewQuery(nCols).WithRange(0, 100, 200).WithRange(2, 0, 128),
+		}
+		opts := &flood.DurableOptions{Sync: flood.SyncAlways, Adaptive: quiesced()}
+		dir := t.TempDir()
+		s, err := flood.CreateShardedDurable(dir, tbl, train, &flood.ShardedOptions{
+			Dim:    0,
+			Splits: []int64{64, 128, 192},
+			Build:  &flood.Options{CalibrationLayouts: 2, GDSteps: 3, Seed: seed},
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		sys := NewShardedSystem(s, dir, opts, nCols, func() string { return t.TempDir() })
+		return NewRunner(sys, NewOracle(rows), nCols), nil
+	})
+}
+
 // lyingSystem wraps a System and silently drops every delete whose op
 // ordinal is past breakAt — an artificial bug the harness must catch.
 type lyingSystem struct {

@@ -290,3 +290,97 @@ func copyDir(src, dst string) error {
 	}
 	return nil
 }
+
+// copyTree copies a sharded store root: the manifest plus one subdirectory
+// per shard.
+func copyTree(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dst, e.Name())
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		if err := copyDir(filepath.Join(src, e.Name()), sub); err != nil {
+			return err
+		}
+	}
+	return copyDir(src, dst)
+}
+
+// shardedSystem adapts ShardedIndex in its durable form. Maintain rotates a
+// whole-store checkpoint with per-shard merges and relearns (the shard
+// picked by the step ordinal, so every shard's lifecycle runs); Crash
+// snapshots the entire root — manifest and every shard directory — at the
+// kill instant and recovers the copy through OpenShardedDurable.
+type shardedSystem struct {
+	s      *flood.ShardedIndex
+	dir    string
+	opts   *flood.DurableOptions
+	cols   int
+	newDir func() string
+}
+
+// NewShardedSystem wraps a durable ShardedIndex living in dir. newDir must
+// return a fresh empty directory each call, as in NewDurableSystem.
+func NewShardedSystem(s *flood.ShardedIndex, dir string, opts *flood.DurableOptions, cols int, newDir func() string) System {
+	return &shardedSystem{s: s, dir: dir, opts: opts, cols: cols, newDir: newDir}
+}
+
+func (s *shardedSystem) Insert(row []int64) error { return s.s.Insert(row) }
+
+func (s *shardedSystem) Delete(q flood.Query) (int64, error) { return s.s.Delete(q) }
+
+func (s *shardedSystem) DeleteRows(ids []int64) (int64, error) { return s.s.DeleteRows(ids) }
+
+func (s *shardedSystem) Update(q flood.Query, set []flood.Assignment) (int64, error) {
+	return s.s.Update(q, set)
+}
+
+func (s *shardedSystem) Select(q flood.Query) ([][]int64, []int64) {
+	rows, _ := s.s.Select(q)
+	return readRows(rows, s.cols)
+}
+
+func (s *shardedSystem) Aggregate(q flood.Query) (int64, int64) {
+	return aggregate(s.s.Execute, q)
+}
+
+func (s *shardedSystem) LiveRows() int { return s.s.LiveRows() }
+
+func (s *shardedSystem) Maintain(step int) error {
+	switch step % 3 {
+	case 0:
+		return s.s.Checkpoint()
+	case 1:
+		sh := s.s.Shard((step / 3) % s.s.NumShards())
+		sh.TriggerMerge()
+		sh.Wait()
+	default:
+		sh := s.s.Shard((step / 3) % s.s.NumShards())
+		sh.TriggerRelearn()
+		sh.Wait()
+	}
+	return nil
+}
+
+func (s *shardedSystem) Crash() error {
+	dst := s.newDir()
+	if err := copyTree(s.dir, dst); err != nil {
+		return err
+	}
+	s.s.Close()
+	re, _, err := flood.OpenShardedDurable(dst, s.opts)
+	if err != nil {
+		return fmt.Errorf("modeltest: sharded recovery failed: %w", err)
+	}
+	s.s, s.dir = re, dst
+	return nil
+}
+
+func (s *shardedSystem) Close() error { return s.s.Close() }

@@ -115,6 +115,20 @@ func (rc *RowCollector) Truncate(n int) {
 	}
 }
 
+// SkipTo advances the collector's watermark to w, so the next table to
+// register (by PinSource or first delivery) starts its id range at w.
+// Sharded execution carves the id space into fixed per-shard strides with
+// it — shard s's sources tile from s's stride base, making a collected id's
+// owning shard recoverable by arithmetic. Ids already collected are
+// untouched; w below the current watermark is ignored so the id space stays
+// collision-free.
+func (rc *RowCollector) SkipTo(w int64) {
+	if w > rc.watermark {
+		rc.watermark = w
+		rc.curT = nil
+	}
+}
+
 // Sources exposes the observed tables tiling the id space, ordered by Start.
 func (rc *RowCollector) Sources() []RowSource { return rc.sources }
 

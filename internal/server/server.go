@@ -104,9 +104,20 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// mutableIndex is the store surface mutations route through; AdaptiveIndex
-// and DurableIndex both satisfy it (the durable facade adds WAL
-// acknowledgment before returning).
+// Store is the query surface the serving tier sits on: plain, batched, and
+// context-aware execution plus a monotonic epoch for cache invalidation and
+// a row count. *flood.AdaptiveIndex and *flood.ShardedIndex satisfy it (a
+// durable flat store serves queries through its embedded adaptive index).
+type Store interface {
+	flood.Index
+	ExecuteBatchContext(ctx context.Context, queries []flood.Query, aggs []flood.Aggregator) ([]flood.Stats, error)
+	Epoch() int64
+	NumRows() int
+}
+
+// mutableIndex is the store surface mutations route through; AdaptiveIndex,
+// DurableIndex, and ShardedIndex all satisfy it (the durable facades add
+// WAL acknowledgment before returning).
 type mutableIndex interface {
 	flood.Index
 	Insert(row []int64) error
@@ -114,12 +125,14 @@ type mutableIndex interface {
 	flood.Updater
 }
 
-// Server serves floodsql over HTTP against one adaptive index. Construct
-// with New or NewDurable, mount Handler on an http.Server, and call Close
-// on the way out (after http.Server.Shutdown) to drain batches and release
-// the store.
+// Server serves floodsql over HTTP against one adaptive index — flat or
+// sharded. Construct with New, NewDurable, or NewSharded, mount Handler on
+// an http.Server, and call Close on the way out (after http.Server.Shutdown)
+// to drain batches and release the store.
 type Server struct {
-	a      *flood.AdaptiveIndex
+	store  Store
+	a      *flood.AdaptiveIndex // flat store; nil when sharded
+	sh     *flood.ShardedIndex  // sharded store; nil when flat
 	dur    *flood.DurableIndex
 	mut    mutableIndex
 	schema *flood.Schema
@@ -164,33 +177,68 @@ func NewDurable(d *flood.DurableIndex, cfg *Config) *Server {
 }
 
 func newServer(a *flood.AdaptiveIndex, d *flood.DurableIndex, cfg *Config) *Server {
+	s := baseServer(cfg)
+	s.a = a
+	s.dur = d
+	s.store = a
+	s.schema = a.Index().Schema()
+	if d != nil {
+		s.mut = d
+	} else {
+		s.mut = a
+	}
+	s.col = newCollector(s.store, s.cfg.BatchWindow, s.cfg.BatchMax, s.baseCtx)
+	return s
+}
+
+// NewSharded wraps a sharded store — in-memory (flood.NewSharded) or
+// durable (flood.CreateShardedDurable / OpenShardedDurable) — in the
+// serving tier. GET /stats gains a per-shard block, and Close checkpoints
+// every shard through the manifest-rooted layout before releasing the
+// store.
+func NewSharded(sh *flood.ShardedIndex, cfg *Config) *Server {
+	s := baseServer(cfg)
+	s.sh = sh
+	s.store = sh
+	s.mut = sh
+	s.schema = sh.Schema()
+	s.col = newCollector(s.store, s.cfg.BatchWindow, s.cfg.BatchMax, s.baseCtx)
+	return s
+}
+
+// baseServer builds the store-independent part of a Server.
+func baseServer(cfg *Config) *Server {
 	c := cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		a:          a,
-		dur:        d,
-		schema:     a.Index().Schema(),
+	return &Server{
 		cfg:        c,
 		sem:        make(chan struct{}, c.MaxInFlight),
 		cache:      newResultCache(c.CacheEntries),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
-	if d != nil {
-		s.mut = d
-	} else {
-		s.mut = a
-	}
-	s.col = newCollector(a, c.BatchWindow, c.BatchMax, ctx)
-	return s
 }
 
 // version is the cache epoch: acknowledged mutations plus completed
-// adaptive generation swaps. Both terms are monotonic, so any mutation,
-// relearn, or merge strictly advances it and strands every older entry.
+// adaptive generation swaps (summed across shards for a sharded store).
+// Both terms are monotonic, so any mutation, relearn, or merge — in any
+// shard — strictly advances it and strands every older entry.
 func (s *Server) version() uint64 {
-	return uint64(s.muts.Load()) + uint64(s.a.Epoch())
+	return uint64(s.muts.Load()) + uint64(s.store.Epoch())
 }
+
+// refTable is a table describing the store's columns: the flat store's base
+// table, or shard 0's for a sharded store (all shards share column names
+// and schema; only /schema's value bounds need the per-shard fold).
+func (s *Server) refTable() *flood.Table {
+	if s.sh != nil {
+		return s.sh.Shard(0).Index().Table()
+	}
+	return s.a.Index().Table()
+}
+
+// numCols is the store's column count.
+func (s *Server) numCols() int { return s.refTable().NumCols() }
 
 // Close drains and shuts down: in-flight handlers finish, queued batches
 // flush through the collector, and then the store is released — Checkpoint
@@ -205,6 +253,15 @@ func (s *Server) Close() error {
 		s.handlers.Wait()
 		s.col.close()
 		s.baseCancel()
+		if s.sh != nil {
+			if err := s.sh.Checkpoint(); err != nil {
+				s.closeErr = fmt.Errorf("server: shutdown checkpoint: %w", err)
+				s.sh.Close()
+				return
+			}
+			s.closeErr = s.sh.Close()
+			return
+		}
 		if s.dur != nil {
 			if err := s.dur.Checkpoint(); err != nil {
 				s.closeErr = fmt.Errorf("server: shutdown checkpoint: %w", err)
@@ -295,14 +352,14 @@ func (s *Server) parse(sql string) (*floodsql.Statement, error) {
 	if s.schema != nil {
 		return floodsql.ParseTyped(sql, s.schema)
 	}
-	return floodsql.Parse(sql, s.a.Index().Table())
+	return floodsql.Parse(sql, s.refTable())
 }
 
 // statementQueries is the statement's DNF rectangles, or one unfiltered
 // query when it has no WHERE clause.
 func (s *Server) statementQueries(st *floodsql.Statement) []flood.Query {
 	if len(st.Disjuncts) == 0 {
-		return []flood.Query{flood.NewQuery(s.a.Index().Table().NumCols())}
+		return []flood.Query{flood.NewQuery(s.numCols())}
 	}
 	return st.Disjuncts
 }
@@ -432,7 +489,7 @@ func (s *Server) runAggregate(w http.ResponseWriter, ctx context.Context, st *fl
 			return
 		}
 	} else {
-		stats, err = flood.ExecuteOrContext(ctx, s.a, qs, agg)
+		stats, err = flood.ExecuteOrContext(ctx, s.store, qs, agg)
 	}
 	if err != nil {
 		if errors.Is(err, flood.ErrCanceled) {
@@ -463,7 +520,7 @@ func (s *Server) runSelect(w http.ResponseWriter, ctx context.Context, st *flood
 		limit = s.cfg.MaxResultRows
 		capped = true
 	}
-	rows, stats, err := s.schema.SelectOrContext(ctx, s.a, s.statementQueries(st), &flood.QueryOptions{Limit: limit}, st.Projection...)
+	rows, stats, err := s.schema.SelectOrContext(ctx, s.store, s.statementQueries(st), &flood.QueryOptions{Limit: limit}, st.Projection...)
 	if err != nil {
 		if errors.Is(err, flood.ErrCanceled) {
 			s.timeouts.Add(1)
@@ -540,7 +597,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 // typed schema when one is attached (int/float/string; time columns accept
 // RFC3339 strings or raw tick numbers), raw int64 numbers otherwise.
 func (s *Server) encodeRow(raw []json.RawMessage) ([]int64, error) {
-	cols := s.a.Index().Table().NumCols()
+	cols := s.numCols()
 	if len(raw) != cols {
 		return nil, fmt.Errorf("row has %d values, table has %d columns", len(raw), cols)
 	}
@@ -607,19 +664,44 @@ func decodeTypedJSON(kind flood.Kind, m json.RawMessage) (any, error) {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
-	tbl := s.a.Index().Table()
-	resp := SchemaResponse{Rows: s.a.NumRows(), Typed: s.schema != nil}
+	tbl := s.refTable()
+	resp := SchemaResponse{Rows: s.store.NumRows(), Typed: s.schema != nil}
 	for i := 0; i < tbl.NumCols(); i++ {
 		kind := "int64"
 		if s.schema != nil {
 			kind = s.schema.KindAt(i).String()
 		}
-		mn, mx := columnBounds(tbl.Column(i))
+		mn, mx := s.storeColumnBounds(i)
 		resp.Columns = append(resp.Columns, ColumnInfo{
 			Name: tbl.Name(i), Kind: kind, Min: mn, Max: mx,
 		})
 	}
 	writeJSON(w, resp)
+}
+
+// storeColumnBounds folds column i's physical [min,max] domain across the
+// whole store — every shard's base table for a sharded one.
+func (s *Server) storeColumnBounds(i int) (int64, int64) {
+	if s.sh == nil {
+		return columnBounds(s.a.Index().Table().Column(i))
+	}
+	mn, mx := int64(0), int64(0)
+	seen := false
+	for k := 0; k < s.sh.NumShards(); k++ {
+		c := s.sh.Shard(k).Index().Table().Column(i)
+		if c.Len() == 0 {
+			continue
+		}
+		bmn, bmx := columnBounds(c)
+		if !seen || bmn < mn {
+			mn = bmn
+		}
+		if !seen || bmx > mx {
+			mx = bmx
+		}
+		seen = true
+	}
+	return mn, mx
 }
 
 // columnBounds folds the column's per-block zone maps into a physical
@@ -647,7 +729,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // Stats snapshots the serving counters (also the GET /stats payload).
 func (s *Server) Stats() Stats {
-	ast := s.a.Stats()
 	st := Stats{
 		Requests:        s.requests.Load(),
 		AggQueries:      s.aggQueries.Load(),
@@ -667,12 +748,39 @@ func (s *Server) Stats() Stats {
 		CacheMisses:     s.cacheMisses.Load(),
 		CacheVersion:    s.version(),
 		InFlight:        len(s.sem),
-		IndexEpoch:      s.a.Epoch(),
-		BaseRows:        ast.BaseRows,
-		PendingRows:     ast.PendingRows,
-		Relearns:        ast.Relearns,
-		Merges:          ast.Merges,
-		Rebuilding:      ast.Rebuilding,
+		IndexEpoch:      s.store.Epoch(),
+	}
+	if s.sh != nil {
+		for _, sh := range s.sh.ShardStats() {
+			st.BaseRows += sh.Rows
+			st.PendingRows += sh.Pending
+			st.Relearns += sh.Relearns
+			st.Merges += sh.Merges
+			st.Shards = append(st.Shards, ShardInfo{
+				Shard:    sh.Shard,
+				Lo:       sh.Lo,
+				Hi:       sh.Hi,
+				Rows:     sh.Rows,
+				Pending:  sh.Pending,
+				Epoch:    sh.Epoch,
+				Relearns: sh.Relearns,
+				Merges:   sh.Merges,
+				Queries:  sh.Queries,
+			})
+		}
+		for i := 0; i < s.sh.NumShards(); i++ {
+			if s.sh.Shard(i).Stats().Rebuilding {
+				st.Rebuilding = true
+				break
+			}
+		}
+	} else {
+		ast := s.a.Stats()
+		st.BaseRows = ast.BaseRows
+		st.PendingRows = ast.PendingRows
+		st.Relearns = ast.Relearns
+		st.Merges = ast.Merges
+		st.Rebuilding = ast.Rebuilding
 	}
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.BatchedQueries) / float64(st.Batches)
@@ -805,13 +913,38 @@ type Stats struct {
 	// InFlight is the current admitted-request gauge.
 	InFlight int `json:"in_flight"`
 	// IndexEpoch, BaseRows, PendingRows, Relearns, Merges, and Rebuilding
-	// snapshot the adaptive index lifecycle.
+	// snapshot the adaptive index lifecycle. On a sharded server the row
+	// and rebuild counters are summed across shards, IndexEpoch is the sum
+	// of shard epochs, and Rebuilding reports any shard rebuilding.
 	IndexEpoch  int64 `json:"index_epoch"`
 	BaseRows    int   `json:"base_rows"`
 	PendingRows int   `json:"pending_rows"`
 	Relearns    int64 `json:"relearns"`
 	Merges      int64 `json:"merges"`
 	Rebuilding  bool  `json:"rebuilding"`
+	// Shards carries the per-shard lifecycle block on a sharded server
+	// (absent on a flat one).
+	Shards []ShardInfo `json:"shards,omitempty"`
+}
+
+// ShardInfo is one shard's entry in the Stats per-shard block: its key
+// range on the split dimension and an independent lifecycle snapshot.
+type ShardInfo struct {
+	// Shard is the shard's index in split order; Lo and Hi its inclusive
+	// key bounds on the split dimension.
+	Shard int   `json:"shard"`
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	// Rows is the shard's live row count; Pending its unmerged insert-log
+	// rows.
+	Rows    int `json:"rows"`
+	Pending int `json:"pending"`
+	// Epoch counts the shard's generation swaps; Relearns and Merges its
+	// completed background rebuilds; Queries the queries it has served.
+	Epoch    int64 `json:"epoch"`
+	Relearns int64 `json:"relearns"`
+	Merges   int64 `json:"merges"`
+	Queries  int64 `json:"queries"`
 }
 
 // --- helpers ---

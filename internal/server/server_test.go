@@ -82,6 +82,54 @@ func typedFixture(t *testing.T, cfg *Config) (*Server, *httptest.Server, *flood.
 	return srv, hs, s
 }
 
+// shardedFixture mounts a server over a 4-shard typed index split on the
+// dist column, exercising the fan-out store path end to end.
+func shardedFixture(t *testing.T, cfg *Config) (*Server, *httptest.Server, *flood.ShardedIndex) {
+	t.Helper()
+	cities := []string{"austin", "boston", "chicago", "nyc", "seattle"}
+	n := 2000
+	var city []string
+	var fare []float64
+	var dist []int64
+	for i := 0; i < n; i++ {
+		city = append(city, cities[i%len(cities)])
+		fare = append(fare, float64(i%5000)/100)
+		dist = append(dist, int64(i%300))
+	}
+	s := flood.NewSchema().String("city").Float64("fare", 2).Int64("dist")
+	b := s.NewTableBuilder()
+	if err := b.SetStringColumn("city", city); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetFloat64Column("fare", fare); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetInt64Column("dist", dist); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []flood.Query{
+		flood.NewQuery(3).WithRange(2, 10, 100),
+		flood.NewQuery(3).WithRange(1, 100, 2000),
+	}
+	sh, err := flood.NewSharded(tbl, queries, &flood.ShardedOptions{
+		Shards:   4,
+		Dim:      2, // dist
+		Build:    &flood.Options{CalibrationLayouts: 3, GDSteps: 5, Seed: 19, Schema: s},
+		Adaptive: &flood.AdaptiveConfig{DriftFactor: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewSharded(sh, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs, sh
+}
+
 func postQuery(t *testing.T, url, sql string) (QueryResponse, int) {
 	t.Helper()
 	body, _ := json.Marshal(QueryRequest{SQL: sql})
@@ -214,6 +262,125 @@ func TestServerSchemaEndpoint(t *testing.T) {
 	if sr.Columns[2].Name != "dist" || sr.Columns[2].Kind != "int64" ||
 		sr.Columns[2].Min != 0 || sr.Columns[2].Max != 299 {
 		t.Fatalf("dist column info = %+v, want [0,299] int64", sr.Columns[2])
+	}
+}
+
+// TestServerSharded runs the whole serving surface — aggregates,
+// projections, SQL mutations, /insert, /schema, /stats — against a 4-shard
+// store, pinning that the Store generalization lost nothing and that the
+// per-shard stats block is populated.
+func TestServerSharded(t *testing.T) {
+	srv, hs, sh := shardedFixture(t, nil)
+	url := hs.URL
+
+	// Fan-out aggregate (city isn't the split dim, so every shard scans).
+	r, code := postQuery(t, url, "SELECT COUNT(*) FROM t WHERE city = 'boston'")
+	if code != http.StatusOK || r.Value != 400 {
+		t.Fatalf("COUNT boston = %+v (status %d), want 400", r, code)
+	}
+	// Pruned aggregate: dist < 50 lands inside the first shard's range.
+	r, _ = postQuery(t, url, "SELECT COUNT(*) FROM t WHERE dist < 50")
+	if r.Value != 350 {
+		t.Fatalf("COUNT dist<50 = %d, want 350", r.Value)
+	}
+	// Projection with LIMIT through the shared fan-out budget.
+	r, code = postQuery(t, url, "SELECT city, fare FROM t WHERE dist < 50 LIMIT 7")
+	if code != http.StatusOK || r.Kind != "rows" || len(r.Rows) != 7 {
+		t.Fatalf("SELECT rows = %+v (status %d), want 7 rows", r, code)
+	}
+	if _, ok := r.Rows[0][0].(string); !ok {
+		t.Fatalf("projected city value = %#v, want string", r.Rows[0][0])
+	}
+
+	// SQL INSERT routes by the split point; DELETE fans out.
+	r, code = postQuery(t, url, "INSERT INTO t VALUES ('boston', 1.25, 299)")
+	if code != http.StatusOK || r.Affected != 1 {
+		t.Fatalf("INSERT = %+v (status %d)", r, code)
+	}
+	r, _ = postQuery(t, url, "SELECT COUNT(*) FROM t WHERE city = 'boston'")
+	if r.Value != 401 {
+		t.Fatalf("COUNT after INSERT = %d, want 401", r.Value)
+	}
+	r, code = postQuery(t, url, "DELETE FROM t WHERE city = 'boston' AND dist = 299")
+	if code != http.StatusOK || r.Affected < 1 {
+		t.Fatalf("DELETE = %+v (status %d)", r, code)
+	}
+
+	// /insert rides the same mutator.
+	body := `{"rows": [["nyc", 12.5, 42]]}`
+	resp, err := http.Post(url+"/insert", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir InsertResponse
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.Inserted != 1 {
+		t.Fatalf("insert = %+v (status %d)", ir, resp.StatusCode)
+	}
+
+	// /schema folds row counts and column bounds across shards.
+	resp, err = http.Get(url + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !sr.Typed || sr.Rows < 2000 || len(sr.Columns) != 3 {
+		t.Fatalf("schema = %+v", sr)
+	}
+	if sr.Columns[2].Min != 0 || sr.Columns[2].Max != 299 {
+		t.Fatalf("dist bounds = [%d,%d], want [0,299] folded across shards", sr.Columns[2].Min, sr.Columns[2].Max)
+	}
+
+	// /stats carries the per-shard block with routed query counts.
+	st := srv.Stats()
+	if len(st.Shards) != sh.NumShards() {
+		t.Fatalf("stats shards = %d entries, want %d", len(st.Shards), sh.NumShards())
+	}
+	var rows, queries int64
+	for i, si := range st.Shards {
+		if si.Shard != i {
+			t.Fatalf("shard block out of order: %+v", si)
+		}
+		rows += int64(si.Rows)
+		queries += si.Queries
+	}
+	if int(rows) != sh.LiveRows() || rows < 2000 {
+		t.Fatalf("per-shard rows sum = %d, want %d", rows, sh.LiveRows())
+	}
+	if queries == 0 {
+		t.Fatal("no per-shard queries recorded")
+	}
+	if st.BaseRows != int(rows) {
+		t.Fatalf("BaseRows = %d, want per-shard sum %d", st.BaseRows, rows)
+	}
+}
+
+// TestServerShardedCache pins that the epoch-keyed result cache stays
+// correct over a sharded store: a mutation in one shard bumps the summed
+// epoch version, so no stale aggregate is ever served.
+func TestServerShardedCache(t *testing.T) {
+	srv, hs, _ := shardedFixture(t, &Config{CacheEntries: 64})
+	const q = "SELECT COUNT(*) FROM t WHERE dist < 50"
+	r, _ := postQuery(t, hs.URL, q)
+	first := r.Value
+	r, _ = postQuery(t, hs.URL, q)
+	if !r.Cached || r.Value != first {
+		t.Fatalf("repeat query = %+v, want cached %d", r, first)
+	}
+	if _, code := postQuery(t, hs.URL, "INSERT INTO t VALUES ('nyc', 2.5, 10)"); code != http.StatusOK {
+		t.Fatalf("insert status = %d", code)
+	}
+	r, _ = postQuery(t, hs.URL, q)
+	if r.Cached || r.Value != first+1 {
+		t.Fatalf("post-insert query = %+v, want uncached %d", r, first+1)
+	}
+	if srv.Stats().CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", srv.Stats().CacheHits)
 	}
 }
 

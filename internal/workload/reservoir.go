@@ -52,6 +52,16 @@ func (r *Reservoir) Add(q query.Query) {
 		return
 	}
 	if j := r.rng.Int63n(r.seen); j < int64(r.size) {
+		// Reuse the evicted resident's Range storage when it fits: once the
+		// reservoir is full, sampling on the query hot path stays
+		// allocation-free (Snapshot deep-copies, so nothing aliases the
+		// recycled slots).
+		if dst := r.items[j].Ranges; cap(dst) >= len(q.Ranges) {
+			dst = dst[:len(q.Ranges)]
+			copy(dst, q.Ranges)
+			r.items[j] = query.Query{Ranges: dst}
+			return
+		}
 		r.items[j] = cloneQuery(q)
 	}
 }
@@ -75,12 +85,17 @@ func (r *Reservoir) Seen() int64 {
 	return r.seen
 }
 
-// Snapshot returns a copy of the current sample, safe to use while Adds
-// continue.
+// Snapshot returns a deep copy of the current sample, safe to use while
+// Adds continue (replacement writes into recycled Range storage, so a
+// shallow copy would see later mutations).
 func (r *Reservoir) Snapshot() []query.Query {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]query.Query(nil), r.items...)
+	out := make([]query.Query, len(r.items))
+	for i, q := range r.items {
+		out[i] = cloneQuery(q)
+	}
+	return out
 }
 
 // Reset empties the sample so it can start tracking a new workload era

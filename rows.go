@@ -409,6 +409,58 @@ func (a *AdaptiveIndex) Select(q Query, cols ...string) (*Rows, Stats) {
 	return r, st
 }
 
+// nameResolver adapts a plain column-name list to colResolver, for indexes
+// (the sharded facade) that hold no single table to resolve against.
+type nameResolver []string
+
+func (n nameResolver) ColumnIndex(name string) int {
+	for i, s := range n {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (n nameResolver) Name(i int) string { return n[i] }
+func (n nameResolver) NumCols() int      { return len(n) }
+
+// resolver returns the projection resolver for the sharded facade: the
+// schema when one is attached, else the column-name list.
+func (s *ShardedIndex) resolver() colResolver {
+	if s.schema != nil {
+		return s.schema
+	}
+	return nameResolver(s.names)
+}
+
+// Select executes q across the surviving shards and returns the matching
+// rows: each shard's sources are pinned at that shard's id stride, so ids
+// sort shard-by-shard (base rows then insert-log rows within each) and
+// resolve back to their owning shard by arithmetic — DeleteRows accepts
+// them directly. Pruned shards contribute nothing and are never scanned.
+// See Flood.Select.
+func (s *ShardedIndex) Select(q Query, cols ...string) (*Rows, Stats) {
+	r := getRows(s.schema, s.resolver(), cols)
+	st := s.collectShards(nil, q, &r.rc, 0)
+	r.finalize()
+	return r, st
+}
+
+// SelectContext is Select under ctx and opts: every surviving shard draws
+// from one cancellation signal and one LIMIT budget, so `LIMIT n` over k
+// shards collects at most n rows in total and stops scanning once the
+// budget is dry. See Flood.SelectContext.
+func (s *ShardedIndex) SelectContext(ctx context.Context, q Query, opts *QueryOptions, cols ...string) (*Rows, Stats, error) {
+	r := getRows(s.schema, s.resolver(), cols)
+	st, err := runSelect(ctx, opts,
+		func() Stats { return s.collectShards(nil, q, &r.rc, 0) },
+		func(ctl *query.Control, cutover int) Stats { return s.collectShards(ctl, q, &r.rc, cutover) },
+		nil)
+	r.finalize()
+	return r, st, err
+}
+
 // Select executes q against any index built over a table this schema
 // produced — including the baselines — and returns the matching rows. The
 // named columns are resolved through the schema; indexes with their own
@@ -589,6 +641,12 @@ func (s *Schema) SelectOrContext(ctx context.Context, idx Index, queries []Query
 		func(ctl *query.Control, cutover int) Stats {
 			if isAdaptive {
 				return a.executeOrControl(ctl, queries, &r.rc, cutover)
+			}
+			if sh, ok := idx.(*ShardedIndex); ok {
+				// Shard-outer iteration keeps the collector's per-shard id
+				// strides intact; the generic piece-outer loop would
+				// interleave shards and break the tiling.
+				return sh.executeOrShards(ctl, queries, &r.rc, cutover)
 			}
 			return executeOrControl(idx, ctl, queries, &r.rc, cutover)
 		},

@@ -1,0 +1,826 @@
+// Sharded Flood: a partitioned engine over independent adaptive shards.
+//
+// ShardedIndex splits the table by range on one dimension — split points
+// fitted from a learned CDF over a sample, so shards stay balanced under
+// skew — and runs a full adaptive Flood per shard. Queries prune shards
+// whose key range misses the predicate on the split dimension, then fan the
+// survivors out in parallel with a shared cancellation signal and LIMIT
+// budget; maintenance is shard-local (drift in one shard relearns only that
+// shard, the others keep serving on their epochs untouched). See
+// docs/SHARDING.md for the design.
+
+package flood
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"flood/internal/colstore"
+	"flood/internal/core"
+	"flood/internal/query"
+	"flood/internal/shard"
+)
+
+// shardStride carves the Select row-id space into fixed per-shard regions:
+// shard s's rows occupy ids [s<<shardStrideBits, (s+1)<<shardStrideBits).
+// The stride (2^40 rows) is far above any single shard's base + insert-log
+// size, so id→shard resolution is pure arithmetic and per-shard local ids
+// are exactly the ids the shard's own Select would produce.
+const shardStrideBits = 40
+
+// shardStride is the id-space width reserved per shard.
+const shardStride = int64(1) << shardStrideBits
+
+// ShardedOptions tunes NewSharded. Nil picks 4 shards split on the
+// dimension the training workload filters most often.
+type ShardedOptions struct {
+	// Shards is the target shard count (default 4). The effective count can
+	// come out lower when the split column has too few distinct values to
+	// support that many balanced partitions.
+	Shards int
+	// Dim is the split dimension (physical column index). Negative picks
+	// the dimension filtered by the most training queries — the choice that
+	// maximizes how often a predicate prunes shards.
+	Dim int
+	// Splits overrides learned split fitting with explicit, strictly
+	// increasing split points (shard i holds [Splits[i-1], Splits[i])).
+	// When set, Shards is ignored.
+	Splits []int64
+	// Build supplies the per-shard build options. A nil CostModel is
+	// calibrated once on the full table and shared by every shard build, so
+	// the calibration cost is paid once, not per shard.
+	Build *Options
+	// Adaptive tunes each shard's adaptive facade (nil picks defaults).
+	Adaptive *AdaptiveConfig
+}
+
+func (o *ShardedOptions) withDefaults() ShardedOptions {
+	out := ShardedOptions{Dim: -1}
+	if o != nil {
+		out = *o
+	}
+	if out.Shards <= 0 {
+		out.Shards = 4
+	}
+	return out
+}
+
+// ShardStat is one shard's slice of a ShardedIndex's state, for stats
+// endpoints and skew diagnostics.
+type ShardStat struct {
+	// Shard is the shard's index in split order.
+	Shard int
+	// Lo and Hi are the shard's inclusive key bounds on the split dimension.
+	Lo, Hi int64
+	// Rows is the shard's live row count (excluding tombstones).
+	Rows int
+	// Pending is the shard's unmerged insert-log row count.
+	Pending int
+	// Epoch counts the shard's completed generation swaps.
+	Epoch int64
+	// Relearns and Merges count the shard's completed background rebuilds.
+	Relearns int64
+	Merges   int64
+	// Queries is the number of queries the shard has served.
+	Queries int64
+}
+
+// ShardedIndex is a partitioned serving engine: independent adaptive Flood
+// indexes over disjoint key ranges of one split dimension, behind the same
+// Execute/ExecuteContext/ExecuteBatchContext/Select/Insert/Delete/Update
+// surface as the flat facades. Queries whose predicate on the split
+// dimension misses a shard's range never touch that shard; queries fully
+// contained in one shard delegate to it directly on the zero-allocation
+// path. Mutations route by split point. Each shard adapts independently —
+// its own drift monitor, workload reservoir, and background rebuilds — so a
+// relearn in one shard leaves every other shard's epoch untouched.
+//
+// Concurrency matches AdaptiveIndex per shard: queries and mutations from
+// any number of goroutines. Cross-shard updates that reassign the split
+// dimension are atomic per shard, not transactional across shards (see
+// Update).
+type ShardedIndex struct {
+	router *shard.Router
+	shards []*AdaptiveIndex
+	schema *Schema
+	names  []string
+
+	// durable state; nil/empty for the in-memory form. dur[i] persists
+	// shards[i]; root is the manifest directory. ckptMu serializes
+	// checkpoints, matching DurableIndex.
+	dur    []*DurableIndex
+	root   string
+	ckptMu sync.Mutex
+}
+
+// NewSharded partitions tbl on a split dimension and builds one adaptive
+// Flood per shard, in parallel. Split points are fitted from a learned CDF
+// over a sample of the split column so shards balance under skew; each
+// shard's layout is learned against the training queries overlapping its
+// key range (clipped to the shard's bounds), sharing one cost model
+// calibrated on the full table. The table is not retained; each shard holds
+// a reordered copy of its partition.
+func NewSharded(tbl *Table, train []Query, opts *ShardedOptions) (*ShardedIndex, error) {
+	o := opts.withDefaults()
+	dim := o.Dim
+	if dim < 0 {
+		dim = shard.ChooseDim(train, tbl.NumCols())
+	}
+	if dim >= tbl.NumCols() {
+		return nil, fmt.Errorf("flood: sharded split dimension %d out of range (table has %d columns)", dim, tbl.NumCols())
+	}
+	splits := o.Splits
+	if splits == nil {
+		splits = shard.FitSplits(tbl.Raw(dim), o.Shards)
+	}
+	r, err := shard.NewRouter(dim, splits)
+	if err != nil {
+		return nil, err
+	}
+	floods, err := buildShards(tbl, train, r, o.Build)
+	if err != nil {
+		return nil, err
+	}
+	return newShardedFromFloods(r, floods, o.Adaptive), nil
+}
+
+// newShardedFromFloods assembles the facade over per-shard built indexes.
+func newShardedFromFloods(r *shard.Router, floods []*Flood, cfg *AdaptiveConfig) *ShardedIndex {
+	s := &ShardedIndex{
+		router: r,
+		shards: make([]*AdaptiveIndex, len(floods)),
+		schema: floods[0].schema,
+		names:  floods[0].Table().Names(),
+	}
+	for i, f := range floods {
+		s.shards[i] = NewAdaptiveIndex(f, cfg)
+	}
+	return s
+}
+
+// buildShards partitions tbl by the router and builds every shard index in
+// parallel — the build-time speedup scales with cores because each shard's
+// layout search and construction run independently. One cost model is
+// calibrated up front (on the full table) and shared, so no shard pays the
+// calibration cost and empty shards (possible under explicit splits) build
+// cleanly.
+func buildShards(tbl *Table, train []Query, r *shard.Router, bopts *Options) ([]*Flood, error) {
+	o := bopts.orDefault()
+	if o.CostModel == nil {
+		m, err := Calibrate(tbl, train, &o)
+		if err != nil {
+			return nil, fmt.Errorf("flood: calibrating shared shard cost model: %w", err)
+		}
+		o.CostModel = m
+	}
+	// Decode every column once; the per-shard gathers index into these
+	// read-only slices from their goroutines.
+	raw := make([][]int64, tbl.NumCols())
+	for c := range raw {
+		raw[c] = tbl.Raw(c)
+	}
+	parts := shard.Partition(raw[r.Dim()], r)
+	names := tbl.Names()
+	floods := make([]*Flood, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := gatherTable(names, raw, parts[i])
+			floods[i], errs[i] = Build(sub, clipWorkload(train, r, i), &o)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("flood: building shard %d: %w", i, err)
+		}
+	}
+	return floods, nil
+}
+
+// gatherTable materializes the rows of one partition as a fresh table.
+func gatherTable(names []string, raw [][]int64, rows []int) *Table {
+	cols := make([][]int64, len(raw))
+	for c := range raw {
+		col := make([]int64, len(rows))
+		src := raw[c]
+		for j, row := range rows {
+			col[j] = src[row]
+		}
+		cols[c] = col
+	}
+	return colstore.MustNewTable(names, cols)
+}
+
+// clipWorkload selects the training queries overlapping shard i's key range
+// and clips their split-dimension ranges to the shard's bounds, so each
+// shard's layout is learned against the selectivities it will actually
+// serve. A shard no training query overlaps falls back to the full
+// workload: Build requires a non-empty sample, and the global workload is
+// the best available prior.
+func clipWorkload(train []Query, r *shard.Router, i int) []Query {
+	lo, hi := r.Bounds(i)
+	dim := r.Dim()
+	out := make([]Query, 0, len(train))
+	for _, q := range train {
+		if dim >= len(q.Ranges) {
+			out = append(out, q)
+			continue
+		}
+		rg := q.Ranges[dim]
+		if rg.Present && (rg.Max < lo || rg.Min > hi) {
+			continue
+		}
+		if rg.Present && (rg.Min < lo || rg.Max > hi) {
+			clipped := q
+			clipped.Ranges = append([]Range(nil), q.Ranges...)
+			clipped.Ranges[dim].Min = max(rg.Min, lo)
+			clipped.Ranges[dim].Max = min(rg.Max, hi)
+			q = clipped
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return train
+	}
+	return out
+}
+
+// prune returns the inclusive shard interval [first, last] a query's
+// split-dimension range can reach; first > last means the predicate is
+// empty and no shard needs scanning. Allocation-free.
+func (s *ShardedIndex) prune(q Query) (first, last int) {
+	dim := s.router.Dim()
+	lo, hi := int64(NegInf), int64(PosInf)
+	if dim < len(q.Ranges) {
+		if rg := q.Ranges[dim]; rg.Present {
+			lo, hi = rg.Min, rg.Max
+		}
+	}
+	if lo > hi {
+		return 1, 0
+	}
+	return s.router.ShardRange(lo, hi)
+}
+
+// executeShardSequential runs q against one shard's current generation on
+// the sequential kernel — fan-out already provides cross-shard parallelism,
+// mirroring the batch paths' inter-query idiom — and feeds the result to
+// that shard's drift monitor and workload sample.
+func executeShardSequential(a *AdaptiveIndex, q Query, agg Aggregator) Stats {
+	ep := a.epoch.Load()
+	st := ep.flood.idx.ExecuteSequential(q, agg)
+	if n := ep.log.rows(); n > 0 {
+		st.Add(ep.log.scan(q, n, agg, nil))
+	}
+	a.observe(ep, q, st)
+	return st
+}
+
+// Execute serves one query: shards outside the predicate's split-dimension
+// range are pruned, a single surviving shard serves the query directly (the
+// no-merge fast path — zero allocations, identical to the flat engine), and
+// multiple survivors fan out in parallel with per-shard aggregator clones
+// merged at the end. Every surviving shard observes the query in its own
+// drift monitor, so adaptation stays shard-local.
+func (s *ShardedIndex) Execute(q Query, agg Aggregator) Stats {
+	if rc, ok := agg.(*query.RowCollector); ok {
+		return s.collectShards(nil, q, rc, 0)
+	}
+	first, last := s.prune(q)
+	if first > last {
+		return Stats{}
+	}
+	if first == last {
+		return s.shards[first].Execute(q, agg)
+	}
+	return s.fanOut(q, agg, first, last)
+}
+
+// collectShards serves a row-collecting query shard by shard in split
+// order: each surviving shard's sources are pinned at that shard's id
+// stride before its scan, so every collected id carries its owning shard in
+// the high bits (id >> shardStrideBits) and the shard-local remainder is
+// exactly the id the shard's own Select would have produced — the contract
+// DeleteRows routes by. Sequential by design: the per-shard stride pinning
+// is ordered, and collectors aren't shared across workers anyway.
+func (s *ShardedIndex) collectShards(ctl *query.Control, q Query, rc *query.RowCollector, cutover int) Stats {
+	first, last := s.prune(q)
+	var total Stats
+	for i := first; i <= last && i >= 0; i++ {
+		if ctl.Stopped() {
+			break
+		}
+		a := s.shards[i]
+		ep := a.epoch.Load()
+		rc.SkipTo(int64(i) * shardStride)
+		rc.PinSource(ep.flood.Table())
+		st := executeEpochControl(ep, ctl, q, rc, cutover)
+		if !ctl.Stopped() {
+			a.observe(ep, q, st)
+		}
+		total.Add(st)
+	}
+	return total
+}
+
+// fanOut runs q on shards [first, last] in parallel over the shared worker
+// pool, each into its own pooled clone of agg, and merges. Non-mergeable
+// aggregators fall back to a sequential pass.
+func (s *ShardedIndex) fanOut(q Query, agg Aggregator, first, last int) Stats {
+	m, ok := agg.(query.Mergeable)
+	if !ok {
+		var total Stats
+		for i := first; i <= last; i++ {
+			total.Add(executeShardSequential(s.shards[i], q, agg))
+		}
+		return total
+	}
+	n := last - first + 1
+	clones := make([]query.Mergeable, n)
+	stats := make([]Stats, n)
+	core.RunBatch(n, func(i int) {
+		c := query.GetClone(m)
+		if c == nil {
+			c = m.CloneEmpty()
+		}
+		stats[i] = executeShardSequential(s.shards[first+i], q, c)
+		clones[i] = c
+	})
+	var total Stats
+	for i, c := range clones {
+		total.Add(stats[i])
+		m.Merge(c)
+		query.PutClone(c)
+	}
+	return total
+}
+
+// ExecuteContext is Execute under ctx: all surviving shards share one
+// cancellation signal, and a stop returns the partial Stats with
+// ErrCanceled. See Flood.ExecuteContext.
+func (s *ShardedIndex) ExecuteContext(ctx context.Context, q Query, agg Aggregator) (Stats, error) {
+	return runExecute(ctx,
+		func() Stats { return s.Execute(q, agg) },
+		func(ctl *query.Control) Stats { return s.executeControl(ctl, q, agg, 0) })
+}
+
+// executeControl threads an externally owned control through the pruned
+// fan-out: every shard scan draws cancellation and the LIMIT budget from
+// the same control, so `LIMIT n` over k surviving shards delivers at most n
+// rows in total and stops scanning globally once the budget is dry.
+// RowCollector aggregators are delivered shard-sequentially with per-shard
+// id strides (see selectInto); everything else fans out in parallel.
+func (s *ShardedIndex) executeControl(ctl *query.Control, q Query, agg Aggregator, cutover int) Stats {
+	if rc, ok := agg.(*query.RowCollector); ok {
+		return s.collectShards(ctl, q, rc, cutover)
+	}
+	first, last := s.prune(q)
+	if first > last {
+		return Stats{}
+	}
+	if first == last {
+		a := s.shards[first]
+		ep := a.epoch.Load()
+		st := executeEpochControl(ep, ctl, q, agg, cutover)
+		if !ctl.Stopped() {
+			a.observe(ep, q, st)
+		}
+		return st
+	}
+	m, mergeable := agg.(query.Mergeable)
+	if !mergeable || ctl == nil {
+		// Sequential fan-out: non-mergeables can't clone, and with no
+		// control there is nothing to share across parallel workers anyway.
+		var total Stats
+		for i := first; i <= last; i++ {
+			if ctl.Stopped() {
+				break
+			}
+			a := s.shards[i]
+			ep := a.epoch.Load()
+			st := executeEpochControl(ep, ctl, q, agg, cutover)
+			if !ctl.Stopped() {
+				a.observe(ep, q, st)
+			}
+			total.Add(st)
+		}
+		return total
+	}
+	n := last - first + 1
+	clones := make([]query.Mergeable, n)
+	stats := make([]Stats, n)
+	core.RunBatch(n, func(i int) {
+		if ctl.Stopped() {
+			return
+		}
+		c := query.GetClone(m)
+		if c == nil {
+			c = m.CloneEmpty()
+		}
+		a := s.shards[first+i]
+		ep := a.epoch.Load()
+		stats[i] = executeEpochControl(ep, ctl, q, c, cutover)
+		if !ctl.Stopped() {
+			a.observe(ep, q, stats[i])
+		}
+		clones[i] = c
+	})
+	var total Stats
+	for i, c := range clones {
+		if c == nil {
+			continue
+		}
+		total.Add(stats[i])
+		m.Merge(c)
+		query.PutClone(c)
+	}
+	return total
+}
+
+// ExecuteBatch serves queries[i] into aggs[i] with inter-query parallelism
+// over the shared worker pool; each query prunes and scans its surviving
+// shards sequentially. len(queries) must equal len(aggs).
+func (s *ShardedIndex) ExecuteBatch(queries []Query, aggs []Aggregator) []Stats {
+	if len(queries) != len(aggs) {
+		panic(fmt.Sprintf("flood: ExecuteBatch got %d queries but %d aggregators", len(queries), len(aggs)))
+	}
+	stats := make([]Stats, len(queries))
+	core.RunBatch(len(queries), func(i int) {
+		first, last := s.prune(queries[i])
+		for sh := first; sh <= last && sh >= 0; sh++ {
+			stats[i].Add(executeShardSequential(s.shards[sh], queries[i], aggs[i]))
+		}
+	})
+	return stats
+}
+
+// ExecuteBatchContext is ExecuteBatch under ctx: one cancellation stops
+// every query in the batch, queries not yet started are skipped, and the
+// partial per-query stats return with ErrCanceled. The serving tier's
+// micro-batching collector drives the sharded engine through this path.
+func (s *ShardedIndex) ExecuteBatchContext(ctx context.Context, queries []Query, aggs []Aggregator) ([]Stats, error) {
+	if len(queries) != len(aggs) {
+		panic(fmt.Sprintf("flood: ExecuteBatch got %d queries but %d aggregators", len(queries), len(aggs)))
+	}
+	return runExecuteBatch(ctx, len(queries),
+		func() []Stats { return s.ExecuteBatch(queries, aggs) },
+		func(ctl *query.Control) []Stats {
+			stats := make([]Stats, len(queries))
+			core.RunBatch(len(queries), func(i int) {
+				if ctl.Stopped() {
+					return
+				}
+				first, last := s.prune(queries[i])
+				for sh := first; sh <= last && sh >= 0; sh++ {
+					if ctl.Stopped() {
+						return
+					}
+					a := s.shards[sh]
+					ep := a.epoch.Load()
+					st := ep.flood.idx.ExecuteSequentialControl(ctl, queries[i], aggs[i])
+					if n := ep.log.rows(); n > 0 && !ctl.Stopped() {
+						st.Add(ep.log.scan(queries[i], n, aggs[i], ctl))
+					}
+					if !ctl.Stopped() {
+						a.observe(ep, queries[i], st)
+					}
+					stats[i].Add(st)
+				}
+			})
+			return stats
+		})
+}
+
+// ExecuteOr evaluates a disjunction (OR) of conjunctive queries: the
+// rectangles decompose into disjoint pieces once, then each shard scans the
+// pieces overlapping its key range. Row collectors tile shard-locally (see
+// Select's id contract). Each shard that served at least one piece samples
+// the original conjunctive shapes into its workload reservoir.
+func (s *ShardedIndex) ExecuteOr(queries []Query, agg Aggregator) Stats {
+	return s.executeOrShards(nil, queries, agg, 0)
+}
+
+// ExecuteOrContext is ExecuteOr under ctx; the pieces share one
+// cancellation signal and limit budget across every shard.
+func (s *ShardedIndex) ExecuteOrContext(ctx context.Context, queries []Query, agg Aggregator) (Stats, error) {
+	return runExecute(ctx,
+		func() Stats { return s.ExecuteOr(queries, agg) },
+		func(ctl *query.Control) Stats { return s.executeOrShards(ctl, queries, agg, 0) })
+}
+
+// executeOrShards runs the decomposed pieces of a disjunction shard-by-
+// shard under one shared control. The loop is shard-outer so a collector's
+// id watermark moves monotonically through the per-shard strides — every
+// source a shard registers (base, sealed log segments, transient suffix
+// tables) lands inside that shard's stride region.
+func (s *ShardedIndex) executeOrShards(ctl *query.Control, queries []Query, agg Aggregator, cutover int) Stats {
+	pieces := query.Disjoint(queries)
+	rc, isCollector := agg.(*query.RowCollector)
+	var total Stats
+	for i, a := range s.shards {
+		if ctl.Stopped() {
+			break
+		}
+		lo, hi := s.router.Bounds(i)
+		served := false
+		var ep *adaptiveEpoch
+		for _, piece := range pieces {
+			if ctl.Stopped() {
+				break
+			}
+			dim := s.router.Dim()
+			if dim < len(piece.Ranges) {
+				if rg := piece.Ranges[dim]; rg.Present && (rg.Max < lo || rg.Min > hi) {
+					continue
+				}
+			}
+			if !served {
+				ep = a.epoch.Load()
+				if isCollector {
+					rc.SkipTo(int64(i) * shardStride)
+					rc.PinSource(ep.flood.Table())
+				}
+				served = true
+			}
+			total.Add(executeEpochControl(ep, ctl, piece, agg, cutover))
+		}
+		if served && !ctl.Stopped() {
+			a.queries.Add(1)
+			for _, q := range queries {
+				a.sample.Add(q)
+			}
+		}
+	}
+	return total
+}
+
+// Insert routes the row to the shard owning its split-dimension value and
+// appends it there; visibility, WAL acknowledgment (durable form), and
+// merge scheduling are the owning shard's (see AdaptiveIndex.Insert).
+func (s *ShardedIndex) Insert(row []int64) error {
+	dim := s.router.Dim()
+	if dim >= len(row) {
+		return fmt.Errorf("flood: row has %d values, split dimension is %d", len(row), dim)
+	}
+	return s.target(s.router.Shard(row[dim])).Insert(row)
+}
+
+// Delete tombstones every live row matching q across the surviving shards
+// and returns the total newly deleted. Per-shard deletes are atomic; the
+// cross-shard sweep is not a transaction.
+func (s *ShardedIndex) Delete(q Query) (int64, error) {
+	first, last := s.prune(q)
+	var total int64
+	for i := first; i <= last && i >= 0; i++ {
+		n, err := s.target(i).Delete(q)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DeleteRows tombstones rows by their Select ids. Ids carry their owning
+// shard in the high bits (the per-shard stride), so each id resolves to the
+// shard that produced it and the shard-local position within it; stale ids
+// follow AdaptiveIndex.DeleteRows' epoch caveat per shard.
+func (s *ShardedIndex) DeleteRows(ids []int64) (int64, error) {
+	groups := make([][]int64, len(s.shards))
+	for _, id := range ids {
+		sh := int(id >> shardStrideBits)
+		if id < 0 || sh >= len(s.shards) {
+			continue
+		}
+		groups[sh] = append(groups[sh], id-int64(sh)*shardStride)
+	}
+	var total int64
+	for sh, locals := range groups {
+		if len(locals) == 0 {
+			continue
+		}
+		n, err := s.target(sh).DeleteRows(locals)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Update rewrites every live row matching q with the assignments applied.
+// When no assignment touches the split dimension the update delegates to
+// each surviving shard (atomic per shard). An assignment that reassigns the
+// split dimension can move rows between shards: those rows are collected by
+// value, deleted by predicate in their old shard, and re-inserted routed by
+// their new split value — a delete-then-insert sequence that is atomic per
+// shard but not transactional across shards (a concurrent reader can
+// observe the gap; a crash between the phases in the durable form can lose
+// the re-insert). Returns the number of rows updated.
+func (s *ShardedIndex) Update(q Query, set []Assignment) (int64, error) {
+	dim := s.router.Dim()
+	moves := false
+	for _, a := range set {
+		if a.Col == dim {
+			moves = true
+		}
+	}
+	first, last := s.prune(q)
+	if !moves {
+		var total int64
+		for i := first; i <= last && i >= 0; i++ {
+			n, err := s.target(i).Update(q, set)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	// Three phases, so a row re-inserted into a later surviving shard can
+	// never match the predicate a second time: collect every matching tuple
+	// by value (tuples survive layout swaps, unlike physical ids), then
+	// delete the predicate in every surviving shard, then apply the
+	// assignments and re-route the rewritten rows.
+	cols := len(s.names)
+	var tuples [][]int64
+	for i := first; i <= last && i >= 0; i++ {
+		rows, _ := s.shards[i].Select(q)
+		for rows.Next() {
+			tp := make([]int64, cols)
+			for c := range tp {
+				tp[c] = rows.Int64(c)
+			}
+			tuples = append(tuples, tp)
+		}
+		rows.Close()
+	}
+	var total int64
+	for i := first; i <= last && i >= 0; i++ {
+		n, err := s.target(i).Delete(q)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, tp := range tuples {
+		nr, err := applyAssignments(tp, set, cols)
+		if err != nil {
+			return total, err
+		}
+		if err := s.Insert(nr); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// target returns the mutation surface for shard i: the durable wrapper when
+// one exists (so writes are WAL-acknowledged), else the adaptive facade
+// directly. Both expose the same mutation signatures.
+func (s *ShardedIndex) target(i int) interface {
+	Inserter
+	Deleter
+	Updater
+	DeleteRows(ids []int64) (int64, error)
+} {
+	if s.dur != nil {
+		return s.dur[i]
+	}
+	return s.shards[i]
+}
+
+// Name implements Index.
+func (s *ShardedIndex) Name() string { return "Flood+Sharded" }
+
+// SizeBytes implements Index: the sum of the shards' index metadata.
+func (s *ShardedIndex) SizeBytes() int64 {
+	var total int64
+	for _, a := range s.shards {
+		total += a.SizeBytes()
+	}
+	return total
+}
+
+// NumRows returns the total row count across shards (including tombstoned
+// rows not yet compacted).
+func (s *ShardedIndex) NumRows() int {
+	total := 0
+	for _, a := range s.shards {
+		total += a.NumRows()
+	}
+	return total
+}
+
+// LiveRows returns the number of rows queries can observe across shards.
+func (s *ShardedIndex) LiveRows() int {
+	total := 0
+	for _, a := range s.shards {
+		total += a.LiveRows()
+	}
+	return total
+}
+
+// Deleted returns the number of tombstoned (not yet compacted) rows across
+// shards.
+func (s *ShardedIndex) Deleted() int {
+	total := 0
+	for _, a := range s.shards {
+		total += a.Deleted()
+	}
+	return total
+}
+
+// Epoch returns the sum of the shards' completed generation swaps — a
+// strictly monotonic counter that advances exactly when some shard's layout
+// changed, so epoch-keyed caches invalidate on any shard's relearn or merge
+// and survive all others.
+func (s *ShardedIndex) Epoch() int64 {
+	var total int64
+	for _, a := range s.shards {
+		total += a.Epoch()
+	}
+	return total
+}
+
+// Schema returns the typed schema shared by every shard (nil when the store
+// was built from a raw int64 table).
+func (s *ShardedIndex) Schema() *Schema { return s.schema }
+
+// NumShards returns the shard count.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// SplitDim returns the split dimension (physical column index).
+func (s *ShardedIndex) SplitDim() int { return s.router.Dim() }
+
+// Splits returns the split points (len NumShards-1); callers must not
+// modify the slice.
+func (s *ShardedIndex) Splits() []int64 { return s.router.Splits() }
+
+// Shard returns shard i's adaptive index, for per-shard stats, triggers,
+// and tests. Mutations through it bypass the WAL in the durable form — use
+// the ShardedIndex surface for writes.
+func (s *ShardedIndex) Shard(i int) *AdaptiveIndex { return s.shards[i] }
+
+// ShardStats returns one entry per shard in split order: key bounds, live
+// and pending rows, epoch, and rebuild counters. The per-shard row counts
+// are the skew diagnostic — balanced splits keep them within a small factor
+// of each other.
+func (s *ShardedIndex) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, a := range s.shards {
+		st := a.Stats()
+		lo, hi := s.router.Bounds(i)
+		out[i] = ShardStat{
+			Shard:    i,
+			Lo:       lo,
+			Hi:       hi,
+			Rows:     a.LiveRows(),
+			Pending:  st.PendingRows,
+			Epoch:    a.Epoch(),
+			Relearns: st.Relearns,
+			Merges:   st.Merges,
+			Queries:  st.Queries,
+		}
+	}
+	return out
+}
+
+// Wait blocks until no shard has a background rebuild in flight.
+func (s *ShardedIndex) Wait() {
+	for _, a := range s.shards {
+		a.Wait()
+	}
+}
+
+// Close stops every shard's background work (and, in the durable form,
+// syncs and closes each shard's WAL). Queries remain valid after Close;
+// they just stop adapting.
+func (s *ShardedIndex) Close() error {
+	if s.dur != nil {
+		var first error
+		for _, d := range s.dur {
+			if err := d.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for _, a := range s.shards {
+		a.Close()
+	}
+	return nil
+}
+
+var (
+	_ Index            = (*ShardedIndex)(nil)
+	_ query.BatchIndex = (*ShardedIndex)(nil)
+	_ Deleter          = (*ShardedIndex)(nil)
+	_ Inserter         = (*ShardedIndex)(nil)
+	_ Updater          = (*ShardedIndex)(nil)
+)

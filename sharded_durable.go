@@ -1,0 +1,193 @@
+package flood
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flood/internal/shard"
+)
+
+// ShardedRecoveryReport describes what OpenShardedDurable reconstructed:
+// one RecoveryReport per shard plus the totals a caller usually wants.
+type ShardedRecoveryReport struct {
+	// Shards holds each shard's recovery report, in shard order.
+	Shards []RecoveryReport
+	// SnapshotRows and ReplayedRows are the per-shard sums.
+	SnapshotRows int
+	ReplayedRows int
+	// TruncatedTail reports that at least one shard's newest WAL segment was
+	// cut back to its last valid record.
+	TruncatedTail bool
+}
+
+// shardDirName names shard i's subdirectory under a sharded store's root.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// CreateShardedDurable initializes dir as a crash-safe sharded store: the
+// table is partitioned and built exactly as NewSharded does, each shard gets
+// its own durable subdirectory (snapshot plus WAL, see CreateDurable), and a
+// checksummed manifest written last records the split dimension, split
+// points, and shard directories. The manifest is the store's commit point —
+// recovery refuses a root without one, so a crash mid-create leaves a
+// directory that fails to open rather than a store missing shards.
+func CreateShardedDurable(dir string, tbl *Table, train []Query, opts *ShardedOptions, dopts *DurableOptions) (*ShardedIndex, error) {
+	o := opts.withDefaults()
+	dim := o.Dim
+	if dim < 0 {
+		dim = shard.ChooseDim(train, tbl.NumCols())
+	}
+	if dim >= tbl.NumCols() {
+		return nil, fmt.Errorf("flood: sharded split dimension %d out of range (table has %d columns)", dim, tbl.NumCols())
+	}
+	splits := o.Splits
+	if splits == nil {
+		splits = shard.FitSplits(tbl.Raw(dim), o.Shards)
+	}
+	r, err := shard.NewRouter(dim, splits)
+	if err != nil {
+		return nil, err
+	}
+	floods, err := buildShards(tbl, train, r, o.Build)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	do := dopts.orDefault()
+	if do.Adaptive == nil {
+		do.Adaptive = o.Adaptive
+	}
+	s := &ShardedIndex{
+		router: r,
+		shards: make([]*AdaptiveIndex, len(floods)),
+		schema: floods[0].schema,
+		names:  floods[0].Table().Names(),
+		dur:    make([]*DurableIndex, len(floods)),
+		root:   dir,
+	}
+	m := &shard.Manifest{Dim: dim, Splits: r.Splits(), ShardDirs: make([]string, len(floods))}
+	for i, f := range floods {
+		m.ShardDirs[i] = shardDirName(i)
+		d, err := CreateDurable(filepath.Join(dir, m.ShardDirs[i]), f, &do)
+		if err != nil {
+			s.closePartial(i)
+			return nil, fmt.Errorf("flood: creating durable shard %d: %w", i, err)
+		}
+		s.dur[i] = d
+		s.shards[i] = d.Adaptive()
+	}
+	if err := shard.WriteManifest(dir, m); err != nil {
+		s.closePartial(len(floods))
+		return nil, fmt.Errorf("flood: writing shard manifest: %w", err)
+	}
+	return s, nil
+}
+
+// closePartial tears down the first n shards of a create that failed midway.
+func (s *ShardedIndex) closePartial(n int) {
+	for i := 0; i < n; i++ {
+		s.dur[i].Close()
+	}
+}
+
+// OpenShardedDurable reopens a sharded store: the manifest is read and
+// validated first, then every shard's durable directory recovers
+// independently and in parallel — snapshot restore plus WAL-tail replay per
+// shard (see OpenDurable), so recovery time scales with the largest shard,
+// not the table. Acknowledged writes recover into the shard that owns them.
+func OpenShardedDurable(dir string, dopts *DurableOptions) (*ShardedIndex, ShardedRecoveryReport, error) {
+	var rep ShardedRecoveryReport
+	m, err := shard.ReadManifest(dir)
+	if err != nil {
+		return nil, rep, err
+	}
+	r, err := m.Router()
+	if err != nil {
+		return nil, rep, err
+	}
+	n := m.NumShards()
+	durs := make([]*DurableIndex, n)
+	reps := make([]RecoveryReport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			durs[i], reps[i], errs[i] = OpenDurable(filepath.Join(dir, m.ShardDirs[i]), dopts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for j, d := range durs {
+				if d != nil {
+					durs[j].Close()
+				}
+			}
+			return nil, rep, fmt.Errorf("flood: recovering shard %d: %w", i, err)
+		}
+	}
+	rep.Shards = reps
+	for _, sr := range reps {
+		rep.SnapshotRows += sr.SnapshotRows
+		rep.ReplayedRows += sr.ReplayedRows
+		rep.TruncatedTail = rep.TruncatedTail || sr.TruncatedTail
+	}
+	s := &ShardedIndex{
+		router: r,
+		shards: make([]*AdaptiveIndex, n),
+		dur:    durs,
+		root:   dir,
+	}
+	for i, d := range durs {
+		s.shards[i] = d.Adaptive()
+	}
+	s.schema = s.shards[0].epoch.Load().flood.schema
+	s.names = s.shards[0].epoch.Load().flood.Table().Names()
+	return s, rep, nil
+}
+
+// Checkpoint absorbs every shard's WAL into its snapshot (see
+// DurableIndex.Checkpoint), running the shards in parallel; the manifest is
+// immutable after create, so a sharded checkpoint is exactly the set of
+// per-shard checkpoints. All shards are attempted even when one fails; the
+// first error is returned. No-op (nil) on an in-memory ShardedIndex.
+func (s *ShardedIndex) Checkpoint() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	errs := make([]error, len(s.dur))
+	var wg sync.WaitGroup
+	for i, d := range s.dur {
+		wg.Add(1)
+		go func(i int, d *DurableIndex) {
+			defer wg.Done()
+			errs[i] = d.Checkpoint()
+		}(i, d)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("flood: checkpointing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Durable returns shard i's durable wrapper (nil when the index is
+// in-memory), for checkpoint fault injection and per-shard inspection.
+func (s *ShardedIndex) Durable(i int) *DurableIndex {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur[i]
+}
+
+// Root returns the store's root directory ("" when in-memory).
+func (s *ShardedIndex) Root() string { return s.root }
